@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the full three-phase pipeline on a real
+//! workload (xlisp, the smallest suite member): trace generation, LVP
+//! annotation, and both timing models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lvp_isa::AsmProfile;
+use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_sim::Machine;
+use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
+use lvp_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let w = Workload::by_name("xlisp").expect("xlisp registered");
+    let program = w.compile(AsmProfile::Toc).expect("compile");
+    let run = w.run(AsmProfile::Toc).expect("run");
+    let n = run.trace.stats().instructions;
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("phase1 trace generation", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            black_box(m.run_traced(u64::MAX).expect("run"))
+        })
+    });
+
+    g.bench_function("phase2 lvp annotation (Simple)", |b| {
+        b.iter(|| {
+            let mut unit = LvpUnit::new(LvpConfig::simple());
+            black_box(unit.annotate(&run.trace))
+        })
+    });
+
+    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let outcomes = unit.annotate(&run.trace);
+
+    g.bench_function("phase3 620 baseline", |b| {
+        b.iter(|| black_box(simulate_620(&run.trace, None, &Ppc620Config::base())))
+    });
+    g.bench_function("phase3 620 with LVP", |b| {
+        b.iter(|| {
+            black_box(simulate_620(&run.trace, Some(&outcomes), &Ppc620Config::base()))
+        })
+    });
+    g.bench_function("phase3 21164 baseline", |b| {
+        b.iter(|| black_box(simulate_21164(&run.trace, None, &Alpha21164Config::base())))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks for the LVP unit structures: raw
+//! predictions/updates per second of the LVPT, LCT, CVU, and the
+//! composed unit, on a synthetic load stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lvp_predictor::{
+    Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig, StridePredictor,
+    ValuePredictor,
+};
+use std::hint::black_box;
+
+/// A deterministic synthetic load stream: 256 static loads, 80% of which
+/// repeat their value (roughly the suite's measured locality).
+fn stream(n: usize) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pc = 0x10000 + 4 * ((state >> 16) % 256);
+        let addr = 0x10_0000 + 8 * ((state >> 24) % 4096);
+        let value = if state % 10 < 8 { pc * 3 } else { state >> 32 };
+        out.push((pc, addr, value));
+    }
+    out
+}
+
+fn bench_lvpt(c: &mut Criterion) {
+    let s = stream(10_000);
+    let mut g = c.benchmark_group("lvpt");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    g.bench_function("predict+update depth1", |b| {
+        b.iter(|| {
+            let mut t = Lvpt::new(LvptConfig {
+                entries: 1024,
+                history_depth: 1,
+                perfect_selection: false,
+            });
+            for &(pc, _, v) in &s {
+                black_box(t.predict(pc));
+                t.update(pc, v);
+            }
+        })
+    });
+    g.bench_function("predict+update depth16", |b| {
+        b.iter(|| {
+            let mut t = Lvpt::new(LvptConfig {
+                entries: 4096,
+                history_depth: 16,
+                perfect_selection: true,
+            });
+            for &(pc, _, v) in &s {
+                black_box(t.would_predict_correctly(pc, v));
+                t.update(pc, v);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_lct(c: &mut Criterion) {
+    let s = stream(10_000);
+    c.bench_function("lct classify+update", |b| {
+        b.iter(|| {
+            let mut t = Lct::new(LctConfig { entries: 256, counter_bits: 2 });
+            for &(pc, _, v) in &s {
+                let cls = t.classify(pc);
+                t.update(pc, v % 2 == 0);
+                black_box(cls);
+            }
+        })
+    });
+}
+
+fn bench_cvu(c: &mut Criterion) {
+    let s = stream(10_000);
+    c.bench_function("cvu lookup+insert+invalidate", |b| {
+        b.iter(|| {
+            let mut cvu = Cvu::new(CvuConfig { entries: 32 });
+            for &(pc, addr, v) in &s {
+                if !cvu.lookup(pc as usize & 1023, addr) {
+                    cvu.insert(pc as usize & 1023, addr, 8);
+                }
+                if v % 16 == 0 {
+                    cvu.invalidate_store(addr, 8);
+                }
+            }
+        })
+    });
+}
+
+fn bench_unit(c: &mut Criterion) {
+    let s = stream(10_000);
+    let mut g = c.benchmark_group("lvp-unit");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    for cfg in [LvpConfig::simple(), LvpConfig::limit()] {
+        g.bench_function(cfg.name, |b| {
+            b.iter(|| {
+                let mut unit = LvpUnit::new(cfg);
+                for &(pc, addr, v) in &s {
+                    black_box(unit.on_load(pc, addr, 8, v));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stride(c: &mut Criterion) {
+    let s = stream(10_000);
+    c.bench_function("stride predictor", |b| {
+        b.iter(|| {
+            let mut p = StridePredictor::new(1024);
+            for &(pc, _, v) in &s {
+                black_box(p.predict(pc));
+                p.train(pc, v);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lvpt, bench_lct, bench_cvu, bench_unit, bench_stride
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! # lvp-bench — the experiment harness
+//!
+//! Shared plumbing for the per-table/per-figure binaries that regenerate
+//! the paper's evaluation (see DESIGN.md section 4 for the index):
+//!
+//! | Binary    | Reproduces                                             |
+//! |-----------|--------------------------------------------------------|
+//! | `table1`  | benchmark descriptions & dynamic counts                |
+//! | `fig1`    | load value locality @ depth 1 and 16, both profiles    |
+//! | `fig2`    | PowerPC value locality by data type                    |
+//! | `table2`  | LVP unit configurations                                |
+//! | `table3`  | LCT hit rates                                          |
+//! | `table4`  | constant identification rates                          |
+//! | `table5`  | machine latencies                                      |
+//! | `fig6`    | base machine speedups (620 + 21164)                    |
+//! | `table6`  | 620+ speedups                                          |
+//! | `fig7`    | load verification latency distribution                 |
+//! | `fig8`    | operand-wait (dependency resolution) latencies         |
+//! | `fig9`    | cycles with bank conflicts                             |
+//! | `ablation_*` | beyond-paper sweeps (stride predictor, table sizes) |
+
+use lvp_isa::{AsmProfile, Program};
+use lvp_predictor::{AddressRanges, LvpConfig, LvpStats, LvpUnit};
+use lvp_trace::{PredOutcome, Trace};
+use lvp_workloads::{Workload, WorkloadRun};
+
+/// Generates the trace for one workload under a profile, panicking with a
+/// readable message on failure (harness binaries treat workload failures
+/// as fatal).
+pub fn workload_trace(w: &Workload, profile: AsmProfile) -> WorkloadRun {
+    w.run(profile)
+        .unwrap_or_else(|e| panic!("workload {} failed under {profile}: {e}", w.name))
+}
+
+/// Runs the LVP unit simulation (phase 2) over a trace, returning the
+/// per-load annotations and the unit's statistics.
+pub fn annotate(trace: &Trace, config: LvpConfig) -> (Vec<PredOutcome>, LvpStats) {
+    let mut unit = LvpUnit::new(config);
+    let outcomes = unit.annotate(trace);
+    let stats = *unit.stats();
+    (outcomes, stats)
+}
+
+/// Builds the Figure 2 value classifier from a program's layout.
+pub fn address_ranges(program: &Program) -> AddressRanges {
+    let l = program.layout();
+    AddressRanges {
+        text: l.text_base()..l.text_end(),
+        data: l.data_base()..l.data_end(),
+        stack: l.stack_top().saturating_sub(1 << 20)..l.stack_top() + 1,
+    }
+}
+
+/// Geometric mean of a slice (the paper reports GM rows); 0 for empty
+/// input.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Minimal fixed-width table printer for harness output.
+#[derive(Debug, Default)]
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TablePrinter {
+        TablePrinter {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align names.
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", cell, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with no decimals (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", 100.0 * x)
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup with three decimals (paper's Table 6 style).
+pub fn speedup(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TablePrinter::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TablePrinter::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.856), "86%");
+        assert_eq!(pct1(0.8567), "85.7%");
+        assert_eq!(speedup(1.0567), "1.057");
+    }
+
+    #[test]
+    fn annotate_produces_one_outcome_per_load() {
+        let w = Workload::by_name("xlisp").unwrap();
+        let run = workload_trace(&w, AsmProfile::Gp);
+        let (outcomes, stats) = annotate(&run.trace, LvpConfig::simple());
+        assert_eq!(outcomes.len() as u64, run.trace.stats().loads);
+        assert_eq!(stats.loads, run.trace.stats().loads);
+    }
+}

@@ -1,0 +1,545 @@
+//! # lvp-cli — command-line driver for the LVP reproduction
+//!
+//! Implements the `lvp` binary. All commands are implemented as library
+//! functions that return their output as a `String`, so they are fully
+//! testable without spawning processes.
+//!
+//! ```text
+//! lvp suite                           list the 17 workloads
+//! lvp run <prog|workload> [opts]      compile + run, print output
+//! lvp asm <file.s> [opts]             assemble + disassembly listing
+//! lvp locality <prog|workload> [opts] Figure 1-style locality report
+//! lvp annotate <prog|workload> [opts] LVP unit statistics
+//! lvp profile <prog|workload> [opts]  hottest static loads
+//! lvp simulate <prog|workload> [opts] cycle-accurate timing
+//! lvp trace <prog|workload> [opts]    dump the text trace (--top lines)
+//!
+//! options:
+//!   --profile toc|gp        codegen profile        (default toc)
+//!   --config  simple|constant|limit|perfect        (default simple)
+//!   --machine 620|620+|21164                       (default 620)
+//!   --top     N             rows in `profile`      (default 10)
+//! ```
+//!
+//! `<prog|workload>` is a suite workload name (`lvp suite` lists them), a
+//! mini-C file ending in `.mc`, or an assembly file ending in `.s`.
+
+use lvp_isa::{AsmProfile, Assembler, Program};
+use lvp_lang::OptLevel;
+use lvp_predictor::{LoadProfiler, LocalityMeter, LvpConfig, LvpUnit};
+use lvp_sim::Machine;
+use lvp_trace::{dump_text, Trace};
+use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
+use lvp_workloads::Workload;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced by a CLI command.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> CliError {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed command-line options shared by the commands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Codegen profile for compilation/assembly.
+    pub profile: AsmProfile,
+    /// Optimization level for mini-C compilation.
+    pub opt: OptLevel,
+    /// LVP configuration for `annotate`/`simulate`.
+    pub config: LvpConfig,
+    /// Machine model for `simulate`.
+    pub machine: MachineSel,
+    /// Row limit for `profile`.
+    pub top: usize,
+}
+
+/// Which timing model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSel {
+    /// PowerPC 620 (out-of-order baseline).
+    Ppc620,
+    /// PowerPC 620+ (widened).
+    Ppc620Plus,
+    /// Alpha 21164 (in-order).
+    Alpha21164,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            profile: AsmProfile::Toc,
+            opt: OptLevel::O0,
+            config: LvpConfig::simple(),
+            machine: MachineSel::Ppc620,
+            top: 10,
+        }
+    }
+}
+
+/// Parses `--flag value` pairs from `args`, returning the options and
+/// the remaining positional arguments.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown flags or bad values.
+pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::new(format!("{a} requires a value")))
+        };
+        match a.as_str() {
+            "--profile" => {
+                opts.profile = match take_value(&mut i)?.as_str() {
+                    "toc" => AsmProfile::Toc,
+                    "gp" => AsmProfile::Gp,
+                    other => return Err(CliError::new(format!("unknown profile `{other}`"))),
+                };
+            }
+            "--config" => {
+                opts.config = match take_value(&mut i)?.as_str() {
+                    "simple" => LvpConfig::simple(),
+                    "constant" => LvpConfig::constant(),
+                    "limit" => LvpConfig::limit(),
+                    "perfect" => LvpConfig::perfect(),
+                    other => return Err(CliError::new(format!("unknown config `{other}`"))),
+                };
+            }
+            "--machine" => {
+                opts.machine = match take_value(&mut i)?.as_str() {
+                    "620" => MachineSel::Ppc620,
+                    "620+" => MachineSel::Ppc620Plus,
+                    "21164" => MachineSel::Alpha21164,
+                    other => return Err(CliError::new(format!("unknown machine `{other}`"))),
+                };
+            }
+            "--opt" => {
+                opts.opt = match take_value(&mut i)?.as_str() {
+                    "0" => OptLevel::O0,
+                    "1" => OptLevel::O1,
+                    other => return Err(CliError::new(format!("unknown opt level `{other}`"))),
+                };
+            }
+            "--top" => {
+                opts.top = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError::new("--top requires a number"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::new(format!("unknown flag `{flag}`")));
+            }
+            _ => positional.push(a.clone()),
+        }
+        i += 1;
+    }
+    Ok((opts, positional))
+}
+
+/// Resolves a program argument: a workload name, a `.mc` mini-C file, or
+/// a `.s` assembly file.
+///
+/// # Errors
+///
+/// Returns [`CliError`] if the name is unknown, the file is unreadable,
+/// or compilation/assembly fails.
+pub fn load_program(target: &str, profile: AsmProfile) -> Result<Program, CliError> {
+    load_program_with(target, profile, OptLevel::O0)
+}
+
+/// [`load_program`] with an explicit mini-C optimization level.
+///
+/// # Errors
+///
+/// Same conditions as [`load_program`].
+pub fn load_program_with(
+    target: &str,
+    profile: AsmProfile,
+    opt: OptLevel,
+) -> Result<Program, CliError> {
+    if let Some(w) = Workload::by_name(target) {
+        return lvp_lang::compile_with(w.source, profile, opt)
+            .map_err(|e| CliError::new(format!("workload `{target}`: {e}")));
+    }
+    if target.ends_with(".mc") {
+        let src = std::fs::read_to_string(target)
+            .map_err(|e| CliError::new(format!("cannot read {target}: {e}")))?;
+        return lvp_lang::compile_with(&src, profile, opt)
+            .map_err(|e| CliError::new(e.to_string()));
+    }
+    if target.ends_with(".s") {
+        let src = std::fs::read_to_string(target)
+            .map_err(|e| CliError::new(format!("cannot read {target}: {e}")))?;
+        return Assembler::new(profile)
+            .assemble(&src)
+            .map_err(|e| CliError::new(e.to_string()));
+    }
+    Err(CliError::new(format!(
+        "`{target}` is not a workload name (see `lvp suite`), a .mc file, or a .s file"
+    )))
+}
+
+fn trace_program(program: &Program) -> Result<(Trace, Vec<u64>), CliError> {
+    let mut machine = Machine::new(program);
+    let trace = machine
+        .run_traced(200_000_000)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    Ok((trace, machine.output().to_vec()))
+}
+
+/// `lvp suite` — lists the workload registry.
+pub fn cmd_suite() -> String {
+    let mut out = String::from("name       fp  description\n");
+    for w in lvp_workloads::suite() {
+        let _ = writeln!(
+            out,
+            "{:10} {}  {} [{}]",
+            w.name,
+            if w.floating_point { "y" } else { "." },
+            w.description,
+            w.input
+        );
+    }
+    out
+}
+
+/// `lvp run <target>` — compiles and runs, printing output and counts.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_run(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, output) = trace_program(&program)?;
+    let s = trace.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "output: {output:?}");
+    let _ = writeln!(
+        out,
+        "instructions {}  loads {}  stores {}  branches {}  jumps {}  fp {}",
+        s.instructions, s.loads, s.stores, s.cond_branches, s.jumps, s.fp_ops
+    );
+    Ok(out)
+}
+
+/// `lvp asm <file.s>` — assembles and returns the disassembly listing.
+///
+/// # Errors
+///
+/// Propagates file and assembly errors.
+pub fn cmd_asm(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let mut out = program.disassemble();
+    let _ = writeln!(
+        out,
+        "\n{} instructions, {} data bytes, entry {:#x}, pool base {:#x}",
+        program.text().len(),
+        program.data().len(),
+        program.entry(),
+        program.pool_base()
+    );
+    Ok(out)
+}
+
+/// `lvp locality <target>` — Figure 1-style locality report.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_locality(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, _) = trace_program(&program)?;
+    let mut meter = LocalityMeter::paper_default();
+    for e in trace.iter() {
+        meter.observe(e);
+    }
+    Ok(format!(
+        "{} dynamic loads\nvalue locality: {:.1}% at history depth 1, {:.1}% at depth 16\n",
+        meter.loads(),
+        100.0 * meter.locality(1),
+        100.0 * meter.locality(16)
+    ))
+}
+
+/// `lvp annotate <target>` — LVP unit statistics under `--config`.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_annotate(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, _) = trace_program(&program)?;
+    let mut unit = LvpUnit::new(opts.config);
+    let _ = unit.annotate(&trace);
+    let s = unit.stats();
+    Ok(format!(
+        "config: {}\nloads {}  predictions {} ({:.1}% of loads)\naccuracy {:.1}%  constants (CVU-verified) {:.1}% of loads\nLCT: {:.1}% of unpredictable and {:.1}% of predictable loads identified\n",
+        opts.config,
+        s.loads,
+        s.predictions,
+        100.0 * s.predictions as f64 / s.loads.max(1) as f64,
+        100.0 * s.accuracy(),
+        100.0 * s.constant_rate(),
+        100.0 * s.unpredictable_hit_rate(),
+        100.0 * s.predictable_hit_rate(),
+    ))
+}
+
+/// `lvp profile <target>` — hottest static loads with per-PC locality.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_profile(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, _) = trace_program(&program)?;
+    let mut profiler = LoadProfiler::new();
+    for e in trace.iter() {
+        profiler.observe(e);
+    }
+    let report = profiler.report();
+    let mut out = format!(
+        "{} static loads; top {} cover {:.1}% of dynamic loads\n\n",
+        profiler.static_loads(),
+        opts.top,
+        100.0 * profiler.coverage_of_top(opts.top)
+    );
+    let _ = writeln!(out, "{:>10}  {:>9}  {:>8}  {:>8}  kind", "pc", "count", "local@1", "values");
+    for s in report.iter().take(opts.top) {
+        let values = if s.distinct_values as usize >= LoadProfiler::DISTINCT_CAP {
+            ">16".to_string()
+        } else {
+            s.distinct_values.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:#10x}  {:>9}  {:>7.1}%  {:>8}  {}{}",
+            s.pc,
+            s.count,
+            100.0 * s.locality(),
+            values,
+            if s.fp { "fp" } else { "int" },
+            if s.is_constant() { " constant" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+/// `lvp trace <target>` — dumps the first `--top` lines (default 10) of
+/// the dynamic trace in the greppable text format.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_trace(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, _) = trace_program(&program)?;
+    let text = dump_text(&trace);
+    let mut out: String =
+        text.lines().take(opts.top + 1).collect::<Vec<_>>().join("\n");
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "... {} entries total ({} loads, {} stores)",
+        trace.len(),
+        trace.stats().loads,
+        trace.stats().stores
+    );
+    Ok(out)
+}
+
+/// `lvp simulate <target>` — cycle-accurate run under `--machine`, with
+/// the no-LVP baseline and the selected `--config` side by side.
+///
+/// # Errors
+///
+/// Propagates program-resolution and simulation errors.
+pub fn cmd_simulate(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let (trace, _) = trace_program(&program)?;
+    let mut unit = LvpUnit::new(opts.config);
+    let outcomes = unit.annotate(&trace);
+    let (name, base, lvp) = match opts.machine {
+        MachineSel::Ppc620 => {
+            let m = Ppc620Config::base();
+            (m.name, simulate_620(&trace, None, &m), simulate_620(&trace, Some(&outcomes), &m))
+        }
+        MachineSel::Ppc620Plus => {
+            let m = Ppc620Config::plus();
+            (m.name, simulate_620(&trace, None, &m), simulate_620(&trace, Some(&outcomes), &m))
+        }
+        MachineSel::Alpha21164 => {
+            let m = Alpha21164Config::base();
+            (
+                m.name,
+                simulate_21164(&trace, None, &m),
+                simulate_21164(&trace, Some(&outcomes), &m),
+            )
+        }
+    };
+    Ok(format!(
+        "machine {name}, config {}\nbaseline: {base}\nwith LVP: {lvp}\nspeedup: {:.3}\n",
+        opts.config,
+        lvp.speedup_over(&base)
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "usage: lvp <command> [args]\n\n\
+     commands:\n\
+     \x20 suite                         list the 17 workloads\n\
+     \x20 run      <prog|workload>      compile + run, print output\n\
+     \x20 asm      <file.s|file.mc>     assemble + disassembly listing\n\
+     \x20 locality <prog|workload>      value-locality report\n\
+     \x20 annotate <prog|workload>      LVP unit statistics\n\
+     \x20 profile  <prog|workload>      hottest static loads\n\
+     \x20 simulate <prog|workload>      cycle-accurate timing\n\
+     \x20 trace    <prog|workload>      dump the text trace\n\n\
+     options: --profile toc|gp  --config simple|constant|limit|perfect\n\
+     \x20        --machine 620|620+|21164  --opt 0|1  --top N\n"
+}
+
+/// Dispatches a full argument vector (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for any failure.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::new(usage()));
+    };
+    let rest = &args[1..];
+    let (opts, positional) = parse_options(rest)?;
+    let target = || -> Result<&String, CliError> {
+        positional
+            .first()
+            .ok_or_else(|| CliError::new(format!("`{cmd}` requires a program argument")))
+    };
+    match cmd.as_str() {
+        "suite" => Ok(cmd_suite()),
+        "run" => cmd_run(target()?, &opts),
+        "asm" => cmd_asm(target()?, &opts),
+        "locality" => cmd_locality(target()?, &opts),
+        "annotate" => cmd_annotate(target()?, &opts),
+        "profile" => cmd_profile(target()?, &opts),
+        "simulate" => cmd_simulate(target()?, &opts),
+        "trace" => cmd_trace(target()?, &opts),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError::new(format!("unknown command `{other}`\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn option_parsing() {
+        let (o, pos) = parse_options(&args(&[
+            "xlisp",
+            "--profile",
+            "gp",
+            "--config",
+            "limit",
+            "--machine",
+            "21164",
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(o.profile, AsmProfile::Gp);
+        assert_eq!(o.config.name, "Limit");
+        assert_eq!(o.machine, MachineSel::Alpha21164);
+        assert_eq!(o.top, 5);
+        assert_eq!(pos, vec!["xlisp"]);
+    }
+
+    #[test]
+    fn option_errors() {
+        assert!(parse_options(&args(&["--profile"])).is_err());
+        assert!(parse_options(&args(&["--profile", "mips"])).is_err());
+        assert!(parse_options(&args(&["--bogus"])).is_err());
+        assert!(parse_options(&args(&["--top", "abc"])).is_err());
+    }
+
+    #[test]
+    fn suite_lists_everything() {
+        let s = cmd_suite();
+        for w in lvp_workloads::suite() {
+            assert!(s.contains(w.name), "missing {}", w.name);
+        }
+    }
+
+    #[test]
+    fn run_on_workload() {
+        let out = cmd_run("xlisp", &Options::default()).unwrap();
+        assert!(out.contains("output: [4,"), "xlisp prints 4 solutions: {out}");
+        assert!(out.contains("instructions"));
+    }
+
+    #[test]
+    fn locality_and_annotate_on_workload() {
+        let opts = Options::default();
+        let loc = cmd_locality("xlisp", &opts).unwrap();
+        assert!(loc.contains("value locality"));
+        let ann = cmd_annotate("xlisp", &opts).unwrap();
+        assert!(ann.contains("accuracy"));
+    }
+
+    #[test]
+    fn profile_reports_top_loads() {
+        let out = cmd_profile("xlisp", &Options { top: 3, ..Options::default() }).unwrap();
+        assert!(out.contains("static loads"));
+        // summary + blank + header + 3 rows
+        assert_eq!(out.lines().count(), 6, "unexpected layout: {out}");
+    }
+
+    #[test]
+    fn simulate_all_machines() {
+        for machine in [MachineSel::Ppc620, MachineSel::Ppc620Plus, MachineSel::Alpha21164] {
+            let out =
+                cmd_simulate("xlisp", &Options { machine, ..Options::default() }).unwrap();
+            assert!(out.contains("speedup:"), "{out}");
+        }
+    }
+
+    #[test]
+    fn trace_dump_is_bounded() {
+        let out =
+            cmd_trace("xlisp", &Options { top: 5, ..Options::default() }).unwrap();
+        assert!(out.contains("entries total"));
+        assert!(out.lines().count() <= 8, "{out}");
+    }
+
+    #[test]
+    fn dispatch_errors_are_helpful() {
+        assert!(dispatch(&args(&["frobnicate"])).unwrap_err().to_string().contains("usage"));
+        assert!(dispatch(&args(&["run"])).unwrap_err().to_string().contains("requires"));
+        assert!(dispatch(&args(&["run", "nonesuch"])).is_err());
+        assert!(dispatch(&args(&["help"])).unwrap().contains("commands"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Binary encoding of LRISC instructions.
+//!
+//! Each instruction packs into a single `u64` word:
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..16  field A (rd / fd / rs1 for branches and stores)
+//! bits 16..24  field B (rs1 / base / fs1)
+//! bits 24..32  field C (rs2 / fs2 / shamt)
+//! bits 32..64  32-bit immediate / offset (two's complement)
+//! ```
+//!
+//! The packed form is used by the binary trace format and by round-trip
+//! property tests; the simulator executes the decoded [`Instr`] enum
+//! directly. Note that although an instruction encodes into 8 bytes, it
+//! occupies only [`INSTR_BYTES`](crate::INSTR_BYTES) (4) bytes of *text
+//! address space* — the text segment is a decoded instruction array, not
+//! raw bytes, exactly like the trace-driven simulators the paper uses.
+
+use crate::op::Instr;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Error returned when decoding an instruction word fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field is out of range (>= 32).
+    BadRegister(u8),
+    /// A shift amount is out of range (>= 64).
+    BadShamt(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode byte {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register field {r} out of range"),
+            DecodeError::BadShamt(s) => write!(f, "shift amount {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+macro_rules! opcodes {
+    ($($name:ident = $val:expr,)*) => {
+        #[derive(Debug, Copy, Clone, PartialEq, Eq)]
+        #[repr(u8)]
+        enum Opc { $($name = $val,)* }
+
+        impl Opc {
+            fn from_u8(b: u8) -> Option<Opc> {
+                match b {
+                    $($val => Some(Opc::$name),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    Add = 0x01, Sub = 0x02, Sll = 0x03, Slt = 0x04, Sltu = 0x05, Xor = 0x06,
+    Srl = 0x07, Sra = 0x08, Or = 0x09, And = 0x0a, Mul = 0x0b, Mulh = 0x0c,
+    Div = 0x0d, Divu = 0x0e, Rem = 0x0f, Remu = 0x10,
+    Addi = 0x11, Slti = 0x12, Sltiu = 0x13, Xori = 0x14, Ori = 0x15,
+    Andi = 0x16, Slli = 0x17, Srli = 0x18, Srai = 0x19, Lui = 0x1a,
+    Lb = 0x20, Lbu = 0x21, Lh = 0x22, Lhu = 0x23, Lw = 0x24, Lwu = 0x25,
+    Ld = 0x26, Fld = 0x27,
+    Sb = 0x28, Sh = 0x29, Sw = 0x2a, Sd = 0x2b, Fsd = 0x2c,
+    FaddD = 0x30, FsubD = 0x31, FmulD = 0x32, FdivD = 0x33, FsqrtD = 0x34,
+    FminD = 0x35, FmaxD = 0x36, FnegD = 0x37, FabsD = 0x38,
+    FeqD = 0x39, FltD = 0x3a, FleD = 0x3b,
+    FcvtDL = 0x3c, FcvtLD = 0x3d, FmvXD = 0x3e, FmvDX = 0x3f,
+    Beq = 0x40, Bne = 0x41, Blt = 0x42, Bge = 0x43, Bltu = 0x44, Bgeu = 0x45,
+    Jal = 0x46, Jalr = 0x47,
+    Out = 0x50, OutF = 0x51, Halt = 0x52, Nop = 0x53,
+}
+
+#[inline]
+fn pack(op: Opc, a: u8, b: u8, c: u8, imm: i32) -> u64 {
+    (op as u64)
+        | ((a as u64) << 8)
+        | ((b as u64) << 16)
+        | ((c as u64) << 24)
+        | (((imm as u32) as u64) << 32)
+}
+
+/// Encodes an instruction into its packed 64-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_isa::{encode, decode, Instr, Reg};
+/// let i = Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -16 };
+/// assert_eq!(decode(encode(&i)).unwrap(), i);
+/// ```
+pub fn encode(instr: &Instr) -> u64 {
+    use Instr::*;
+    match *instr {
+        Add { rd, rs1, rs2 } => pack(Opc::Add, rd.number(), rs1.number(), rs2.number(), 0),
+        Sub { rd, rs1, rs2 } => pack(Opc::Sub, rd.number(), rs1.number(), rs2.number(), 0),
+        Sll { rd, rs1, rs2 } => pack(Opc::Sll, rd.number(), rs1.number(), rs2.number(), 0),
+        Slt { rd, rs1, rs2 } => pack(Opc::Slt, rd.number(), rs1.number(), rs2.number(), 0),
+        Sltu { rd, rs1, rs2 } => pack(Opc::Sltu, rd.number(), rs1.number(), rs2.number(), 0),
+        Xor { rd, rs1, rs2 } => pack(Opc::Xor, rd.number(), rs1.number(), rs2.number(), 0),
+        Srl { rd, rs1, rs2 } => pack(Opc::Srl, rd.number(), rs1.number(), rs2.number(), 0),
+        Sra { rd, rs1, rs2 } => pack(Opc::Sra, rd.number(), rs1.number(), rs2.number(), 0),
+        Or { rd, rs1, rs2 } => pack(Opc::Or, rd.number(), rs1.number(), rs2.number(), 0),
+        And { rd, rs1, rs2 } => pack(Opc::And, rd.number(), rs1.number(), rs2.number(), 0),
+        Mul { rd, rs1, rs2 } => pack(Opc::Mul, rd.number(), rs1.number(), rs2.number(), 0),
+        Mulh { rd, rs1, rs2 } => pack(Opc::Mulh, rd.number(), rs1.number(), rs2.number(), 0),
+        Div { rd, rs1, rs2 } => pack(Opc::Div, rd.number(), rs1.number(), rs2.number(), 0),
+        Divu { rd, rs1, rs2 } => pack(Opc::Divu, rd.number(), rs1.number(), rs2.number(), 0),
+        Rem { rd, rs1, rs2 } => pack(Opc::Rem, rd.number(), rs1.number(), rs2.number(), 0),
+        Remu { rd, rs1, rs2 } => pack(Opc::Remu, rd.number(), rs1.number(), rs2.number(), 0),
+        Addi { rd, rs1, imm } => pack(Opc::Addi, rd.number(), rs1.number(), 0, imm),
+        Slti { rd, rs1, imm } => pack(Opc::Slti, rd.number(), rs1.number(), 0, imm),
+        Sltiu { rd, rs1, imm } => pack(Opc::Sltiu, rd.number(), rs1.number(), 0, imm),
+        Xori { rd, rs1, imm } => pack(Opc::Xori, rd.number(), rs1.number(), 0, imm),
+        Ori { rd, rs1, imm } => pack(Opc::Ori, rd.number(), rs1.number(), 0, imm),
+        Andi { rd, rs1, imm } => pack(Opc::Andi, rd.number(), rs1.number(), 0, imm),
+        Slli { rd, rs1, shamt } => pack(Opc::Slli, rd.number(), rs1.number(), shamt, 0),
+        Srli { rd, rs1, shamt } => pack(Opc::Srli, rd.number(), rs1.number(), shamt, 0),
+        Srai { rd, rs1, shamt } => pack(Opc::Srai, rd.number(), rs1.number(), shamt, 0),
+        Lui { rd, imm } => pack(Opc::Lui, rd.number(), 0, 0, imm),
+        Lb { rd, base, offset } => pack(Opc::Lb, rd.number(), base.number(), 0, offset),
+        Lbu { rd, base, offset } => pack(Opc::Lbu, rd.number(), base.number(), 0, offset),
+        Lh { rd, base, offset } => pack(Opc::Lh, rd.number(), base.number(), 0, offset),
+        Lhu { rd, base, offset } => pack(Opc::Lhu, rd.number(), base.number(), 0, offset),
+        Lw { rd, base, offset } => pack(Opc::Lw, rd.number(), base.number(), 0, offset),
+        Lwu { rd, base, offset } => pack(Opc::Lwu, rd.number(), base.number(), 0, offset),
+        Ld { rd, base, offset } => pack(Opc::Ld, rd.number(), base.number(), 0, offset),
+        Fld { fd, base, offset } => pack(Opc::Fld, fd.number(), base.number(), 0, offset),
+        Sb { rs2, base, offset } => pack(Opc::Sb, rs2.number(), base.number(), 0, offset),
+        Sh { rs2, base, offset } => pack(Opc::Sh, rs2.number(), base.number(), 0, offset),
+        Sw { rs2, base, offset } => pack(Opc::Sw, rs2.number(), base.number(), 0, offset),
+        Sd { rs2, base, offset } => pack(Opc::Sd, rs2.number(), base.number(), 0, offset),
+        Fsd { fs2, base, offset } => pack(Opc::Fsd, fs2.number(), base.number(), 0, offset),
+        FaddD { fd, fs1, fs2 } => pack(Opc::FaddD, fd.number(), fs1.number(), fs2.number(), 0),
+        FsubD { fd, fs1, fs2 } => pack(Opc::FsubD, fd.number(), fs1.number(), fs2.number(), 0),
+        FmulD { fd, fs1, fs2 } => pack(Opc::FmulD, fd.number(), fs1.number(), fs2.number(), 0),
+        FdivD { fd, fs1, fs2 } => pack(Opc::FdivD, fd.number(), fs1.number(), fs2.number(), 0),
+        FsqrtD { fd, fs1 } => pack(Opc::FsqrtD, fd.number(), fs1.number(), 0, 0),
+        FminD { fd, fs1, fs2 } => pack(Opc::FminD, fd.number(), fs1.number(), fs2.number(), 0),
+        FmaxD { fd, fs1, fs2 } => pack(Opc::FmaxD, fd.number(), fs1.number(), fs2.number(), 0),
+        FnegD { fd, fs1 } => pack(Opc::FnegD, fd.number(), fs1.number(), 0, 0),
+        FabsD { fd, fs1 } => pack(Opc::FabsD, fd.number(), fs1.number(), 0, 0),
+        FeqD { rd, fs1, fs2 } => pack(Opc::FeqD, rd.number(), fs1.number(), fs2.number(), 0),
+        FltD { rd, fs1, fs2 } => pack(Opc::FltD, rd.number(), fs1.number(), fs2.number(), 0),
+        FleD { rd, fs1, fs2 } => pack(Opc::FleD, rd.number(), fs1.number(), fs2.number(), 0),
+        FcvtDL { fd, rs1 } => pack(Opc::FcvtDL, fd.number(), rs1.number(), 0, 0),
+        FcvtLD { rd, fs1 } => pack(Opc::FcvtLD, rd.number(), fs1.number(), 0, 0),
+        FmvXD { rd, fs1 } => pack(Opc::FmvXD, rd.number(), fs1.number(), 0, 0),
+        FmvDX { fd, rs1 } => pack(Opc::FmvDX, fd.number(), rs1.number(), 0, 0),
+        Beq { rs1, rs2, offset } => pack(Opc::Beq, rs1.number(), rs2.number(), 0, offset),
+        Bne { rs1, rs2, offset } => pack(Opc::Bne, rs1.number(), rs2.number(), 0, offset),
+        Blt { rs1, rs2, offset } => pack(Opc::Blt, rs1.number(), rs2.number(), 0, offset),
+        Bge { rs1, rs2, offset } => pack(Opc::Bge, rs1.number(), rs2.number(), 0, offset),
+        Bltu { rs1, rs2, offset } => pack(Opc::Bltu, rs1.number(), rs2.number(), 0, offset),
+        Bgeu { rs1, rs2, offset } => pack(Opc::Bgeu, rs1.number(), rs2.number(), 0, offset),
+        Jal { rd, offset } => pack(Opc::Jal, rd.number(), 0, 0, offset),
+        Jalr { rd, rs1, offset } => pack(Opc::Jalr, rd.number(), rs1.number(), 0, offset),
+        Out { rs1 } => pack(Opc::Out, rs1.number(), 0, 0, 0),
+        OutF { fs1 } => pack(Opc::OutF, fs1.number(), 0, 0, 0),
+        Halt => pack(Opc::Halt, 0, 0, 0, 0),
+        Nop => pack(Opc::Nop, 0, 0, 0, 0),
+    }
+}
+
+/// Decodes a packed 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode byte is unknown, a register field
+/// is out of range, or a shift amount is out of range.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let op = Opc::from_u8(word as u8).ok_or(DecodeError::BadOpcode(word as u8))?;
+    let a = (word >> 8) as u8;
+    let b = (word >> 16) as u8;
+    let c = (word >> 24) as u8;
+    let imm = (word >> 32) as u32 as i32;
+    let reg = |n: u8| Reg::try_new(n).ok_or(DecodeError::BadRegister(n));
+    let freg = |n: u8| FReg::try_new(n).ok_or(DecodeError::BadRegister(n));
+    let shamt = |n: u8| if n < 64 { Ok(n) } else { Err(DecodeError::BadShamt(n)) };
+    use Instr::*;
+    Ok(match op {
+        Opc::Add => Add { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Sub => Sub { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Sll => Sll { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Slt => Slt { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Sltu => Sltu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Xor => Xor { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Srl => Srl { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Sra => Sra { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Or => Or { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::And => And { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Mul => Mul { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Mulh => Mulh { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Div => Div { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Divu => Divu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Rem => Rem { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Remu => Remu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        Opc::Addi => Addi { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Slti => Slti { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Sltiu => Sltiu { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Xori => Xori { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Ori => Ori { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Andi => Andi { rd: reg(a)?, rs1: reg(b)?, imm },
+        Opc::Slli => Slli { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
+        Opc::Srli => Srli { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
+        Opc::Srai => Srai { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
+        Opc::Lui => Lui { rd: reg(a)?, imm },
+        Opc::Lb => Lb { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Lbu => Lbu { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Lh => Lh { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Lhu => Lhu { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Lw => Lw { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Lwu => Lwu { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Ld => Ld { rd: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Fld => Fld { fd: freg(a)?, base: reg(b)?, offset: imm },
+        Opc::Sb => Sb { rs2: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Sh => Sh { rs2: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Sw => Sw { rs2: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Sd => Sd { rs2: reg(a)?, base: reg(b)?, offset: imm },
+        Opc::Fsd => Fsd { fs2: freg(a)?, base: reg(b)?, offset: imm },
+        Opc::FaddD => FaddD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FsubD => FsubD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FmulD => FmulD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FdivD => FdivD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FsqrtD => FsqrtD { fd: freg(a)?, fs1: freg(b)? },
+        Opc::FminD => FminD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FmaxD => FmaxD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FnegD => FnegD { fd: freg(a)?, fs1: freg(b)? },
+        Opc::FabsD => FabsD { fd: freg(a)?, fs1: freg(b)? },
+        Opc::FeqD => FeqD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FltD => FltD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FleD => FleD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        Opc::FcvtDL => FcvtDL { fd: freg(a)?, rs1: reg(b)? },
+        Opc::FcvtLD => FcvtLD { rd: reg(a)?, fs1: freg(b)? },
+        Opc::FmvXD => FmvXD { rd: reg(a)?, fs1: freg(b)? },
+        Opc::FmvDX => FmvDX { fd: freg(a)?, rs1: reg(b)? },
+        Opc::Beq => Beq { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Bne => Bne { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Blt => Blt { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Bge => Bge { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Bltu => Bltu { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Bgeu => Bgeu { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
+        Opc::Jal => Jal { rd: reg(a)?, offset: imm },
+        Opc::Jalr => Jalr { rd: reg(a)?, rs1: reg(b)?, offset: imm },
+        Opc::Out => Out { rs1: reg(a)? },
+        Opc::OutF => OutF { fs1: freg(a)? },
+        Opc::Halt => Halt,
+        Opc::Nop => Nop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_samples() {
+        let samples = [
+            Instr::Add { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::T0 },
+            Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -32768 },
+            Instr::Lui { rd: Reg::T0, imm: 0x7ffff },
+            Instr::Ld { rd: Reg::RA, base: Reg::SP, offset: 2047 },
+            Instr::Fsd { fs2: FReg::FA0, base: Reg::SP, offset: -8 },
+            Instr::FsqrtD { fd: FReg::new(31), fs1: FReg::new(0) },
+            Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, offset: -2048 },
+            Instr::Jal { rd: Reg::RA, offset: 1 << 20 },
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Instr::Halt,
+            Instr::Nop,
+        ];
+        for s in samples {
+            assert_eq!(decode(encode(&s)).unwrap(), s, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(0xff), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(decode(0x00), Err(DecodeError::BadOpcode(0x00)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // add with rd = 40
+        let word = 0x01u64 | (40u64 << 8);
+        assert_eq!(decode(word), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn bad_shamt_rejected() {
+        // slli with shamt = 64
+        let word = 0x17u64 | (1 << 8) | (1 << 16) | (64u64 << 24);
+        assert_eq!(decode(word), Err(DecodeError::BadShamt(64)));
+    }
+}

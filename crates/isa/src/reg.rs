@@ -1,0 +1,299 @@
+//! Integer and floating-point register names for the LRISC ISA.
+//!
+//! LRISC has 32 general-purpose 64-bit integer registers (`x0`–`x31`, with
+//! `x0` hardwired to zero) and 32 double-precision floating-point registers
+//! (`f0`–`f31`). The ABI names follow a RISC-V-like convention with one
+//! addition: `gp` doubles as the *TOC pointer* under the PowerPC-style
+//! codegen profile (see `lvp-lang`), anchoring the table-of-contents loads
+//! that the paper identifies as a major source of value locality.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An integer (general-purpose) register, `x0`–`x31`.
+///
+/// `x0` always reads as zero and ignores writes.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_isa::Reg;
+/// let sp: Reg = "sp".parse().unwrap();
+/// assert_eq!(sp, Reg::SP);
+/// assert_eq!(sp.number(), 2);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// A floating-point register, `f0`–`f31`, holding one `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_isa::FReg;
+/// let ft0: FReg = "ft0".parse().unwrap();
+/// assert_eq!(ft0.number(), 0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+/// ABI names for the integer registers, indexed by register number.
+pub const INT_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// ABI names for the floating-point registers, indexed by register number.
+pub const FP_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+impl Reg {
+    /// The hardwired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register `x1` (`ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2` (`sp`).
+    pub const SP: Reg = Reg(2);
+    /// Global/TOC pointer `x3` (`gp`).
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4` (`tp`); unused by the compiler, reserved.
+    pub const TP: Reg = Reg(4);
+    /// First argument / return-value register `x10` (`a0`).
+    pub const A0: Reg = Reg(10);
+    /// Second argument register `x11` (`a1`).
+    pub const A1: Reg = Reg(11);
+    /// First temporary `x5` (`t0`).
+    pub const T0: Reg = Reg(5);
+    /// Second temporary `x6` (`t1`).
+    pub const T1: Reg = Reg(6);
+    /// Frame pointer / first callee-saved register `x8` (`s0`).
+    pub const S0: Reg = Reg(8);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "integer register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if out of range.
+    #[inline]
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register number, 0–31.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The ABI name (e.g. `"sp"` for `x2`).
+    pub fn abi_name(self) -> &'static str {
+        INT_ABI_NAMES[self.0 as usize]
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the register is callee-saved under the LRISC ABI
+    /// (`s0`–`s11`, plus `sp` and `gp`).
+    pub fn is_callee_saved(self) -> bool {
+        matches!(self.0, 2 | 3 | 8 | 9 | 18..=27)
+    }
+
+    /// Iterates over all 32 integer registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl FReg {
+    /// First FP argument / return-value register `f10` (`fa0`).
+    pub const FA0: FReg = FReg(10);
+    /// First FP temporary `f0` (`ft0`).
+    pub const FT0: FReg = FReg(0);
+
+    /// Creates an FP register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> FReg {
+        assert!(n < 32, "fp register number {n} out of range");
+        FReg(n)
+    }
+
+    /// Creates an FP register from its number, returning `None` if out of range.
+    #[inline]
+    pub fn try_new(n: u8) -> Option<FReg> {
+        (n < 32).then_some(FReg(n))
+    }
+
+    /// The register number, 0–31.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The ABI name (e.g. `"fa0"` for `f10`).
+    pub fn abi_name(self) -> &'static str {
+        FP_ABI_NAMES[self.0 as usize]
+    }
+
+    /// Whether the register is callee-saved under the LRISC ABI
+    /// (`fs0`–`fs11`).
+    pub fn is_callee_saved(self) -> bool {
+        matches!(self.0, 8 | 9 | 18..=27)
+    }
+
+    /// Iterates over all 32 floating-point registers.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..32).map(FReg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({}/x{})", self.abi_name(), self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FReg({}/f{})", self.abi_name(), self.0)
+    }
+}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses either an ABI name (`"sp"`) or numeric name (`"x2"`).
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        if let Some(pos) = INT_ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg(pos as u8));
+        }
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                if let Some(r) = Reg::try_new(n) {
+                    return Ok(r);
+                }
+            }
+        }
+        // `fp` is the conventional alias for `s0`.
+        if s == "fp" {
+            return Ok(Reg::S0);
+        }
+        Err(ParseRegError { name: s.to_string() })
+    }
+}
+
+impl FromStr for FReg {
+    type Err = ParseRegError;
+
+    /// Parses either an ABI name (`"fa0"`) or numeric name (`"f10"`).
+    fn from_str(s: &str) -> Result<FReg, ParseRegError> {
+        if let Some(pos) = FP_ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(FReg(pos as u8));
+        }
+        if let Some(num) = s.strip_prefix('f') {
+            if let Ok(n) = num.parse::<u8>() {
+                if let Some(r) = FReg::try_new(n) {
+                    return Ok(r);
+                }
+            }
+        }
+        Err(ParseRegError { name: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip() {
+        for r in Reg::all() {
+            let parsed: Reg = r.abi_name().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+        for r in FReg::all() {
+            let parsed: FReg = r.abi_name().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        assert_eq!("x0".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("x31".parse::<Reg>().unwrap(), Reg::new(31));
+        assert_eq!("f31".parse::<FReg>().unwrap(), FReg::new(31));
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("f32".parse::<FReg>().is_err());
+    }
+
+    #[test]
+    fn fp_alias_for_s0() {
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::S0);
+    }
+
+    #[test]
+    fn unknown_names_error_mentions_name() {
+        let err = "bogus".parse::<Reg>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn callee_saved_sets() {
+        assert!(Reg::SP.is_callee_saved());
+        assert!(Reg::S0.is_callee_saved());
+        assert!(!Reg::RA.is_callee_saved());
+        assert!(!Reg::A0.is_callee_saved());
+        assert!(FReg::new(8).is_callee_saved());
+        assert!(!FReg::FA0.is_callee_saved());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

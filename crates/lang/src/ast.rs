@@ -1,0 +1,293 @@
+//! Abstract syntax tree for the mini-C workload language.
+
+use std::fmt;
+
+/// A scalar value type.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE double.
+    Float,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Float => f.write_str("float"),
+        }
+    }
+}
+
+/// Element type of an array (adds byte-sized `char` to the scalar types).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 64-bit integer elements.
+    Int,
+    /// 64-bit float elements.
+    Float,
+    /// Byte elements; reads zero-extend to `int`, writes truncate.
+    Char,
+}
+
+impl ElemType {
+    /// Element size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            ElemType::Int | ElemType::Float => 8,
+            ElemType::Char => 1,
+        }
+    }
+
+    /// The scalar type an element loads as.
+    pub fn scalar(self) -> Type {
+        match self {
+            ElemType::Float => Type::Float,
+            _ => Type::Int,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::Int => f.write_str("int"),
+            ElemType::Float => f.write_str("float"),
+            ElemType::Char => f.write_str("char"),
+        }
+    }
+}
+
+/// A literal initializer value.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+}
+
+/// Initializer of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// Zero-initialized.
+    None,
+    /// Scalar initializer.
+    Scalar(Literal),
+    /// Array element list (padded with zeros).
+    List(Vec<Literal>),
+    /// String initializer for `char` arrays (NUL-terminated).
+    Str(String),
+}
+
+/// A global variable or array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element type (scalars use `Int`/`Float`).
+    pub elem: ElemType,
+    /// Array length; `None` for scalars.
+    pub len: Option<u64>,
+    /// Initializer.
+    pub init: Init,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Return type; `None` for void.
+    pub ret: Option<Type>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// An lvalue: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Named scalar (local, param, or global).
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `int x;` / `float f;` / `int a[8];` / `char b[64];`
+    Decl {
+        /// Name.
+        name: String,
+        /// Element type.
+        elem: ElemType,
+        /// Array length; `None` for scalars.
+        len: Option<u64>,
+        /// Source line.
+        line: usize,
+    },
+    /// Assignment `lv = expr;`
+    Assign {
+        /// Target.
+        lv: LValue,
+        /// Value.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Conditional.
+    If {
+        /// Condition (int).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition (int).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// For loop (desugared while with init/step).
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Condition; `None` means always true.
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Return with optional value.
+    Return(Option<Expr>, usize),
+    /// Bare expression (e.g. a call).
+    Expr(Expr),
+    /// Break out of the innermost loop.
+    Break(usize),
+    /// Continue the innermost loop.
+    Continue(usize),
+    /// Two statements in sequence (the `int x = e;` declaration sugar).
+    Block2(Box<Stmt>, Box<Stmt>),
+}
+
+/// A binary operator.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A unary operator.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (int only).
+    Not,
+    /// Bitwise complement (int only).
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Scalar variable reference.
+    Var(String, usize),
+    /// Array element read.
+    Index(String, Box<Expr>, usize),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>, usize),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, usize),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, usize),
+    /// Cast `int(e)` or `float(e)`.
+    Cast(Type, Box<Expr>, usize),
+}
+
+impl Expr {
+    /// Source line of the expression (0 for literals).
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => 0,
+            Expr::Var(_, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Unary(_, _, l)
+            | Expr::Binary(_, _, _, l)
+            | Expr::Cast(_, _, l) => *l,
+        }
+    }
+}
+
+/// A compile-time integer constant (`const int N = ...;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Name.
+    pub name: String,
+    /// Value.
+    pub value: i64,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramAst {
+    /// Named integer constants.
+    pub consts: Vec<ConstDef>,
+    /// Global variables and arrays.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+}

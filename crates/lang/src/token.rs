@@ -1,0 +1,528 @@
+//! Lexer for the mini-C workload language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals & identifiers
+    /// Integer literal (decimal, hex, char).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (for char-array initializers).
+    Str(String),
+    /// Identifier or keyword candidate.
+    Ident(String),
+
+    // keywords
+    /// `global`
+    Global,
+    /// `const`
+    Const,
+    /// `fn`
+    Fn,
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `char`
+    KwChar,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+
+    // punctuation & operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    Tok::Global => "global",
+                    Tok::Const => "const",
+                    Tok::Fn => "fn",
+                    Tok::KwInt => "int",
+                    Tok::KwFloat => "float",
+                    Tok::KwChar => "char",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::While => "while",
+                    Tok::For => "for",
+                    Tok::Return => "return",
+                    Tok::Break => "break",
+                    Tok::Continue => "continue",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Assign => "=",
+                    Tok::Arrow => "->",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Bang => "!",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Tilde => "~",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Error produced by the compiler front end, carrying the source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    line: usize,
+    msg: String,
+}
+
+impl LangError {
+    /// Creates an error at `line` (0 for file-level errors).
+    pub fn new(line: usize, msg: impl Into<String>) -> LangError {
+        LangError { line, msg: msg.into() }
+    }
+
+    /// 1-based source line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "compile error: {}", self.msg)
+        } else {
+            write!(f, "compile error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Tokenizes mini-C source.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for malformed literals or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LangError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &source[start + 2..i];
+                    let v = u64::from_str_radix(text, 16)
+                        .map_err(|_| LangError::new(line, format!("bad hex literal 0x{text}")))?;
+                    out.push(SpannedTok { tok: Tok::Int(v as i64), line });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let is_float = i < bytes.len()
+                        && bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                    if is_float {
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                        // optional exponent
+                        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                            let mut j = i + 1;
+                            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                                j += 1;
+                            }
+                            if j < bytes.len() && bytes[j].is_ascii_digit() {
+                                i = j;
+                                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                    i += 1;
+                                }
+                            }
+                        }
+                        let text = &source[start..i];
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| LangError::new(line, format!("bad float literal {text}")))?;
+                        out.push(SpannedTok { tok: Tok::Float(v), line });
+                    } else {
+                        let text = &source[start..i];
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| LangError::new(line, format!("bad int literal {text}")))?;
+                        out.push(SpannedTok { tok: Tok::Int(v), line });
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "global" => Tok::Global,
+                    "const" => Tok::Const,
+                    "fn" => Tok::Fn,
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    "char" => Tok::KwChar,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            b'\'' => {
+                // char literal -> Int token
+                let (v, consumed) = lex_char(&bytes[i..], line)?;
+                out.push(SpannedTok { tok: Tok::Int(v), line });
+                i += consumed;
+            }
+            b'"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(LangError::new(line, "unterminated string literal"));
+                    }
+                    match bytes[j] {
+                        b'"' => break,
+                        b'\\' => {
+                            let esc = *bytes
+                                .get(j + 1)
+                                .ok_or_else(|| LangError::new(line, "dangling escape"))?;
+                            s.push(unescape(esc, line)? as char);
+                            j += 2;
+                        }
+                        b'\n' => return Err(LangError::new(line, "newline in string literal")),
+                        b => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), line });
+                i = j + 1;
+            }
+            _ => {
+                // operators & punctuation
+                let two = |a: u8| bytes.get(i + 1) == Some(&a);
+                let (tok, width) = match c {
+                    b'(' => (Tok::LParen, 1),
+                    b')' => (Tok::RParen, 1),
+                    b'{' => (Tok::LBrace, 1),
+                    b'}' => (Tok::RBrace, 1),
+                    b'[' => (Tok::LBracket, 1),
+                    b']' => (Tok::RBracket, 1),
+                    b';' => (Tok::Semi, 1),
+                    b',' => (Tok::Comma, 1),
+                    b'+' => (Tok::Plus, 1),
+                    b'-' if two(b'>') => (Tok::Arrow, 2),
+                    b'-' => (Tok::Minus, 1),
+                    b'*' => (Tok::Star, 1),
+                    b'/' => (Tok::Slash, 1),
+                    b'%' => (Tok::Percent, 1),
+                    b'=' if two(b'=') => (Tok::Eq, 2),
+                    b'=' => (Tok::Assign, 1),
+                    b'!' if two(b'=') => (Tok::Ne, 2),
+                    b'!' => (Tok::Bang, 1),
+                    b'<' if two(b'=') => (Tok::Le, 2),
+                    b'<' if two(b'<') => (Tok::Shl, 2),
+                    b'<' => (Tok::Lt, 1),
+                    b'>' if two(b'=') => (Tok::Ge, 2),
+                    b'>' if two(b'>') => (Tok::Shr, 2),
+                    b'>' => (Tok::Gt, 1),
+                    b'&' if two(b'&') => (Tok::AndAnd, 2),
+                    b'&' => (Tok::Amp, 1),
+                    b'|' if two(b'|') => (Tok::OrOr, 2),
+                    b'|' => (Tok::Pipe, 1),
+                    b'^' => (Tok::Caret, 1),
+                    b'~' => (Tok::Tilde, 1),
+                    other => {
+                        return Err(LangError::new(
+                            line,
+                            format!("unexpected character `{}`", other as char),
+                        ));
+                    }
+                };
+                out.push(SpannedTok { tok, line });
+                i += width;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn unescape(b: u8, line: usize) -> Result<u8, LangError> {
+    Ok(match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(LangError::new(line, format!("unknown escape `\\{}`", other as char)));
+        }
+    })
+}
+
+fn lex_char(bytes: &[u8], line: usize) -> Result<(i64, usize), LangError> {
+    // bytes[0] == '\''
+    match bytes.get(1) {
+        Some(b'\\') => {
+            let esc = *bytes.get(2).ok_or_else(|| LangError::new(line, "dangling escape"))?;
+            if bytes.get(3) != Some(&b'\'') {
+                return Err(LangError::new(line, "unterminated char literal"));
+            }
+            Ok((unescape(esc, line)? as i64, 4))
+        }
+        Some(&c) if c != b'\'' => {
+            if bytes.get(2) != Some(&b'\'') {
+                return Err(LangError::new(line, "unterminated char literal"));
+            }
+            Ok((c as i64, 3))
+        }
+        _ => Err(LangError::new(line, "empty char literal")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn main int x_1"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("main".into()),
+                Tok::KwInt,
+                Tok::Ident("x_1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0x2a 3.5 1.0e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(toks("'a' '\\n' '\\''"), vec![Tok::Int(97), Tok::Int(10), Tok::Int(39)]);
+        assert_eq!(toks("\"hi\\n\""), vec![Tok::Str("hi\n".into())]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("<= < << == = != && & -> -"),
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::Shl,
+                Tok::Eq,
+                Tok::Assign,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::Amp,
+                Tok::Arrow,
+                Tok::Minus
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // line comment\n 2 /* block\n comment */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3)]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("1\n2\n\n3").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'ab'").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! LVP unit configurations (the paper's Table 2).
+
+use std::fmt;
+
+/// Configuration of the Load Value Prediction Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LvptConfig {
+    /// Number of direct-mapped, untagged entries (power of two).
+    pub entries: usize,
+    /// Values of history kept per entry (LRU-replaced).
+    pub history_depth: usize,
+    /// With `history_depth > 1`: assume the paper's *hypothetical perfect
+    /// mechanism* for selecting the right one of the stored values.
+    pub perfect_selection: bool,
+}
+
+/// Configuration of the Load Classification Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LctConfig {
+    /// Number of direct-mapped entries (power of two).
+    pub entries: usize,
+    /// Saturating-counter width in bits (1 or 2 in the paper).
+    pub counter_bits: u8,
+}
+
+/// Configuration of the Constant Verification Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvuConfig {
+    /// Number of fully-associative entries; 0 disables the CVU.
+    pub entries: usize,
+}
+
+/// A complete LVP unit configuration.
+///
+/// The four presets reproduce the paper's Table 2:
+///
+/// | Config   | LVPT            | LCT        | CVU |
+/// |----------|-----------------|------------|-----|
+/// | Simple   | 1024 × depth 1  | 256 × 2bit | 32  |
+/// | Constant | 1024 × depth 1  | 256 × 1bit | 128 |
+/// | Limit    | 4096 × 16/perf  | 1024 × 2bit| 128 |
+/// | Perfect  | ∞ / perfect     | —          | 0   |
+///
+/// # Examples
+///
+/// ```
+/// use lvp_predictor::LvpConfig;
+/// let simple = LvpConfig::simple();
+/// assert_eq!(simple.lvpt.entries, 1024);
+/// assert_eq!(simple.lct.counter_bits, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LvpConfig {
+    /// Display name ("Simple", "Constant", "Limit", "Perfect", or custom).
+    pub name: &'static str,
+    /// Value table configuration.
+    pub lvpt: LvptConfig,
+    /// Classification table configuration.
+    pub lct: LctConfig,
+    /// Constant verification unit configuration.
+    pub cvu: CvuConfig,
+    /// Oracle mode: every load predicts correctly, nothing is constant
+    /// (the paper's "Perfect" configuration).
+    pub perfect: bool,
+}
+
+impl LvpConfig {
+    /// The paper's *Simple* configuration: buildable within one or two
+    /// processor generations.
+    pub fn simple() -> LvpConfig {
+        LvpConfig {
+            name: "Simple",
+            lvpt: LvptConfig { entries: 1024, history_depth: 1, perfect_selection: false },
+            lct: LctConfig { entries: 256, counter_bits: 2 },
+            cvu: CvuConfig { entries: 32 },
+            perfect: false,
+        }
+    }
+
+    /// The paper's *Constant* configuration: a 1-bit LCT biased toward
+    /// constant identification, with a larger CVU.
+    pub fn constant() -> LvpConfig {
+        LvpConfig {
+            name: "Constant",
+            lvpt: LvptConfig { entries: 1024, history_depth: 1, perfect_selection: false },
+            lct: LctConfig { entries: 256, counter_bits: 1 },
+            cvu: CvuConfig { entries: 128 },
+            perfect: false,
+        }
+    }
+
+    /// The paper's *Limit* configuration: 4K entries with 16-deep history
+    /// and a hypothetical perfect selection mechanism.
+    pub fn limit() -> LvpConfig {
+        LvpConfig {
+            name: "Limit",
+            lvpt: LvptConfig { entries: 4096, history_depth: 16, perfect_selection: true },
+            lct: LctConfig { entries: 1024, counter_bits: 2 },
+            cvu: CvuConfig { entries: 128 },
+            perfect: false,
+        }
+    }
+
+    /// The paper's *Perfect* configuration: every load value predicted
+    /// correctly, no constant classification.
+    pub fn perfect() -> LvpConfig {
+        LvpConfig {
+            name: "Perfect",
+            lvpt: LvptConfig { entries: 1, history_depth: 1, perfect_selection: false },
+            lct: LctConfig { entries: 1, counter_bits: 2 },
+            cvu: CvuConfig { entries: 0 },
+            perfect: true,
+        }
+    }
+
+    /// The realistic configurations (buildable hardware).
+    pub fn realistic() -> [LvpConfig; 2] {
+        [LvpConfig::simple(), LvpConfig::constant()]
+    }
+
+    /// All four Table 2 configurations in paper order.
+    pub fn table2() -> [LvpConfig; 4] {
+        [
+            LvpConfig::simple(),
+            LvpConfig::constant(),
+            LvpConfig::limit(),
+            LvpConfig::perfect(),
+        ]
+    }
+}
+
+impl fmt::Display for LvpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.perfect {
+            return write!(f, "{} (oracle)", self.name);
+        }
+        write!(
+            f,
+            "{}: LVPT {}x{}{}, LCT {}x{}b, CVU {}",
+            self.name,
+            self.lvpt.entries,
+            self.lvpt.history_depth,
+            if self.lvpt.perfect_selection { "/perf" } else { "" },
+            self.lct.entries,
+            self.lct.counter_bits,
+            self.cvu.entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let [simple, constant, limit, perfect] = LvpConfig::table2();
+        assert_eq!((simple.lvpt.entries, simple.lvpt.history_depth), (1024, 1));
+        assert_eq!((simple.lct.entries, simple.lct.counter_bits), (256, 2));
+        assert_eq!(simple.cvu.entries, 32);
+
+        assert_eq!(constant.lct.counter_bits, 1);
+        assert_eq!(constant.cvu.entries, 128);
+
+        assert_eq!((limit.lvpt.entries, limit.lvpt.history_depth), (4096, 16));
+        assert!(limit.lvpt.perfect_selection);
+        assert_eq!((limit.lct.entries, limit.lct.counter_bits), (1024, 2));
+
+        assert!(perfect.perfect);
+        assert_eq!(perfect.cvu.entries, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = LvpConfig::limit().to_string();
+        assert!(s.contains("4096x16/perf"));
+        assert!(s.contains("1024x2b"));
+    }
+}

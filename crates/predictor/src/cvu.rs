@@ -1,0 +1,221 @@
+//! The Constant Verification Unit (paper Section 3.3).
+
+use crate::config::CvuConfig;
+
+/// One fully-associative CVU entry: the data address (and width) of a
+/// constant load, concatenated with the LVPT index it certifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CvuEntry {
+    lvpt_index: usize,
+    addr: u64,
+    width: u8,
+}
+
+/// The Constant Verification Unit: a small fully-associative CAM keyed by
+/// (data address, LVPT index).
+///
+/// Entries are inserted when a constant-classified load executes and are
+/// invalidated by any store whose byte range overlaps the entry's, keeping
+/// certified LVPT entries coherent with main memory. A CAM hit therefore
+/// *guarantees* the LVPT value is current, and the load may skip the
+/// memory hierarchy entirely.
+///
+/// Replacement is LRU over the `entries` capacity.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_predictor::{Cvu, CvuConfig};
+/// let mut cvu = Cvu::new(CvuConfig { entries: 4 });
+/// cvu.insert(7, 0x10_0000, 8);
+/// assert!(cvu.lookup(7, 0x10_0000));
+/// cvu.invalidate_store(0x10_0004, 4);  // overlapping store
+/// assert!(!cvu.lookup(7, 0x10_0000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cvu {
+    config: CvuConfig,
+    /// LRU order: front = most recently used.
+    entries: Vec<CvuEntry>,
+    /// Monotonic counters for the bandwidth statistics.
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl Cvu {
+    /// Creates an empty CVU; a capacity of 0 disables it (all lookups
+    /// miss, inserts are dropped).
+    pub fn new(config: CvuConfig) -> Cvu {
+        Cvu { config, entries: Vec::with_capacity(config.entries), invalidations: 0, evictions: 0 }
+    }
+
+    /// The configuration this CVU was built with.
+    pub fn config(&self) -> &CvuConfig {
+        &self.config
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the CVU holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries invalidated by stores so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total entries evicted by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// CAM search for `(lvpt_index, addr)`. A hit refreshes LRU order and
+    /// certifies that the LVPT value at `lvpt_index` is coherent with
+    /// memory at `addr`.
+    pub fn lookup(&mut self, lvpt_index: usize, addr: u64) -> bool {
+        match self
+            .entries
+            .iter()
+            .position(|e| e.lvpt_index == lvpt_index && e.addr == addr)
+        {
+            Some(pos) => {
+                self.entries[..=pos].rotate_right(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts (or refreshes) the entry certifying `lvpt_index` for the
+    /// load at `addr` of `width` bytes, evicting the LRU entry if full.
+    pub fn insert(&mut self, lvpt_index: usize, addr: u64, width: u8) {
+        if self.config.entries == 0 {
+            return;
+        }
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.lvpt_index == lvpt_index && e.addr == addr)
+        {
+            self.entries[pos].width = width;
+            self.entries[..=pos].rotate_right(1);
+            return;
+        }
+        if self.entries.len() == self.config.entries {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+        self.entries.insert(0, CvuEntry { lvpt_index, addr, width });
+    }
+
+    /// Invalidates every entry whose byte range overlaps a store of
+    /// `width` bytes at `addr` (the fully-associative store lookup of
+    /// Figure 3). Returns the number of entries removed.
+    pub fn invalidate_store(&mut self, addr: u64, width: u8) -> usize {
+        let store_end = addr + width as u64;
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(addr < e.addr + e.width as u64 && e.addr < store_end));
+        let removed = before - self.entries.len();
+        self.invalidations += removed as u64;
+        removed
+    }
+
+    /// Invalidates every entry certifying `lvpt_index`; called when the
+    /// LVPT entry's value is displaced (the certified value no longer
+    /// exists in the table).
+    pub fn invalidate_index(&mut self, lvpt_index: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.lvpt_index != lvpt_index);
+        before - self.entries.len()
+    }
+
+    /// Whether any entry certifies an address overlapping `[addr,
+    /// addr+width)` — test/diagnostic helper.
+    pub fn covers(&self, addr: u64, width: u8) -> bool {
+        let end = addr + width as u64;
+        self.entries.iter().any(|e| addr < e.addr + e.width as u64 && e.addr < end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cvu(n: usize) -> Cvu {
+        Cvu::new(CvuConfig { entries: n })
+    }
+
+    #[test]
+    fn insert_lookup_hit_and_miss() {
+        let mut c = cvu(4);
+        c.insert(1, 0x1000, 8);
+        assert!(c.lookup(1, 0x1000));
+        assert!(!c.lookup(1, 0x1008), "different address must miss");
+        assert!(!c.lookup(2, 0x1000), "different LVPT index must miss");
+    }
+
+    #[test]
+    fn store_invalidates_exact_and_overlapping() {
+        let mut c = cvu(8);
+        c.insert(1, 0x1000, 8);
+        c.insert(2, 0x1010, 4);
+        c.insert(3, 0x1020, 8);
+        // A 1-byte store into the middle of the first entry kills it.
+        assert_eq!(c.invalidate_store(0x1004, 1), 1);
+        assert!(!c.lookup(1, 0x1000));
+        // An 8-byte store spanning 0x100c..0x1014 kills the word at 0x1010.
+        assert_eq!(c.invalidate_store(0x100c, 8), 1);
+        assert!(!c.lookup(2, 0x1010));
+        // Non-overlapping store leaves the last entry alone.
+        assert_eq!(c.invalidate_store(0x1028, 8), 0);
+        assert!(c.lookup(3, 0x1020));
+        assert_eq!(c.invalidations(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cvu(2);
+        c.insert(1, 0x1000, 8);
+        c.insert(2, 0x2000, 8);
+        // Touch entry 1 so entry 2 becomes LRU.
+        assert!(c.lookup(1, 0x1000));
+        c.insert(3, 0x3000, 8);
+        assert!(c.lookup(1, 0x1000), "recently used entry must survive");
+        assert!(!c.lookup(2, 0x2000), "LRU entry must be evicted");
+        assert!(c.lookup(3, 0x3000));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = cvu(0);
+        c.insert(1, 0x1000, 8);
+        assert!(!c.lookup(1, 0x1000));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_index_removes_all_certifications() {
+        let mut c = cvu(8);
+        c.insert(5, 0x1000, 8);
+        c.insert(5, 0x2000, 8);
+        c.insert(6, 0x3000, 8);
+        assert_eq!(c.invalidate_index(5), 2);
+        assert!(!c.lookup(5, 0x1000));
+        assert!(c.lookup(6, 0x3000));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = cvu(4);
+        c.insert(1, 0x1000, 8);
+        c.insert(1, 0x1000, 8);
+        assert_eq!(c.len(), 1);
+    }
+}

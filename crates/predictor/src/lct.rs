@@ -1,0 +1,198 @@
+//! The Load Classification Table (paper Sections 3.2–3.3).
+
+use crate::config::LctConfig;
+use std::fmt;
+
+/// Dynamic classification of a static load.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LoadClass {
+    /// Prediction would likely be wrong: do not predict.
+    DontPredict,
+    /// Prediction is likely correct: predict and verify against memory.
+    Predict,
+    /// Prediction is almost always correct: predict and verify through the
+    /// CVU, bypassing the memory hierarchy when possible.
+    Constant,
+}
+
+impl fmt::Display for LoadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LoadClass::DontPredict => "don't-predict",
+            LoadClass::Predict => "predict",
+            LoadClass::Constant => "constant",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Load Classification Table: a direct-mapped, untagged table of n-bit
+/// saturating counters indexed by the low-order bits of the load
+/// instruction address.
+///
+/// With 2-bit counters the four states 0–3 mean *don't predict*, *don't
+/// predict*, *predict*, *constant*; with 1-bit counters the two states
+/// mean *don't predict* and *constant* (exactly as the paper assigns
+/// them). The counter increments when the predicted value was correct and
+/// decrements otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_predictor::{Lct, LctConfig, LoadClass};
+/// let mut lct = Lct::new(LctConfig { entries: 16, counter_bits: 2 });
+/// assert_eq!(lct.classify(0x10000), LoadClass::DontPredict);
+/// lct.update(0x10000, true);
+/// lct.update(0x10000, true);
+/// assert_eq!(lct.classify(0x10000), LoadClass::Predict);
+/// lct.update(0x10000, true);
+/// assert_eq!(lct.classify(0x10000), LoadClass::Constant);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lct {
+    config: LctConfig,
+    counters: Vec<u8>,
+    max: u8,
+    mask: usize,
+}
+
+impl Lct {
+    /// Creates a table with all counters at zero ("don't predict").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `counter_bits` is not
+    /// in `1..=4`.
+    pub fn new(config: LctConfig) -> Lct {
+        assert!(config.entries.is_power_of_two(), "LCT entry count must be a power of two");
+        assert!(
+            (1..=4).contains(&config.counter_bits),
+            "LCT counter width must be between 1 and 4 bits"
+        );
+        Lct {
+            config,
+            counters: vec![0; config.entries],
+            max: (1u8 << config.counter_bits) - 1,
+            mask: config.entries - 1,
+        }
+    }
+
+    /// The configuration this table was built with.
+    pub fn config(&self) -> &LctConfig {
+        &self.config
+    }
+
+    /// The table index for a load at `pc`.
+    #[inline]
+    pub fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Raw saturating-counter value for `pc`'s entry.
+    #[inline]
+    pub fn counter(&self, pc: u64) -> u8 {
+        self.counters[self.index(pc)]
+    }
+
+    /// Classifies the load at `pc`.
+    ///
+    /// The top counter state means *constant*; the bottom half of the
+    /// state space means *don't predict*; anything in between means
+    /// *predict*. For 2-bit counters this yields the paper's exact
+    /// assignment (0,1 → don't predict; 2 → predict; 3 → constant), and
+    /// for 1-bit counters the paper's (0 → don't predict; 1 → constant).
+    #[inline]
+    pub fn classify(&self, pc: u64) -> LoadClass {
+        let c = self.counters[self.index(pc)];
+        if c == self.max {
+            LoadClass::Constant
+        } else if c >= self.max.div_ceil(2) {
+            LoadClass::Predict
+        } else {
+            LoadClass::DontPredict
+        }
+    }
+
+    /// Updates `pc`'s counter: increment on a correct prediction,
+    /// decrement otherwise (saturating both ways).
+    #[inline]
+    pub fn update(&mut self, pc: u64, correct: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if correct {
+            *c = (*c + 1).min(self.max);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lct(bits: u8) -> Lct {
+        Lct::new(LctConfig { entries: 64, counter_bits: bits })
+    }
+
+    #[test]
+    fn two_bit_state_assignment() {
+        let mut t = lct(2);
+        let pc = 0x10000;
+        assert_eq!(t.classify(pc), LoadClass::DontPredict); // state 0
+        t.update(pc, true);
+        assert_eq!(t.classify(pc), LoadClass::DontPredict); // state 1
+        t.update(pc, true);
+        assert_eq!(t.classify(pc), LoadClass::Predict); // state 2
+        t.update(pc, true);
+        assert_eq!(t.classify(pc), LoadClass::Constant); // state 3
+    }
+
+    #[test]
+    fn one_bit_state_assignment() {
+        let mut t = lct(1);
+        let pc = 0x10000;
+        assert_eq!(t.classify(pc), LoadClass::DontPredict);
+        t.update(pc, true);
+        assert_eq!(t.classify(pc), LoadClass::Constant);
+        t.update(pc, false);
+        assert_eq!(t.classify(pc), LoadClass::DontPredict);
+    }
+
+    #[test]
+    fn counters_saturate_both_ways() {
+        let mut t = lct(2);
+        let pc = 0x10000;
+        for _ in 0..10 {
+            t.update(pc, true);
+        }
+        assert_eq!(t.counter(pc), 3);
+        for _ in 0..10 {
+            t.update(pc, false);
+        }
+        assert_eq!(t.counter(pc), 0);
+    }
+
+    #[test]
+    fn misprediction_demotes_constant() {
+        let mut t = lct(2);
+        let pc = 0x10000;
+        for _ in 0..3 {
+            t.update(pc, true);
+        }
+        assert_eq!(t.classify(pc), LoadClass::Constant);
+        t.update(pc, false);
+        assert_eq!(t.classify(pc), LoadClass::Predict);
+    }
+
+    #[test]
+    fn aliasing_shares_counters() {
+        let mut t = Lct::new(LctConfig { entries: 16, counter_bits: 2 });
+        let pc_a = 0x10000;
+        let pc_b = 0x10000 + 16 * 4;
+        assert_eq!(t.index(pc_a), t.index(pc_b));
+        t.update(pc_a, true);
+        t.update(pc_a, true);
+        assert_eq!(t.classify(pc_b), LoadClass::Predict);
+    }
+}

@@ -1,0 +1,59 @@
+//! # lvp-predictor — the paper's contribution
+//!
+//! The Load Value Prediction unit of *Lipasti, Wilkerson & Shen, "Value
+//! Locality and Load Value Prediction" (ASPLOS 1996)*, plus the
+//! value-locality measurement machinery of its Section 2:
+//!
+//! * [`Lvpt`] — the Load Value Prediction Table (Section 3.1): untagged,
+//!   direct-mapped value histories indexed by load PC;
+//! * [`Lct`] — the Load Classification Table (Section 3.2): n-bit
+//!   saturating counters classifying static loads as *unpredictable*,
+//!   *predictable*, or *constant*;
+//! * [`Cvu`] — the Constant Verification Unit (Section 3.3): a
+//!   fully-associative CAM that keeps constant-certified LVPT entries
+//!   coherent with memory, letting constant loads skip the cache entirely;
+//! * [`LvpUnit`] — the composed unit (Section 3.4, Figure 3) that
+//!   annotates traces with per-load [`lvp_trace::PredOutcome`]s;
+//! * [`LvpConfig`] — the paper's Table 2 configurations
+//!   (Simple/Constant/Limit/Perfect);
+//! * [`LocalityMeter`] — the Figures 1 and 2 measurement: value locality
+//!   at history depths 1 and 16, overall and by value class;
+//! * [`ValuePredictor`], [`StridePredictor`] — the future-work extension
+//!   (computed stride prediction) used by the ablation benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvp_predictor::{LvpConfig, LvpUnit};
+//! use lvp_trace::PredOutcome;
+//!
+//! // A load that alternates between two addresses of a lookup table.
+//! let mut unit = LvpUnit::new(LvpConfig::simple());
+//! for _ in 0..4 {
+//!     unit.on_load(0x10040, 0x20_0000, 8, 0xdead);
+//! }
+//! assert!(unit.on_load(0x10040, 0x20_0000, 8, 0xdead).usable());
+//! assert!(unit.stats().accuracy() > 0.99);
+//! ```
+
+mod analysis;
+mod config;
+mod context;
+mod cvu;
+mod lct;
+mod locality;
+mod lvpt;
+mod stride;
+mod unit;
+
+pub use analysis::{LoadProfiler, StaticLoadStats};
+pub use config::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
+pub use context::{BhrIndexedPredictor, FcmPredictor};
+pub use cvu::Cvu;
+pub use lct::{Lct, LoadClass};
+pub use locality::{AddressRanges, LocalityMeter, ValueClass};
+pub use lvpt::Lvpt;
+pub use stride::{
+    evaluate_predictor, LastValuePredictor, PredEval, StridePredictor, ValuePredictor,
+};
+pub use unit::{LvpStats, LvpUnit};

@@ -1,0 +1,257 @@
+//! Predictor extensions from the paper's future-work list ("moving beyond
+//! history-based prediction to computed predictions through techniques
+//! like value stride detection").
+
+use crate::config::LvptConfig;
+use crate::lvpt::Lvpt;
+use lvp_trace::Trace;
+
+/// A pluggable value predictor, used by the ablation benches to compare
+/// the paper's history-based LVPT against computed predictors.
+pub trait ValuePredictor {
+    /// Predicted register value for the load at `pc`, if the predictor is
+    /// confident enough to predict at all.
+    fn predict(&self, pc: u64) -> Option<u64>;
+
+    /// Trains the predictor with the actual loaded value.
+    fn train(&mut self, pc: u64, actual: u64);
+
+    /// Short display name.
+    fn name(&self) -> &str;
+}
+
+/// The paper's baseline: predict the last value seen by this static load
+/// (an LVPT with history depth 1).
+#[derive(Debug, Clone)]
+pub struct LastValuePredictor {
+    lvpt: Lvpt,
+}
+
+impl LastValuePredictor {
+    /// Creates a last-value predictor with `entries` table slots.
+    pub fn new(entries: usize) -> LastValuePredictor {
+        LastValuePredictor {
+            lvpt: Lvpt::new(LvptConfig { entries, history_depth: 1, perfect_selection: false }),
+        }
+    }
+}
+
+impl ValuePredictor for LastValuePredictor {
+    fn predict(&self, pc: u64) -> Option<u64> {
+        self.lvpt.predict(pc)
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.lvpt.update(pc, actual);
+    }
+
+    fn name(&self) -> &str {
+        "last-value"
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    last: u64,
+    stride: i64,
+    /// 2-bit confidence: predict when >= 1; stride replaced at 0.
+    confidence: u8,
+    valid: bool,
+}
+
+/// A stride value predictor: learns `value[n+1] = value[n] + stride` per
+/// static load, with a 2-bit confidence counter. Captures loads the LVPT
+/// cannot (e.g. a pointer walking an array) at the cost of missing some
+/// alternating patterns.
+#[derive(Debug, Clone)]
+pub struct StridePredictor {
+    entries: Vec<StrideEntry>,
+    mask: usize,
+}
+
+impl StridePredictor {
+    /// Creates a stride predictor with `entries` table slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> StridePredictor {
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        StridePredictor { entries: vec![StrideEntry::default(); entries], mask: entries - 1 }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+}
+
+impl ValuePredictor for StridePredictor {
+    fn predict(&self, pc: u64) -> Option<u64> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.confidence >= 1).then(|| e.last.wrapping_add(e.stride as u64))
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid {
+            *e = StrideEntry { last: actual, stride: 0, confidence: 0, valid: true };
+            return;
+        }
+        let observed = actual.wrapping_sub(e.last) as i64;
+        if observed == e.stride {
+            e.confidence = (e.confidence + 1).min(3);
+        } else if e.confidence > 0 {
+            e.confidence -= 1;
+        } else {
+            e.stride = observed;
+        }
+        e.last = actual;
+    }
+
+    fn name(&self) -> &str {
+        "stride"
+    }
+}
+
+/// Result of evaluating a predictor over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredEval {
+    /// Dynamic loads observed.
+    pub loads: u64,
+    /// Loads for which the predictor issued a prediction.
+    pub predicted: u64,
+    /// Issued predictions that matched the actual value.
+    pub correct: u64,
+}
+
+impl PredEval {
+    /// Fraction of loads predicted (coverage).
+    pub fn coverage(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.loads as f64
+        }
+    }
+
+    /// Fraction of predictions that were correct (accuracy).
+    pub fn accuracy(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predicted as f64
+        }
+    }
+
+    /// Fraction of all loads predicted correctly (coverage × accuracy).
+    pub fn hit_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.loads as f64
+        }
+    }
+}
+
+/// Runs `predictor` over every load of `trace` in program order,
+/// predicting before training, and tallies the results.
+pub fn evaluate_predictor<P: ValuePredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> PredEval {
+    let mut eval = PredEval::default();
+    for entry in trace.iter() {
+        if !entry.is_load() {
+            continue;
+        }
+        let Some(mem) = entry.mem else { continue };
+        eval.loads += 1;
+        if let Some(p) = predictor.predict(entry.pc) {
+            eval.predicted += 1;
+            if p == mem.value {
+                eval.correct += 1;
+            }
+        }
+        predictor.train(entry.pc, mem.value);
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_trace::{MemAccess, OpKind, TraceEntry};
+
+    fn trace_of_values(values: &[u64]) -> Trace {
+        values
+            .iter()
+            .map(|&v| {
+                let mut e = TraceEntry::simple(0x10000, OpKind::Load);
+                e.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value: v, fp: false });
+                e
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stride_learns_arithmetic_sequences() {
+        let values: Vec<u64> = (0..100).map(|i| 1000 + 8 * i).collect();
+        let t = trace_of_values(&values);
+        let mut p = StridePredictor::new(64);
+        let eval = evaluate_predictor(&mut p, &t);
+        assert!(eval.hit_rate() > 0.9, "stride hit rate {:.2}", eval.hit_rate());
+    }
+
+    #[test]
+    fn last_value_fails_on_strides_but_wins_on_constants() {
+        let strided: Vec<u64> = (0..100).map(|i| 8 * i).collect();
+        let constant = vec![7u64; 100];
+        let mut lv = LastValuePredictor::new(64);
+        let e1 = evaluate_predictor(&mut lv, &trace_of_values(&strided));
+        assert!(e1.hit_rate() < 0.05);
+        let mut lv2 = LastValuePredictor::new(64);
+        let e2 = evaluate_predictor(&mut lv2, &trace_of_values(&constant));
+        assert!(e2.hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn stride_handles_constants_too() {
+        // A constant sequence is a stride of zero.
+        let mut p = StridePredictor::new(64);
+        let eval = evaluate_predictor(&mut p, &trace_of_values(&vec![7u64; 100]));
+        assert!(eval.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn stride_recovers_after_pattern_change() {
+        let mut values: Vec<u64> = (0..50).map(|i| 8 * i).collect();
+        values.extend((0..50).map(|i| 100_000 + 16 * i));
+        let mut p = StridePredictor::new(64);
+        let eval = evaluate_predictor(&mut p, &trace_of_values(&values));
+        // Loses a few transitions but re-learns the new stride.
+        assert!(eval.hit_rate() > 0.8, "hit rate {:.2}", eval.hit_rate());
+    }
+
+    #[test]
+    fn eval_ratios() {
+        let e = PredEval { loads: 100, predicted: 50, correct: 40 };
+        assert!((e.coverage() - 0.5).abs() < 1e-12);
+        assert!((e.accuracy() - 0.8).abs() < 1e-12);
+        assert!((e.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
+            Box::new(LastValuePredictor::new(16)),
+            Box::new(StridePredictor::new(16)),
+        ];
+        let t = trace_of_values(&[1, 1, 1]);
+        for p in predictors.iter_mut() {
+            let eval = evaluate_predictor(p.as_mut(), &t);
+            assert_eq!(eval.loads, 3, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The complete Load Value Prediction unit (paper Section 3.4, Figure 3).
+
+use crate::config::LvpConfig;
+use crate::cvu::Cvu;
+use crate::lct::{Lct, LoadClass};
+use crate::lvpt::Lvpt;
+use lvp_trace::{PredOutcome, Trace};
+
+/// Counters gathered while simulating the LVP unit over a trace; these
+/// feed the paper's Tables 3 (LCT hit rates) and 4 (constant
+/// identification rates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LvpStats {
+    /// Total dynamic loads observed.
+    pub loads: u64,
+    /// Dynamic stores observed.
+    pub stores: u64,
+    /// Loads whose LVPT value would have verified correct (ground truth
+    /// "predictable" in Table 3's sense).
+    pub predictable: u64,
+    /// Ground-truth predictable loads the LCT classified as predictable
+    /// or constant (Table 3 "predictable hits").
+    pub predictable_identified: u64,
+    /// Ground-truth unpredictable loads the LCT classified as
+    /// don't-predict (Table 3 "unpredictable hits").
+    pub unpredictable_identified: u64,
+    /// Loads for which a prediction was issued (classified predict or
+    /// constant).
+    pub predictions: u64,
+    /// Issued predictions that verified correct (including CVU constants).
+    pub correct: u64,
+    /// Issued predictions that were wrong.
+    pub incorrect: u64,
+    /// Loads verified by the CVU, skipping the memory hierarchy
+    /// (Table 4: "percentage decrease in required bandwidth to the L1").
+    pub constants_verified: u64,
+}
+
+impl LvpStats {
+    /// Ground-truth unpredictable loads.
+    pub fn unpredictable(&self) -> u64 {
+        self.loads - self.predictable
+    }
+
+    /// Fraction of unpredictable loads the LCT correctly flagged
+    /// (Table 3, "unpredictable" columns).
+    pub fn unpredictable_hit_rate(&self) -> f64 {
+        ratio(self.unpredictable_identified, self.unpredictable())
+    }
+
+    /// Fraction of predictable loads the LCT correctly flagged
+    /// (Table 3, "predictable" columns).
+    pub fn predictable_hit_rate(&self) -> f64 {
+        ratio(self.predictable_identified, self.predictable)
+    }
+
+    /// Fraction of all dynamic loads verified as constants by the CVU
+    /// (Table 4).
+    pub fn constant_rate(&self) -> f64 {
+        ratio(self.constants_verified, self.loads)
+    }
+
+    /// Fraction of issued predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct, self.predictions)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The LVP unit: an [`Lvpt`] to produce value predictions, an [`Lct`] to
+/// decide which loads to predict, and a [`Cvu`] to verify constant loads
+/// without accessing the memory hierarchy.
+///
+/// Drive it with [`LvpUnit::on_load`] / [`LvpUnit::on_store`] in program
+/// order, or annotate a whole trace at once with
+/// [`LvpUnit::annotate`]. This is phase 2 of the paper's framework: each
+/// load is labelled with one of the four [`PredOutcome`] states that the
+/// timing models then charge for.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_predictor::{LvpConfig, LvpUnit};
+/// use lvp_trace::PredOutcome;
+///
+/// let mut unit = LvpUnit::new(LvpConfig::simple());
+/// let pc = 0x10000;
+/// let addr = 0x10_0000;
+/// // A load that always sees 7 warms up from not-predicted to constant.
+/// let mut last = PredOutcome::NotPredicted;
+/// for _ in 0..8 {
+///     last = unit.on_load(pc, addr, 8, 7);
+/// }
+/// assert_eq!(last, PredOutcome::Constant);
+/// // A store to the same address forces the next one back to the memory
+/// // hierarchy (CVU miss), though the prediction is still correct.
+/// unit.on_store(addr, 8);
+/// assert_eq!(unit.on_load(pc, addr, 8, 7), PredOutcome::Correct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LvpUnit {
+    config: LvpConfig,
+    lvpt: Lvpt,
+    lct: Lct,
+    cvu: Cvu,
+    stats: LvpStats,
+}
+
+impl LvpUnit {
+    /// Creates an LVP unit in its cold state.
+    pub fn new(config: LvpConfig) -> LvpUnit {
+        LvpUnit {
+            config,
+            lvpt: Lvpt::new(config.lvpt),
+            lct: Lct::new(config.lct),
+            cvu: Cvu::new(config.cvu),
+            stats: LvpStats::default(),
+        }
+    }
+
+    /// The configuration of this unit.
+    pub fn config(&self) -> &LvpConfig {
+        &self.config
+    }
+
+    /// The value table.
+    pub fn lvpt(&self) -> &Lvpt {
+        &self.lvpt
+    }
+
+    /// The classification table.
+    pub fn lct(&self) -> &Lct {
+        &self.lct
+    }
+
+    /// The constant verification unit.
+    pub fn cvu(&self) -> &Cvu {
+        &self.cvu
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &LvpStats {
+        &self.stats
+    }
+
+    /// Processes one dynamic load: produce the prediction outcome, then
+    /// train the tables with the actual value.
+    ///
+    /// `value` must be the load's *register result* (sign/zero extended,
+    /// raw bits for FP), because that is what the LVPT forwards to
+    /// dependent instructions.
+    pub fn on_load(&mut self, pc: u64, addr: u64, width: u8, value: u64) -> PredOutcome {
+        self.stats.loads += 1;
+        if self.config.perfect {
+            // Oracle: all values predicted correctly, none constant.
+            self.stats.predictable += 1;
+            self.stats.predictable_identified += 1;
+            self.stats.predictions += 1;
+            self.stats.correct += 1;
+            return PredOutcome::Correct;
+        }
+
+        let idx = self.lvpt.index(pc);
+        let would_be_correct = self.lvpt.would_predict_correctly(pc, value);
+        let class = self.lct.classify(pc);
+
+        // Table 3 bookkeeping: how well does the LCT track ground truth?
+        if would_be_correct {
+            self.stats.predictable += 1;
+            if class != LoadClass::DontPredict {
+                self.stats.predictable_identified += 1;
+            }
+        } else if class == LoadClass::DontPredict {
+            self.stats.unpredictable_identified += 1;
+        }
+
+        let outcome = match class {
+            LoadClass::DontPredict => PredOutcome::NotPredicted,
+            LoadClass::Predict => {
+                self.stats.predictions += 1;
+                if would_be_correct {
+                    self.stats.correct += 1;
+                    PredOutcome::Correct
+                } else {
+                    self.stats.incorrect += 1;
+                    PredOutcome::Incorrect
+                }
+            }
+            LoadClass::Constant => {
+                self.stats.predictions += 1;
+                if self.cvu.lookup(idx, addr) {
+                    // The CVU guarantees coherence: a hit certifies the
+                    // LVPT value matches memory.
+                    debug_assert!(
+                        would_be_correct,
+                        "CVU coherence violated: certified value mismatch"
+                    );
+                    self.stats.correct += 1;
+                    self.stats.constants_verified += 1;
+                    PredOutcome::Constant
+                } else if would_be_correct {
+                    // Demoted to plain predictable: verified via memory;
+                    // certify the (address, index) pair for next time.
+                    self.cvu.insert(idx, addr, width);
+                    self.stats.correct += 1;
+                    PredOutcome::Correct
+                } else {
+                    self.stats.incorrect += 1;
+                    PredOutcome::Incorrect
+                }
+            }
+        };
+
+        // Train: the LCT learns from this verification; the LVPT records
+        // the actual value. If the LVPT front value was displaced, any CVU
+        // entries certifying this index are stale.
+        self.lct.update(pc, would_be_correct);
+        if self.lvpt.update(pc, value) {
+            self.cvu.invalidate_index(idx);
+        }
+        outcome
+    }
+
+    /// Processes one dynamic store: invalidate all matching CVU entries
+    /// (the fully-associative store lookup of the paper's Figure 3).
+    pub fn on_store(&mut self, addr: u64, width: u8) {
+        self.stats.stores += 1;
+        self.cvu.invalidate_store(addr, width);
+    }
+
+    /// Runs the unit over a whole trace in program order, returning one
+    /// outcome per dynamic load — the annotated trace the timing models
+    /// consume.
+    pub fn annotate(&mut self, trace: &Trace) -> Vec<PredOutcome> {
+        let mut outcomes = Vec::with_capacity(trace.stats().loads as usize);
+        for entry in trace.iter() {
+            if let Some(mem) = entry.mem {
+                if entry.is_load() {
+                    outcomes.push(self.on_load(entry.pc, mem.addr, mem.width, mem.value));
+                } else {
+                    self.on_store(mem.addr, mem.width);
+                }
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_trace::{MemAccess, OpKind, TraceEntry};
+
+    const PC: u64 = 0x10000;
+    const ADDR: u64 = 0x10_0000;
+
+    #[test]
+    fn warmup_sequence_simple_config() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        // Cold: no history, wrong "prediction", counter stays 0.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::NotPredicted);
+        // History now correct; counter walks 0 -> 1 -> 2.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::NotPredicted);
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::NotPredicted);
+        // Counter 2: predict, verified via memory; counter -> 3.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Correct);
+        // Counter 3: constant; first time misses the CVU (verified via
+        // memory, inserted), after that CVU hits.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Correct);
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
+        assert_eq!(u.stats().constants_verified, 1);
+    }
+
+    #[test]
+    fn store_breaks_constant_certification() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        for _ in 0..6 {
+            u.on_load(PC, ADDR, 8, 7);
+        }
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
+        u.on_store(ADDR, 8);
+        // CVU entry gone: falls back to memory verification.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Correct);
+        // Certification re-established.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
+    }
+
+    #[test]
+    fn store_changing_value_causes_misprediction() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        for _ in 0..6 {
+            u.on_load(PC, ADDR, 8, 7);
+        }
+        u.on_store(ADDR, 8);
+        // The stored value actually changed: the stale prediction is wrong,
+        // and the CVU must NOT have certified it.
+        assert_eq!(u.on_load(PC, ADDR, 8, 99), PredOutcome::Incorrect);
+    }
+
+    #[test]
+    fn alternating_values_stay_unpredicted() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut outcomes = Vec::new();
+        for i in 0..20 {
+            outcomes.push(u.on_load(PC, ADDR, 8, i % 2));
+        }
+        // With depth-1 history every prediction would be wrong, so the LCT
+        // must keep the load at don't-predict after the cold start.
+        assert!(
+            outcomes[2..].iter().all(|&o| o == PredOutcome::NotPredicted),
+            "LCT failed to suppress an unpredictable load: {outcomes:?}"
+        );
+        assert!(u.stats().unpredictable_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn limit_config_catches_alternating_values() {
+        let mut u = LvpUnit::new(LvpConfig::limit());
+        let mut last = PredOutcome::NotPredicted;
+        for i in 0..20 {
+            last = u.on_load(PC, ADDR, 8, i % 2);
+        }
+        // Both values live in the 16-deep history and perfect selection
+        // picks the right one.
+        assert!(last.usable(), "limit config should predict alternating values");
+    }
+
+    #[test]
+    fn perfect_config_is_oracle() {
+        let mut u = LvpUnit::new(LvpConfig::perfect());
+        for i in 0..50 {
+            assert_eq!(u.on_load(PC, ADDR, 8, i * 1234567), PredOutcome::Correct);
+        }
+        assert_eq!(u.stats().accuracy(), 1.0);
+        assert_eq!(u.stats().constants_verified, 0);
+    }
+
+    #[test]
+    fn cvu_respects_partial_overlap_stores() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        for _ in 0..6 {
+            u.on_load(PC, ADDR, 8, 7);
+        }
+        // A byte store into the middle of the certified doubleword.
+        u.on_store(ADDR + 3, 1);
+        assert_eq!(
+            u.on_load(PC, ADDR, 8, 7),
+            PredOutcome::Correct,
+            "overlapping store must demote the constant to memory-verified"
+        );
+    }
+
+    #[test]
+    fn annotate_matches_manual_stepping() {
+        // Loads of a value that a store changes halfway through: the trace
+        // stays physically consistent (values only change via stores).
+        let mut t = Trace::new();
+        let value_at = |i: u64| 7 + (i / 5);
+        for i in 0..10u64 {
+            if i == 5 {
+                let mut s = TraceEntry::simple(PC + 4, OpKind::Store);
+                s.mem = Some(MemAccess { addr: ADDR, width: 8, value: value_at(i), fp: false });
+                t.push(s);
+            }
+            let mut e = TraceEntry::simple(PC, OpKind::Load);
+            e.mem = Some(MemAccess { addr: ADDR, width: 8, value: value_at(i), fp: false });
+            t.push(e);
+        }
+        let mut u1 = LvpUnit::new(LvpConfig::simple());
+        let annotated = u1.annotate(&t);
+        let mut u2 = LvpUnit::new(LvpConfig::simple());
+        let manual: Vec<_> = (0..10u64)
+            .map(|i| {
+                if i == 5 {
+                    u2.on_store(ADDR, 8);
+                }
+                u2.on_load(PC, ADDR, 8, value_at(i))
+            })
+            .collect();
+        assert_eq!(annotated, manual);
+        assert_eq!(annotated.len(), 10);
+    }
+
+    #[test]
+    fn stats_count_loads_and_stores() {
+        let mut u = LvpUnit::new(LvpConfig::simple());
+        u.on_load(PC, ADDR, 8, 1);
+        u.on_store(ADDR, 8);
+        u.on_store(ADDR + 8, 8);
+        assert_eq!(u.stats().loads, 1);
+        assert_eq!(u.stats().stores, 2);
+    }
+}

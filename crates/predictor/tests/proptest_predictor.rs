@@ -1,0 +1,149 @@
+//! Property tests for the predictor structures, checked against simple
+//! reference models.
+
+use lvp_predictor::{
+    Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations of a randomized LVP workload over a small address space —
+/// physically consistent: values only change through stores.
+#[derive(Debug, Clone)]
+enum Op {
+    Load { pc: u64, addr: u64 },
+    Store { addr: u64, value: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..32, 0u64..16).prop_map(|(pc, slot)| Op::Load {
+                pc: 0x10000 + pc * 4,
+                addr: 0x10_0000 + slot * 8,
+            }),
+            1 => (0u64..16, any::<u64>()).prop_map(|(slot, value)| Op::Store {
+                addr: 0x10_0000 + slot * 8,
+                value,
+            }),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// The LVP unit never violates CVU coherence (the debug_assert in
+    /// on_load) and its statistics stay consistent, for any physically
+    /// consistent load/store interleaving.
+    #[test]
+    fn unit_statistics_are_consistent(ops in arb_ops()) {
+        let mut memory: HashMap<u64, u64> = HashMap::new();
+        for config in [LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit()] {
+            let mut unit = LvpUnit::new(config);
+            for op in &ops {
+                match op {
+                    Op::Load { pc, addr } => {
+                        let value = *memory.entry(*addr).or_insert(0);
+                        let _ = unit.on_load(*pc, *addr, 8, value);
+                    }
+                    Op::Store { addr, value } => {
+                        memory.insert(*addr, *value);
+                        unit.on_store(*addr, 8);
+                    }
+                }
+            }
+            let s = unit.stats();
+            prop_assert_eq!(s.correct + s.incorrect, s.predictions);
+            prop_assert!(s.predictions <= s.loads);
+            prop_assert!(s.predictable <= s.loads);
+            prop_assert!(s.predictable_identified <= s.predictable);
+            prop_assert!(s.unpredictable_identified <= s.unpredictable());
+            prop_assert!(s.constants_verified <= s.correct);
+            memory.clear();
+        }
+    }
+
+    /// LVPT history equals a reference LRU-of-unique-values model.
+    #[test]
+    fn lvpt_matches_lru_reference(
+        values in proptest::collection::vec(0u64..8, 1..100),
+        depth in 1usize..6,
+    ) {
+        let mut lvpt = Lvpt::new(LvptConfig {
+            entries: 16,
+            history_depth: depth,
+            perfect_selection: true,
+        });
+        let mut reference: Vec<u64> = Vec::new();
+        let pc = 0x10000;
+        for &v in &values {
+            lvpt.update(pc, v);
+            if let Some(pos) = reference.iter().position(|&x| x == v) {
+                reference.remove(pos);
+            }
+            reference.insert(0, v);
+            reference.truncate(depth);
+            prop_assert_eq!(lvpt.history(pc), reference.as_slice());
+        }
+    }
+
+    /// LCT counters stay within their bit width and classification is
+    /// monotone in the counter value.
+    #[test]
+    fn lct_counter_bounds(
+        updates in proptest::collection::vec(any::<bool>(), 1..200),
+        bits in 1u8..5,
+    ) {
+        let mut lct = Lct::new(LctConfig { entries: 8, counter_bits: bits });
+        let pc = 0x10000;
+        let max = (1u16 << bits) - 1;
+        for &correct in &updates {
+            lct.update(pc, correct);
+            prop_assert!(u16::from(lct.counter(pc)) <= max);
+        }
+    }
+
+    /// CVU: after a store to an address, no lookup for an overlapping
+    /// range can hit until reinserted (checked against a reference set).
+    /// The space is kept to 8 PCs x 8 addresses = 64 pairs, matching the
+    /// CVU capacity, so eviction never fires and the set model is exact.
+    #[test]
+    fn cvu_matches_reference_set(ops in arb_ops()) {
+        let mut cvu = Cvu::new(CvuConfig { entries: 64 });
+        let mut reference: HashMap<(usize, u64), bool> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Load { pc, addr } => {
+                    let idx = (*pc as usize >> 2) % 8;
+                    let addr = 0x10_0000 + (addr % 64) / 8 * 8;
+                    let hit = cvu.lookup(idx, addr);
+                    let expected = reference.get(&(idx, addr)).copied().unwrap_or(false);
+                    prop_assert_eq!(hit, expected, "CVU/reference divergence");
+                    cvu.insert(idx, addr, 8);
+                    reference.insert((idx, addr), true);
+                }
+                Op::Store { addr, .. } => {
+                    let addr = 0x10_0000 + (addr % 64) / 8 * 8;
+                    cvu.invalidate_store(addr, 8);
+                    reference.retain(|&(_, a), _| a != addr);
+                }
+            }
+        }
+    }
+
+    /// A store wipes every overlapping CVU entry regardless of widths.
+    #[test]
+    fn cvu_store_overlap(
+        load_addr in 0u64..64,
+        load_width in prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        store_addr in 0u64..64,
+        store_width in prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+    ) {
+        let mut cvu = Cvu::new(CvuConfig { entries: 8 });
+        cvu.insert(3, load_addr, load_width);
+        cvu.invalidate_store(store_addr, store_width);
+        let overlaps = store_addr < load_addr + load_width as u64
+            && load_addr < store_addr + store_width as u64;
+        prop_assert_eq!(cvu.lookup(3, load_addr), !overlaps);
+    }
+}

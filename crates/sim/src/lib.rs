@@ -1,0 +1,33 @@
+//! # lvp-sim — functional LRISC simulation and trace generation
+//!
+//! Phase 1 of the paper's three-phase experimental framework: execute a
+//! program and capture *all instruction, value and address references* as a
+//! [`lvp_trace::Trace`] (the paper used IBM's TRIP6000 and DEC's ATOM for
+//! this; see Section 5 of the paper).
+//!
+//! The central type is [`Machine`]: construct one from an assembled
+//! [`lvp_isa::Program`], optionally inject input bytes into data memory,
+//! then call [`Machine::run_traced`] to retire instructions and collect
+//! their trace entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvp_isa::{AsmProfile, Assembler};
+//! use lvp_sim::Machine;
+//!
+//! let program = Assembler::new(AsmProfile::Toc).assemble(
+//!     "main: li a0, 2\n li a1, 3\n add a0, a0, a1\n out a0\n halt\n",
+//! )?;
+//! let mut machine = Machine::new(&program);
+//! let trace = machine.run_traced(1_000)?;
+//! assert_eq!(machine.output(), &[5]);
+//! assert_eq!(trace.stats().instructions, machine.instret());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod machine;
+mod memory;
+
+pub use machine::{Machine, SimError, EXIT_ADDR};
+pub use memory::{MemError, Memory};

@@ -1,0 +1,191 @@
+//! Flat data memory for the functional simulator.
+
+use lvp_isa::{DATA_BASE, MEM_SIZE};
+use std::fmt;
+
+/// Error produced by a bad memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Address outside the data/stack region.
+    OutOfRange { addr: u64, width: u8 },
+    /// Address not naturally aligned for the access width.
+    Unaligned { addr: u64, width: u8 },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, width } => {
+                write!(f, "memory access of {width} bytes at {addr:#x} out of range")
+            }
+            MemError::Unaligned { addr, width } => {
+                write!(f, "unaligned {width}-byte memory access at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressable data memory covering `[DATA_BASE, MEM_SIZE)`.
+///
+/// Accesses below `DATA_BASE` (including null and text addresses) fault,
+/// which catches the most common workload bugs. All accesses must be
+/// naturally aligned.
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory {{ {} bytes }}", self.bytes.len())
+    }
+}
+
+impl Memory {
+    /// Creates zeroed memory with the `data` image loaded at `DATA_BASE`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data image does not fit below the stack region.
+    pub fn new(data: &[u8]) -> Memory {
+        let span = (MEM_SIZE - DATA_BASE) as usize;
+        assert!(data.len() <= span, "data image too large for memory");
+        let mut bytes = vec![0u8; span];
+        bytes[..data.len()].copy_from_slice(data);
+        Memory { bytes }
+    }
+
+    #[inline]
+    fn index(&self, addr: u64, width: u8) -> Result<usize, MemError> {
+        if !addr.is_multiple_of(width as u64) {
+            return Err(MemError::Unaligned { addr, width });
+        }
+        if addr < DATA_BASE || addr + width as u64 > MEM_SIZE {
+            return Err(MemError::OutOfRange { addr, width });
+        }
+        Ok((addr - DATA_BASE) as usize)
+    }
+
+    /// Loads `width` bytes (1, 2, 4, or 8), zero-extended into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or unaligned access.
+    #[inline]
+    pub fn load(&self, addr: u64, width: u8) -> Result<u64, MemError> {
+        let i = self.index(addr, width)?;
+        Ok(match width {
+            1 => self.bytes[i] as u64,
+            2 => u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()) as u64,
+            4 => u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()) as u64,
+            8 => u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap()),
+            _ => unreachable!("invalid width"),
+        })
+    }
+
+    /// Stores the low `width` bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or unaligned access.
+    #[inline]
+    pub fn store(&mut self, addr: u64, width: u8, value: u64) -> Result<(), MemError> {
+        let i = self.index(addr, width)?;
+        match width {
+            1 => self.bytes[i] = value as u8,
+            2 => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => self.bytes[i..i + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            8 => self.bytes[i..i + 8].copy_from_slice(&value.to_le_bytes()),
+            _ => unreachable!("invalid width"),
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory; used to inject workload inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is out of bounds.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
+        if addr < DATA_BASE || addr + bytes.len() as u64 > MEM_SIZE {
+            return Err(MemError::OutOfRange { addr, width: 1 });
+        }
+        let i = (addr - DATA_BASE) as usize;
+        self.bytes[i..i + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a byte slice out of memory; used to extract workload results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is out of bounds.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], MemError> {
+        if addr < DATA_BASE || addr + len as u64 > MEM_SIZE {
+            return Err(MemError::OutOfRange { addr, width: 1 });
+        }
+        let i = (addr - DATA_BASE) as usize;
+        Ok(&self.bytes[i..i + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip_all_widths() {
+        let mut m = Memory::new(&[]);
+        for (width, value) in [(1u8, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 5)] {
+            let addr = DATA_BASE + 64;
+            m.store(addr, width, value).unwrap();
+            assert_eq!(m.load(addr, width).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn narrow_store_truncates() {
+        let mut m = Memory::new(&[]);
+        m.store(DATA_BASE, 8, u64::MAX).unwrap();
+        m.store(DATA_BASE, 1, 0).unwrap();
+        assert_eq!(m.load(DATA_BASE, 8).unwrap(), u64::MAX - 0xff);
+    }
+
+    #[test]
+    fn initial_image_is_loaded() {
+        let m = Memory::new(&[1, 2, 3, 4]);
+        assert_eq!(m.load(DATA_BASE, 4).unwrap(), 0x04030201);
+        // Rest of memory is zero.
+        assert_eq!(m.load(DATA_BASE + 8, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn null_and_text_accesses_fault() {
+        let m = Memory::new(&[]);
+        assert!(matches!(m.load(0, 8), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(m.load(0x1_0000, 4), Err(MemError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn unaligned_accesses_fault() {
+        let m = Memory::new(&[]);
+        assert!(matches!(m.load(DATA_BASE + 1, 8), Err(MemError::Unaligned { .. })));
+        assert!(matches!(m.load(DATA_BASE + 2, 4), Err(MemError::Unaligned { .. })));
+        assert!(m.load(DATA_BASE + 2, 2).is_ok());
+    }
+
+    #[test]
+    fn end_of_memory_bounds() {
+        let mut m = Memory::new(&[]);
+        assert!(m.store(MEM_SIZE - 8, 8, 1).is_ok());
+        assert!(m.store(MEM_SIZE - 4, 8, 1).is_err());
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut m = Memory::new(&[]);
+        m.write_bytes(DATA_BASE + 100, b"hello world").unwrap();
+        assert_eq!(m.read_bytes(DATA_BASE + 100, 11).unwrap(), b"hello world");
+    }
+}

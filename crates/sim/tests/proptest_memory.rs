@@ -1,0 +1,92 @@
+//! Property tests: the simulator memory against a byte-map reference
+//! model, and machine determinism.
+
+use lvp_isa::{AsmProfile, Assembler, DATA_BASE, MEM_SIZE};
+use lvp_sim::{Machine, Memory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Store { addr: u64, width: u8, value: u64 },
+    Load { addr: u64, width: u8 },
+}
+
+fn arb_mem_ops() -> impl Strategy<Value = Vec<MemOp>> {
+    let width = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..512, width.clone(), any::<u64>()).prop_map(|(o, w, v)| {
+                MemOp::Store { addr: DATA_BASE + o * 8, width: w, value: v }
+            }),
+            (0u64..512, width).prop_map(|(o, w)| MemOp::Load { addr: DATA_BASE + o * 8, width: w }),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Memory behaves exactly like a per-byte map.
+    #[test]
+    fn memory_matches_byte_map(ops in arb_mem_ops()) {
+        let mut mem = Memory::new(&[]);
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match op {
+                MemOp::Store { addr, width, value } => {
+                    mem.store(*addr, *width, *value).unwrap();
+                    for i in 0..*width as u64 {
+                        reference.insert(addr + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                MemOp::Load { addr, width } => {
+                    let got = mem.load(*addr, *width).unwrap();
+                    let mut expect = 0u64;
+                    for i in 0..*width as u64 {
+                        expect |= (*reference.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+                    }
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+
+    /// Every unaligned or out-of-range access errors and never panics.
+    #[test]
+    fn bad_accesses_error_cleanly(addr in any::<u64>(), width_sel in 0u8..4) {
+        let width = [1u8, 2, 4, 8][width_sel as usize];
+        let mut mem = Memory::new(&[]);
+        let aligned = addr % width as u64 == 0;
+        let in_range = addr >= DATA_BASE && addr.checked_add(width as u64).is_some_and(|end| end <= MEM_SIZE);
+        let ok = aligned && in_range;
+        prop_assert_eq!(mem.load(addr, width).is_ok(), ok);
+        prop_assert_eq!(mem.store(addr, width, 0xdead).is_ok(), ok);
+    }
+
+    /// Simulating a random straight-line ALU program is deterministic and
+    /// register x0 stays zero.
+    #[test]
+    fn straightline_programs_deterministic(
+        ops in proptest::collection::vec((0u8..4, 1u8..32, 1u8..32, -100i32..100), 1..50)
+    ) {
+        let mut src = String::from("main:\n");
+        for (op, rd, rs, imm) in &ops {
+            let line = match op {
+                0 => format!("    addi x{rd}, x{rs}, {imm}\n"),
+                1 => format!("    xor x{rd}, x{rs}, x{rd}\n"),
+                2 => format!("    slli x{rd}, x{rs}, {}\n", (*imm).unsigned_abs() % 64),
+                _ => format!("    sub x{rd}, zero, x{rs}\n"),
+            };
+            src.push_str(&line);
+        }
+        src.push_str("    out x1\n    halt\n");
+        let program = Assembler::new(AsmProfile::Gp).assemble(&src).unwrap();
+        let mut m1 = Machine::new(&program);
+        let mut m2 = Machine::new(&program);
+        let t1 = m1.run_traced(100_000).unwrap();
+        let t2 = m2.run_traced(100_000).unwrap();
+        prop_assert_eq!(t1.entries(), t2.entries());
+        prop_assert_eq!(m1.output(), m2.output());
+        prop_assert_eq!(m1.reg(lvp_isa::Reg::ZERO), 0);
+    }
+}

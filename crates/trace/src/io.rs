@@ -1,0 +1,277 @@
+//! Compact binary serialization of traces.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! header:  magic "LVPT", version u16, reserved u16, entry count u64
+//! entry:   pc u64
+//!          kind u8
+//!          flags u8       bit0 dst, bit1 src0, bit2 src1, bit3 mem, bit4 branch,
+//!                         bit5 mem.fp, bit6 branch.taken
+//!          dst u8         (class<<5 | num) if present
+//!          src0 u8, src1 u8 (same encoding)
+//!          mem: addr u64, width u8, value u64    if present
+//!          branch: target u64                    if present
+//! ```
+
+use crate::entry::{BranchEvent, MemAccess, OpKind, RegClass, RegRef, TraceEntry};
+use crate::Trace;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LVPT";
+const VERSION: u16 = 1;
+
+/// Error produced while reading or writing a binary trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// The stream has an unsupported format version.
+    BadVersion(u16),
+    /// A record field holds an invalid value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadMagic => f.write_str("not a trace stream (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+fn kind_to_u8(k: OpKind) -> u8 {
+    OpKind::ALL.iter().position(|&x| x == k).unwrap() as u8
+}
+
+fn kind_from_u8(b: u8) -> Option<OpKind> {
+    OpKind::ALL.get(b as usize).copied()
+}
+
+fn reg_to_u8(r: RegRef) -> u8 {
+    let class = match r.class {
+        RegClass::Int => 0u8,
+        RegClass::Fp => 1,
+    };
+    (class << 5) | (r.num & 0x1f)
+}
+
+fn reg_from_u8(b: u8) -> RegRef {
+    let class = if b & 0x20 != 0 { RegClass::Fp } else { RegClass::Int };
+    RegRef { class, num: b & 0x1f }
+}
+
+/// Writes a trace to `writer`. A `&mut` reference works as a writer too.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.iter() {
+        writer.write_all(&e.pc.to_le_bytes())?;
+        let mut flags = 0u8;
+        if e.dst.is_some() {
+            flags |= 1;
+        }
+        if e.srcs[0].is_some() {
+            flags |= 2;
+        }
+        if e.srcs[1].is_some() {
+            flags |= 4;
+        }
+        if e.mem.is_some() {
+            flags |= 8;
+        }
+        if e.branch.is_some() {
+            flags |= 16;
+        }
+        if e.mem.is_some_and(|m| m.fp) {
+            flags |= 32;
+        }
+        if e.branch.is_some_and(|b| b.taken) {
+            flags |= 64;
+        }
+        writer.write_all(&[kind_to_u8(e.kind), flags])?;
+        writer.write_all(&[
+            e.dst.map_or(0, reg_to_u8),
+            e.srcs[0].map_or(0, reg_to_u8),
+            e.srcs[1].map_or(0, reg_to_u8),
+        ])?;
+        if let Some(m) = e.mem {
+            writer.write_all(&m.addr.to_le_bytes())?;
+            writer.write_all(&[m.width])?;
+            writer.write_all(&m.value.to_le_bytes())?;
+        }
+        if let Some(b) = e.branch {
+            writer.write_all(&b.target.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_trace`]. A `&mut`
+/// reference works as a reader too.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut hdr = [0u8; 4];
+    reader.read_exact(&mut hdr)?;
+    let version = u16::from_le_bytes([hdr[0], hdr[1]]);
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let mut count_bytes = [0u8; 8];
+    reader.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+
+    let mut trace = Trace::with_capacity(count.min(1 << 24) as usize);
+    let mut u64buf = [0u8; 8];
+    for _ in 0..count {
+        reader.read_exact(&mut u64buf)?;
+        let pc = u64::from_le_bytes(u64buf);
+        let mut kf = [0u8; 2];
+        reader.read_exact(&mut kf)?;
+        let kind = kind_from_u8(kf[0]).ok_or(TraceIoError::Corrupt("op kind"))?;
+        let flags = kf[1];
+        let mut regs = [0u8; 3];
+        reader.read_exact(&mut regs)?;
+        let dst = (flags & 1 != 0).then(|| reg_from_u8(regs[0]));
+        let src0 = (flags & 2 != 0).then(|| reg_from_u8(regs[1]));
+        let src1 = (flags & 4 != 0).then(|| reg_from_u8(regs[2]));
+        let mem = if flags & 8 != 0 {
+            reader.read_exact(&mut u64buf)?;
+            let addr = u64::from_le_bytes(u64buf);
+            let mut w = [0u8; 1];
+            reader.read_exact(&mut w)?;
+            if !matches!(w[0], 1 | 2 | 4 | 8) {
+                return Err(TraceIoError::Corrupt("mem width"));
+            }
+            reader.read_exact(&mut u64buf)?;
+            let value = u64::from_le_bytes(u64buf);
+            Some(MemAccess { addr, width: w[0], value, fp: flags & 32 != 0 })
+        } else {
+            None
+        };
+        let branch = if flags & 16 != 0 {
+            reader.read_exact(&mut u64buf)?;
+            Some(BranchEvent { taken: flags & 64 != 0, target: u64::from_le_bytes(u64buf) })
+        } else {
+            None
+        };
+        trace.push(TraceEntry { pc, kind, dst, srcs: [src0, src1], mem, branch });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEntry::simple(0x10000, OpKind::IntSimple));
+        t.push(TraceEntry {
+            pc: 0x10004,
+            kind: OpKind::Load,
+            dst: Some(RegRef::int(10)),
+            srcs: [Some(RegRef::int(2)), None],
+            mem: Some(MemAccess { addr: 0x10_0008, width: 8, value: u64::MAX, fp: false }),
+            branch: None,
+        });
+        t.push(TraceEntry {
+            pc: 0x10008,
+            kind: OpKind::Store,
+            dst: None,
+            srcs: [Some(RegRef::int(2)), Some(RegRef::fp(4))],
+            mem: Some(MemAccess { addr: 0x10_0010, width: 8, value: 42, fp: true }),
+            branch: None,
+        });
+        t.push(TraceEntry {
+            pc: 0x1000c,
+            kind: OpKind::CondBranch,
+            dst: None,
+            srcs: [Some(RegRef::int(5)), Some(RegRef::int(6))],
+            mem: None,
+            branch: Some(BranchEvent { taken: true, target: 0x10000 }),
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.entries(), t.entries());
+        assert_eq!(back.stats(), t.stats());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        buf[4] = 99;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_kind() {
+        let mut t = Trace::new();
+        t.push(TraceEntry::simple(0, OpKind::IntSimple));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // kind byte of first entry: header(16) + pc(8)
+        buf[24] = 200;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt("op kind")));
+    }
+}

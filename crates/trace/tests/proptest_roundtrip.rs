@@ -1,0 +1,79 @@
+//! Property tests: both trace serializations (binary and text) round-trip
+//! arbitrary well-formed traces exactly.
+
+use lvp_trace::{
+    dump_text, parse_text, read_trace, write_trace, BranchEvent, MemAccess, OpKind, RegRef,
+    Trace, TraceEntry,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Option<RegRef>> {
+    prop_oneof![
+        1 => Just(None),
+        2 => (0u8..32).prop_map(|n| Some(RegRef::int(n))),
+        1 => (0u8..32).prop_map(|n| Some(RegRef::fp(n))),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = TraceEntry> {
+    let kind = prop_oneof![
+        Just(OpKind::IntSimple),
+        Just(OpKind::IntComplex),
+        Just(OpKind::FpSimple),
+        Just(OpKind::FpComplex),
+        Just(OpKind::Load),
+        Just(OpKind::Store),
+        Just(OpKind::CondBranch),
+        Just(OpKind::Jump),
+        Just(OpKind::IndirectJump),
+        Just(OpKind::System),
+    ];
+    let width = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
+    (
+        any::<u64>(),
+        kind,
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        proptest::option::of((any::<u64>(), width, any::<u64>(), any::<bool>())),
+        proptest::option::of((any::<bool>(), any::<u64>())),
+    )
+        .prop_map(|(pc, kind, dst, s0, s1, mem, branch)| TraceEntry {
+            pc,
+            kind,
+            dst,
+            srcs: [s0, s1],
+            mem: mem.map(|(addr, width, value, fp)| MemAccess { addr, width, value, fp }),
+            branch: branch.map(|(taken, target)| BranchEvent { taken, target }),
+        })
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(entries in proptest::collection::vec(arb_entry(), 0..200)) {
+        let trace: Trace = entries.into_iter().collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.entries(), trace.entries());
+        prop_assert_eq!(back.stats(), trace.stats());
+    }
+
+    #[test]
+    fn text_round_trip(entries in proptest::collection::vec(arb_entry(), 0..200)) {
+        let trace: Trace = entries.into_iter().collect();
+        let text = dump_text(&trace);
+        let back = parse_text(&text).expect("parse");
+        prop_assert_eq!(back.entries(), trace.entries());
+    }
+
+    #[test]
+    fn binary_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_trace(bytes.as_slice());
+    }
+
+    #[test]
+    fn text_parser_never_panics_on_garbage(text in "[ -~\n]{0,400}") {
+        let _ = parse_text(&text);
+    }
+}

@@ -1,0 +1,89 @@
+//! Instruction issue/result latencies — the paper's Table 5.
+
+use lvp_trace::OpKind;
+
+/// Result latencies (cycles) for one machine model, matching the paper's
+/// Table 5 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Simple integer ALU result latency.
+    pub int_simple: u64,
+    /// Complex integer (multiply/divide) result latency.
+    pub int_complex: u64,
+    /// Load-use latency on an L1 hit (address generation + cache access).
+    pub load: u64,
+    /// Simple FP result latency.
+    pub fp_simple: u64,
+    /// Complex FP (divide/sqrt) result latency.
+    pub fp_complex: u64,
+    /// Branch misprediction penalty (refetch bubble), cycles.
+    pub mispredict_penalty: u64,
+}
+
+impl LatencyTable {
+    /// PowerPC 620 latencies (Table 5, columns 2–3): loads 2 cycles,
+    /// simple FP 3, complex integer ~16 (mid of the 1–35 range), complex
+    /// FP 18, mispredict 1+.
+    pub fn ppc620() -> LatencyTable {
+        LatencyTable {
+            int_simple: 1,
+            int_complex: 16,
+            load: 2,
+            fp_simple: 3,
+            fp_complex: 18,
+            mispredict_penalty: 2,
+        }
+    }
+
+    /// Alpha 21164 latencies (Table 5, columns 4–5): loads 2 cycles,
+    /// simple FP 4, complex integer 16, complex FP ~50 (mid of 36–65),
+    /// mispredict 4.
+    pub fn alpha21164() -> LatencyTable {
+        LatencyTable {
+            int_simple: 1,
+            int_complex: 16,
+            load: 2,
+            fp_simple: 4,
+            fp_complex: 50,
+            mispredict_penalty: 4,
+        }
+    }
+
+    /// Result latency for an operation kind (loads assume an L1 hit; the
+    /// memory hierarchy adds miss cycles on top).
+    pub fn result_latency(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::IntSimple | OpKind::System => self.int_simple,
+            OpKind::IntComplex => self.int_complex,
+            OpKind::Load | OpKind::Store => self.load,
+            OpKind::FpSimple => self.fp_simple,
+            OpKind::FpComplex => self.fp_complex,
+            OpKind::CondBranch | OpKind::Jump | OpKind::IndirectJump => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values() {
+        let p = LatencyTable::ppc620();
+        assert_eq!(p.load, 2);
+        assert_eq!(p.fp_simple, 3);
+        let a = LatencyTable::alpha21164();
+        assert_eq!(a.fp_simple, 4);
+        assert_eq!(a.mispredict_penalty, 4);
+        assert!(a.fp_complex > p.fp_complex);
+    }
+
+    #[test]
+    fn kinds_map_to_latencies() {
+        let t = LatencyTable::ppc620();
+        assert_eq!(t.result_latency(OpKind::IntSimple), 1);
+        assert_eq!(t.result_latency(OpKind::IntComplex), 16);
+        assert_eq!(t.result_latency(OpKind::Load), 2);
+        assert_eq!(t.result_latency(OpKind::CondBranch), 1);
+    }
+}

@@ -1,0 +1,863 @@
+//! Trace-driven cycle model of a PowerPC 620-class out-of-order core
+//! (paper Section 4.1, Figure 4), with the widened "620+" configuration
+//! of Section 6.2.
+//!
+//! Modelled mechanisms: 4-wide fetch/dispatch/completion, per-FU
+//! reservation stations, GPR/FPR rename buffers, a completion buffer with
+//! in-order retirement, bimodal branch prediction with BTB, a dual-banked
+//! non-blocking L1 data cache over an L2/memory hierarchy, and the full
+//! LVP interaction of Section 4.1:
+//!
+//! * predicted loads forward their value at **dispatch**; dependents may
+//!   issue immediately but hold their reservation stations until the load
+//!   verifies (one cycle after the actual value returns);
+//! * on an incorrect prediction, dependents that issued early reissue one
+//!   cycle after the value returns (dependents that had not issued pay no
+//!   penalty);
+//! * CVU-verified constant loads never touch the cache: no bank usage, no
+//!   miss.
+//!
+//! Simplifications (documented in DESIGN.md): perfect I-fetch and no
+//! store-to-load alias refetch. Outstanding misses are bounded by the
+//! configured MSHR count (the 620's non-blocking cache).
+
+use crate::branch::BranchPredictor;
+use crate::cache::{BankArbiter, CacheConfig, MemHierarchy, MemLatency};
+use crate::latency::LatencyTable;
+use crate::metrics::SimResult;
+use lvp_trace::{OpKind, PredOutcome, Trace};
+
+/// Functional-unit classes of the 620 (Figure 4).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+enum Fu {
+    /// Single-cycle fixed point (2 units).
+    Scfx,
+    /// Multi-cycle fixed point (1 unit, unpipelined).
+    Mcfx,
+    /// Floating point (1 unit; complex ops unpipelined).
+    Fpu,
+    /// Load/store (1 unit on the 620, 2 on the 620+).
+    Lsu,
+    /// Branch unit.
+    Bru,
+}
+
+const FU_KINDS: [Fu; 5] = [Fu::Scfx, Fu::Mcfx, Fu::Fpu, Fu::Lsu, Fu::Bru];
+
+fn fu_of(kind: OpKind) -> Fu {
+    match kind {
+        OpKind::IntSimple | OpKind::System => Fu::Scfx,
+        OpKind::IntComplex => Fu::Mcfx,
+        OpKind::FpSimple | OpKind::FpComplex => Fu::Fpu,
+        OpKind::Load | OpKind::Store => Fu::Lsu,
+        OpKind::CondBranch | OpKind::Jump | OpKind::IndirectJump => Fu::Bru,
+    }
+}
+
+/// Configuration of the 620-class model.
+#[derive(Debug, Clone)]
+pub struct Ppc620Config {
+    /// Display name.
+    pub name: &'static str,
+    /// Fetch/dispatch/completion width.
+    pub width: usize,
+    /// Reservation stations per functional-unit *class*.
+    pub rs_per_class: usize,
+    /// GPR rename buffers.
+    pub gpr_renames: usize,
+    /// FPR rename buffers.
+    pub fpr_renames: usize,
+    /// Completion (reorder) buffer entries.
+    pub completion_buffer: usize,
+    /// Number of load/store units.
+    pub n_lsu: usize,
+    /// Loads+stores that may dispatch per cycle.
+    pub mem_dispatch_per_cycle: usize,
+    /// Instruction latencies.
+    pub latency: LatencyTable,
+    /// L1 data-cache geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Miss latencies.
+    pub mem_latency: MemLatency,
+    /// Miss-status holding registers: maximum outstanding L1 misses the
+    /// non-blocking cache supports; further missing loads wait to issue.
+    pub mshrs: usize,
+}
+
+impl Ppc620Config {
+    /// The baseline PowerPC 620: 2-entry reservation stations per unit
+    /// class (4 for the two SCFX units), 8+8 rename buffers, a 16-entry
+    /// completion buffer, one LSU, and one load/store dispatch per cycle.
+    pub fn base() -> Ppc620Config {
+        Ppc620Config {
+            name: "620",
+            width: 4,
+            rs_per_class: 4,
+            gpr_renames: 8,
+            fpr_renames: 8,
+            completion_buffer: 16,
+            n_lsu: 1,
+            mem_dispatch_per_cycle: 1,
+            latency: LatencyTable::ppc620(),
+            l1: CacheConfig::ppc620_l1d(),
+            l2: CacheConfig::ppc620_l2(),
+            mem_latency: MemLatency::ppc620(),
+            mshrs: 4,
+        }
+    }
+
+    /// The "next-generation" 620+ (Section 6.2): doubled reservation
+    /// stations, rename buffers and completion buffer; a second LSU
+    /// without an extra cache port; up to two loads/stores dispatched per
+    /// cycle.
+    pub fn plus() -> Ppc620Config {
+        Ppc620Config {
+            name: "620+",
+            rs_per_class: 8,
+            gpr_renames: 16,
+            fpr_renames: 16,
+            completion_buffer: 32,
+            n_lsu: 2,
+            mem_dispatch_per_cycle: 2,
+            ..Ppc620Config::base()
+        }
+    }
+
+    fn units(&self, fu: Fu) -> usize {
+        match fu {
+            Fu::Scfx => 2,
+            Fu::Mcfx | Fu::Fpu | Fu::Bru => 1,
+            Fu::Lsu => self.n_lsu,
+        }
+    }
+}
+
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+enum State {
+    Waiting,
+    Executing,
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    seq: u64,
+    kind: OpKind,
+    fu: Fu,
+    pred: Option<PredOutcome>,
+    mem_addr: u64,
+    dst: Option<usize>,
+    src_producers: [Option<u64>; 2],
+    state: State,
+    dispatch_cycle: u64,
+    min_issue_cycle: u64,
+    issue_cycle: u64,
+    finish_cycle: u64,
+    /// For predicted loads: finish + 1; otherwise == finish.
+    verify_cycle: u64,
+    /// Sequence numbers of speculative (predicted-load) sources this slot
+    /// consumed; RS release and retirement wait until they all verify.
+    spec_srcs: [Option<u64>; 2],
+    issued_spec: bool,
+    holds_rs: bool,
+    operand_wait: u64,
+    squashed_once: bool,
+}
+
+/// Runs the 620-class model over a trace.
+///
+/// `outcomes` carries one [`PredOutcome`] per dynamic load (from
+/// [`lvp_predictor::LvpUnit::annotate`]); pass `None` for the no-LVP
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is `Some` but shorter than the trace's load
+/// count, or if the model stops making progress (an internal bug).
+pub fn simulate_620(
+    trace: &Trace,
+    outcomes: Option<&[PredOutcome]>,
+    config: &Ppc620Config,
+) -> SimResult {
+    let mut result = SimResult::default();
+    let mut bp = BranchPredictor::new(2048, 256);
+    let mut mem = MemHierarchy::new(config.l1, config.l2, config.mem_latency);
+    let mut banks = BankArbiter::new();
+
+    let entries = trace.entries();
+    let mut next_dispatch = 0usize; // trace index
+    let mut load_index = 0usize;
+
+    let mut window: Vec<Slot> = Vec::with_capacity(config.completion_buffer);
+    let mut head_seq: u64 = 0; // seq of window[0]
+    let mut reg_producer: [Option<u64>; 64] = [None; 64];
+
+    let mut rs_used = [0usize; 5];
+    let rs_cap = config.rs_per_class;
+    let fu_index = |fu: Fu| FU_KINDS.iter().position(|&f| f == fu).unwrap();
+
+    let mut gpr_free = config.gpr_renames;
+    let mut fpr_free = config.fpr_renames;
+
+    // Unpipelined-unit busy-until cycles.
+    let mut mcfx_busy: u64 = 0;
+    let mut fpu_complex_busy: u64 = 0;
+    // Fill times of in-flight L1 misses (the MSHRs).
+    let mut mshr_fill: Vec<u64> = Vec::new();
+
+    // Branch redirect state.
+    let mut pending_gate: Option<u64> = None; // seq of unresolved mispredicted branch
+    let mut dispatch_blocked_until: u64 = 0;
+
+    let mut cycle: u64 = 0;
+    let mut last_progress: (u64, (u64, usize)) = (0, (0, 0));
+
+    while next_dispatch < entries.len() || !window.is_empty() {
+        // ---- 1. process verifications & squashes scheduled this cycle ----
+        for i in 0..window.len() {
+            let (incorrect, vc, lseq, lfinish) = {
+                let s = &window[i];
+                (
+                    s.pred == Some(PredOutcome::Incorrect) && !s.squashed_once,
+                    s.verify_cycle,
+                    s.seq,
+                    s.finish_cycle,
+                )
+            };
+            if incorrect && window[i].state == State::Finished && vc == cycle {
+                window[i].squashed_once = true;
+                squash_dependents(&mut window, lseq, lfinish, cycle, &mut rs_used);
+            }
+        }
+
+        // ---- 2. executing -> finished ----
+        for s in window.iter_mut() {
+            if s.state == State::Executing && s.finish_cycle <= cycle {
+                s.state = State::Finished;
+            }
+        }
+
+        // ---- 3. release reservation stations ----
+        for i in 0..window.len() {
+            let s = &window[i];
+            if !s.holds_rs || s.state == State::Waiting || s.issue_cycle > cycle {
+                continue;
+            }
+            if s.issued_spec && !spec_sources_verified(&window, head_seq, i, cycle) {
+                continue;
+            }
+            let fu = window[i].fu;
+            window[i].holds_rs = false;
+            rs_used[fu_index(fu)] -= 1;
+        }
+
+        // ---- 4. in-order completion ----
+        let mut retired = 0usize;
+        while retired < config.width && !window.is_empty() {
+            let s = &window[0];
+            let can_retire = s.state == State::Finished
+                && cycle >= s.verify_cycle
+                && !s.holds_rs
+                && (!s.issued_spec || spec_sources_verified(&window, head_seq, 0, cycle));
+            if !can_retire {
+                break;
+            }
+            let s = window.remove(0);
+            head_seq += 1;
+            retired += 1;
+            result.instructions += 1;
+            result.operand_wait.record(s.kind, s.operand_wait);
+            if s.kind == OpKind::Store {
+                // The store drains from the store queue into its bank.
+                banks.claim(s.mem_addr, cycle);
+            }
+            if let Some(d) = s.dst {
+                if reg_producer[d] == Some(s.seq) {
+                    reg_producer[d] = None;
+                }
+                if d < 32 {
+                    gpr_free += 1;
+                } else {
+                    fpr_free += 1;
+                }
+            }
+            if s.kind == OpKind::Load {
+                result.loads += 1;
+                match s.pred {
+                    Some(PredOutcome::Correct) | Some(PredOutcome::Constant) => {
+                        result.predicted_loads += 1;
+                        result
+                            .verify_latency
+                            .record(s.verify_cycle.saturating_sub(s.dispatch_cycle));
+                        if s.pred == Some(PredOutcome::Constant) {
+                            result.constant_loads += 1;
+                        }
+                    }
+                    Some(PredOutcome::Incorrect) => result.mispredicted_loads += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- 5. issue ----
+        for fu in FU_KINDS {
+            let mut issued = 0usize;
+            let units = config.units(fu);
+            let mut i = 0;
+            while issued < units && i < window.len() {
+                let ready = {
+                    let s = &window[i];
+                    s.fu == fu
+                        && s.state == State::Waiting
+                        && s.dispatch_cycle < cycle
+                        && s.min_issue_cycle <= cycle
+                        && operands_ready(&window, head_seq, i, cycle)
+                };
+                if !ready {
+                    i += 1;
+                    continue;
+                }
+                // Structural checks for unpipelined units.
+                match fu {
+                    Fu::Mcfx if mcfx_busy > cycle => break,
+                    // A complex FP op occupies the single FPU end-to-end.
+                    Fu::Fpu if fpu_complex_busy > cycle => break,
+                    _ => {}
+                }
+                // Compute timing for this issue.
+                let (op_wait, spec_srcs, is_spec) =
+                    operand_wait_info(&window, head_seq, i, cycle);
+                let (finish, verify) = {
+                    let s = &window[i];
+                    match s.kind {
+                        OpKind::Load => {
+                            let agen_done = cycle + 1;
+                            if s.pred == Some(PredOutcome::Constant) {
+                                // CVU verifies without touching the cache.
+                                let fin = agen_done + 1;
+                                (fin, fin + 1)
+                            } else {
+                                // A miss needs a free MSHR; stall issue of
+                                // this load until one drains.
+                                mshr_fill.retain(|&t| t > cycle);
+                                if mshr_fill.len() >= config.mshrs
+                                    && !mem.probe_l1(s.mem_addr)
+                                {
+                                    i += 1;
+                                    continue;
+                                }
+                                let granted = banks.claim(s.mem_addr, agen_done);
+                                result.l1_accesses += 1;
+                                let extra = mem.access(s.mem_addr);
+                                if extra > 0 {
+                                    result.l1_misses += 1;
+                                    mshr_fill.push(granted + 1 + extra);
+                                }
+                                let fin = granted + 1 + extra;
+                                let ver = if s.pred.is_some_and(|p| p.predicted()) {
+                                    fin + 1
+                                } else {
+                                    fin
+                                };
+                                (fin, ver)
+                            }
+                        }
+                        OpKind::Store => {
+                            // Stores only generate their address here; the
+                            // data-cache bank is accessed at completion,
+                            // when the store drains from the store queue
+                            // (so loads and stores contend for banks, as
+                            // in Section 6.5).
+                            let agen_done = cycle + 1;
+                            result.l1_accesses += 1;
+                            let extra = mem.access(s.mem_addr);
+                            if extra > 0 {
+                                result.l1_misses += 1;
+                            }
+                            let fin = agen_done + 1;
+                            (fin, fin)
+                        }
+                        kind => {
+                            let fin = cycle + config.latency.result_latency(kind);
+                            (fin, fin)
+                        }
+                    }
+                };
+                {
+                    let s = &mut window[i];
+                    s.state = State::Executing;
+                    s.issue_cycle = cycle;
+                    s.finish_cycle = finish;
+                    s.verify_cycle = verify;
+                    s.operand_wait = op_wait;
+                    s.issued_spec = is_spec;
+                    s.spec_srcs = spec_srcs;
+                    match fu {
+                        Fu::Mcfx => mcfx_busy = finish,
+                        Fu::Fpu if s.kind == OpKind::FpComplex => fpu_complex_busy = finish,
+                        _ => {}
+                    }
+                    // A mispredicted branch resolves the fetch gate when it
+                    // executes: refetch begins after the penalty.
+                    if pending_gate == Some(s.seq) {
+                        dispatch_blocked_until = finish + config.latency.mispredict_penalty;
+                        pending_gate = None;
+                    }
+                }
+                issued += 1;
+                i += 1;
+            }
+        }
+
+        // ---- 6. dispatch ----
+        let mut dispatched = 0usize;
+        let mut mem_dispatched = 0usize;
+        while dispatched < config.width
+            && pending_gate.is_none()
+            && cycle >= dispatch_blocked_until
+            && next_dispatch < entries.len()
+            && window.len() < config.completion_buffer
+        {
+            let e = &entries[next_dispatch];
+            let fu = fu_of(e.kind);
+            if rs_used[fu_index(fu)] >= rs_cap {
+                break;
+            }
+            if e.kind.is_mem() && mem_dispatched >= config.mem_dispatch_per_cycle {
+                break;
+            }
+            // Rename buffer for the destination.
+            let dst = e.dst.map(|d| d.flat_index());
+            match dst {
+                Some(d) if d < 32 && gpr_free == 0 => break,
+                Some(d) if d >= 32 && fpr_free == 0 => break,
+                _ => {}
+            }
+
+            let seq = head_seq + window.len() as u64;
+            // Branch prediction.
+            let mut mispredicted = false;
+            match e.kind {
+                OpKind::CondBranch => {
+                    result.branches += 1;
+                    let taken = e.branch.expect("branch entry must carry outcome").taken;
+                    let predicted = bp.predict_taken(e.pc);
+                    bp.update_taken(e.pc, taken);
+                    if predicted != taken {
+                        result.mispredicts += 1;
+                        mispredicted = true;
+                    }
+                }
+                OpKind::IndirectJump => {
+                    let target = e.branch.expect("jump entry must carry target").target;
+                    let hit = bp.predict_target(e.pc) == Some(target);
+                    bp.update_target(e.pc, target);
+                    if !hit {
+                        result.mispredicts += 1;
+                        mispredicted = true;
+                    }
+                }
+                _ => {}
+            }
+
+            // LVP annotation for loads.
+            let pred = if e.kind == OpKind::Load {
+                let p = outcomes.map(|o| o[load_index]);
+                load_index += 1;
+                p
+            } else {
+                None
+            };
+
+            let mut src_producers = [None, None];
+            for (k, src) in e.srcs.iter().enumerate() {
+                if let Some(r) = src {
+                    src_producers[k] = reg_producer[r.flat_index()];
+                }
+            }
+            if let Some(d) = dst {
+                reg_producer[d] = Some(seq);
+                if d < 32 {
+                    gpr_free -= 1;
+                } else {
+                    fpr_free -= 1;
+                }
+            }
+            rs_used[fu_index(fu)] += 1;
+
+            window.push(Slot {
+                seq,
+                kind: e.kind,
+                fu,
+                pred,
+                mem_addr: e.mem.map_or(0, |m| m.addr),
+                dst,
+                src_producers,
+                state: State::Waiting,
+                dispatch_cycle: cycle,
+                min_issue_cycle: 0,
+                issue_cycle: 0,
+                finish_cycle: u64::MAX,
+                verify_cycle: u64::MAX,
+                spec_srcs: [None, None],
+                issued_spec: false,
+                holds_rs: true,
+                operand_wait: 0,
+                squashed_once: false,
+            });
+            next_dispatch += 1;
+            dispatched += 1;
+            if e.kind.is_mem() {
+                mem_dispatched += 1;
+            }
+            if mispredicted {
+                pending_gate = Some(seq);
+                break;
+            }
+        }
+
+        cycle += 1;
+        // Progress guard against model deadlocks.
+        if (head_seq, next_dispatch) != last_progress.1 {
+            last_progress = (cycle, (head_seq, next_dispatch));
+        } else if cycle - last_progress.0 > 100_000 {
+            panic!(
+                "620 model deadlock at cycle {cycle}: window head {:?}",
+                window.first()
+            );
+        }
+    }
+
+    result.cycles = cycle;
+    result.l2_accesses = mem.l2_accesses();
+    result.bank_conflict_cycles = banks.conflict_cycles();
+    result
+}
+
+/// Whether every source operand of `window[i]` is available at `cycle`.
+fn operands_ready(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+    let s = &window[i];
+    for p in s.src_producers.iter().flatten() {
+        if *p < head_seq {
+            continue; // producer retired: architectural value
+        }
+        let prod = &window[(*p - head_seq) as usize];
+        if producer_available(prod, cycle).is_none() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The cycle a producer's value became available, or `None` if it is not
+/// yet available. Predicted loads forward speculatively from dispatch.
+fn producer_available(prod: &Slot, cycle: u64) -> Option<u64> {
+    if prod.kind == OpKind::Load && prod.pred.is_some_and(|p| p.predicted()) {
+        return Some(prod.dispatch_cycle);
+    }
+    if prod.state != State::Waiting && prod.finish_cycle <= cycle {
+        Some(prod.finish_cycle)
+    } else {
+        None
+    }
+}
+
+/// Whether every speculative source of `window[i]` has verified by
+/// `cycle` (retired sources count as verified).
+fn spec_sources_verified(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+    for p in window[i].spec_srcs.iter().flatten() {
+        if *p < head_seq {
+            continue; // retired, hence verified
+        }
+        let prod = &window[(*p - head_seq) as usize];
+        if prod.state != State::Finished || prod.verify_cycle > cycle {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes (operand wait cycles, speculative source seqs,
+/// consumed-any-speculative-value) for the slot issuing now.
+fn operand_wait_info(
+    window: &[Slot],
+    head_seq: u64,
+    i: usize,
+    cycle: u64,
+) -> (u64, [Option<u64>; 2], bool) {
+    let s = &window[i];
+    let mut avail = s.dispatch_cycle;
+    let mut spec_srcs = [None, None];
+    let mut is_spec = false;
+    for (k, p) in s.src_producers.iter().enumerate() {
+        let Some(p) = p else { continue };
+        if *p < head_seq {
+            continue;
+        }
+        let prod = &window[(*p - head_seq) as usize];
+        if prod.kind == OpKind::Load && prod.pred.is_some_and(|q| q.predicted()) {
+            // Speculative if consumed before the load verified.
+            if prod.state == State::Waiting || cycle < prod.verify_cycle {
+                is_spec = true;
+                spec_srcs[k] = Some(*p);
+            }
+            avail = avail.max(prod.dispatch_cycle);
+        } else {
+            avail = avail.max(prod.finish_cycle);
+        }
+    }
+    (avail.saturating_sub(s.dispatch_cycle), spec_srcs, is_spec)
+}
+
+/// On an incorrect load verification, reset every issued transitive
+/// dependent that consumed the wrong value (issued before the correct
+/// value returned) back to Waiting; it may reissue from `verify_cycle`.
+fn squash_dependents(
+    window: &mut [Slot],
+    producer_seq: u64,
+    producer_finish: u64,
+    verify_cycle: u64,
+    rs_used: &mut [usize; 5],
+) {
+    let mut to_squash: Vec<u64> = vec![producer_seq];
+    let mut k = 0;
+    while k < to_squash.len() {
+        let pseq = to_squash[k];
+        k += 1;
+        for s in window.iter_mut() {
+            let depends = s.src_producers.iter().flatten().any(|&p| p == pseq);
+            if !depends || s.state == State::Waiting {
+                continue;
+            }
+            // Direct dependents of the load squash only if they issued
+            // before the correct value returned; transitive dependents of
+            // squashed instructions always squash (their input was wrong).
+            if pseq == producer_seq && s.issue_cycle >= producer_finish {
+                continue;
+            }
+            let seq = s.seq;
+            s.state = State::Waiting;
+            s.min_issue_cycle = verify_cycle;
+            s.issued_spec = false;
+            s.spec_srcs = [None, None];
+            s.finish_cycle = u64::MAX;
+            s.verify_cycle = u64::MAX;
+            if !s.holds_rs {
+                // It had released its RS at issue; it must hold one again
+                // while it waits to reissue.
+                s.holds_rs = true;
+                let fu = s.fu;
+                rs_used[FU_KINDS.iter().position(|&f| f == fu).unwrap()] += 1;
+            }
+            to_squash.push(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_trace::{BranchEvent, MemAccess, RegRef, TraceEntry};
+
+    fn alu(pc: u64, dst: u8, srcs: [Option<u8>; 2]) -> TraceEntry {
+        TraceEntry {
+            pc,
+            kind: OpKind::IntSimple,
+            dst: Some(RegRef::int(dst)),
+            srcs: [srcs[0].map(RegRef::int), srcs[1].map(RegRef::int)],
+            mem: None,
+            branch: None,
+        }
+    }
+
+    fn load(pc: u64, dst: u8, addr: u64) -> TraceEntry {
+        TraceEntry {
+            pc,
+            kind: OpKind::Load,
+            dst: Some(RegRef::int(dst)),
+            srcs: [Some(RegRef::int(2)), None],
+            mem: Some(MemAccess { addr, width: 8, value: 1, fp: false }),
+            branch: None,
+        }
+    }
+
+    fn run(entries: Vec<TraceEntry>, outcomes: Option<Vec<PredOutcome>>) -> SimResult {
+        let trace: Trace = entries.into_iter().collect();
+        simulate_620(&trace, outcomes.as_deref(), &Ppc620Config::base())
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = run(vec![], None);
+        assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let entries: Vec<_> = (0..4000)
+            .map(|i| alu(0x10000 + 4 * (i % 64), (i % 8) as u8 + 10, [None, None]))
+            .collect();
+        let r = run(entries, None);
+        assert_eq!(r.instructions, 4000);
+        // 2 SCFX units bound throughput at 2 IPC.
+        assert!(r.ipc() > 1.7, "IPC {:.2}", r.ipc());
+        assert!(r.ipc() <= 2.05, "IPC {:.2}", r.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        let entries: Vec<_> =
+            (0..1000).map(|i| alu(0x10000 + 4 * (i % 64), 10, [Some(10), None])).collect();
+        let r = run(entries, None);
+        assert!(r.ipc() < 1.1, "serial chain cannot exceed 1 IPC: {:.2}", r.ipc());
+    }
+
+    #[test]
+    fn load_use_chain_speeds_up_with_lvp() {
+        // A serial pointer-chase: each load's address depends on the ALU
+        // result of the previous load's value. With LVP the consumer gets
+        // the value at dispatch, collapsing the whole chain.
+        let mut entries = Vec::new();
+        for i in 0..2000u64 {
+            // load r10 <- [r2 + ...], then r2 <- f(r10)
+            let mut l = load(0x10000, 10, 0x10_0000 + (i % 4) * 64);
+            l.srcs = [Some(RegRef::int(2)), None];
+            entries.push(l);
+            entries.push(TraceEntry {
+                pc: 0x10004,
+                kind: OpKind::IntSimple,
+                dst: Some(RegRef::int(2)),
+                srcs: [Some(RegRef::int(10)), None],
+                mem: None,
+                branch: None,
+            });
+        }
+        let trace: Trace = entries.into_iter().collect();
+        let base = simulate_620(&trace, None, &Ppc620Config::base());
+        let n_loads = trace.stats().loads as usize;
+        let perfect = vec![PredOutcome::Correct; n_loads];
+        let lvp = simulate_620(&trace, Some(&perfect), &Ppc620Config::base());
+        assert_eq!(base.instructions, lvp.instructions);
+        assert!(
+            lvp.cycles < base.cycles,
+            "LVP must speed up a load-use bound chain: {} vs {}",
+            lvp.cycles,
+            base.cycles
+        );
+        assert!(lvp.speedup_over(&base) > 1.15, "speedup {:.3}", lvp.speedup_over(&base));
+    }
+
+    #[test]
+    fn incorrect_predictions_cost_little() {
+        let mut entries = Vec::new();
+        for i in 0..1000u64 {
+            entries.push(load(0x10000, 10, 0x10_0000 + (i % 4) * 64));
+            entries.push(alu(0x10004, 11, [Some(10), None]));
+        }
+        let trace: Trace = entries.into_iter().collect();
+        let base = simulate_620(&trace, None, &Ppc620Config::base());
+        let wrong = vec![PredOutcome::Incorrect; trace.stats().loads as usize];
+        let lvp = simulate_620(&trace, Some(&wrong), &Ppc620Config::base());
+        // Worst case per the paper: one extra cycle per dependent, plus
+        // structural effects. Overall cost must stay small.
+        let slowdown = lvp.cycles as f64 / base.cycles as f64;
+        assert!(slowdown < 1.40, "mispredictions too expensive: {slowdown:.3}");
+        assert_eq!(lvp.mispredicted_loads, 1000);
+    }
+
+    #[test]
+    fn constants_avoid_the_cache() {
+        let mut entries = Vec::new();
+        for _ in 0..500 {
+            entries.push(load(0x10000, 10, 0x10_0000));
+            entries.push(alu(0x10004, 11, [Some(10), None]));
+        }
+        let trace: Trace = entries.into_iter().collect();
+        let consts = vec![PredOutcome::Constant; 500];
+        let r = simulate_620(&trace, Some(&consts), &Ppc620Config::base());
+        assert_eq!(r.constant_loads, 500);
+        assert_eq!(r.l1_accesses, 0, "constant loads must bypass the cache");
+    }
+
+    #[test]
+    fn branch_mispredictions_add_bubbles() {
+        // Alternating taken/not-taken branch defeats the bimodal predictor.
+        let mut entries = Vec::new();
+        for i in 0..500u64 {
+            entries.push(alu(0x10000, 10, [None, None]));
+            entries.push(TraceEntry {
+                pc: 0x10004,
+                kind: OpKind::CondBranch,
+                dst: None,
+                srcs: [Some(RegRef::int(10)), None],
+                mem: None,
+                branch: Some(BranchEvent { taken: i % 2 == 0, target: 0x10008 }),
+            });
+        }
+        let alternating: Trace = entries.into_iter().collect();
+        let mut entries2 = Vec::new();
+        for _ in 0..500u64 {
+            entries2.push(alu(0x10000, 10, [None, None]));
+            entries2.push(TraceEntry {
+                pc: 0x10004,
+                kind: OpKind::CondBranch,
+                dst: None,
+                srcs: [Some(RegRef::int(10)), None],
+                mem: None,
+                branch: Some(BranchEvent { taken: true, target: 0x10008 }),
+            });
+        }
+        let steady: Trace = entries2.into_iter().collect();
+        let r1 = simulate_620(&alternating, None, &Ppc620Config::base());
+        let r2 = simulate_620(&steady, None, &Ppc620Config::base());
+        assert!(r1.mispredicts > r2.mispredicts);
+        assert!(r1.cycles > r2.cycles, "{} vs {}", r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn plus_config_is_faster_on_wide_code() {
+        // Independent mixed ops with abundant ILP.
+        let mut entries = Vec::new();
+        for i in 0..3000u64 {
+            entries.push(alu(0x10000 + 4 * (i % 32), (10 + i % 4) as u8, [None, None]));
+            entries.push(load(0x10100 + 4 * (i % 32), (14 + i % 4) as u8, 0x10_0000 + (i % 64) * 8));
+        }
+        let trace: Trace = entries.into_iter().collect();
+        let base = simulate_620(&trace, None, &Ppc620Config::base());
+        let plus = simulate_620(&trace, None, &Ppc620Config::plus());
+        assert!(
+            plus.cycles < base.cycles,
+            "620+ should outperform 620 on ILP-rich code: {} vs {}",
+            plus.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn verify_latency_histogram_populated() {
+        let mut entries = Vec::new();
+        for _ in 0..100 {
+            entries.push(load(0x10000, 10, 0x10_0000));
+        }
+        let trace: Trace = entries.into_iter().collect();
+        let correct = vec![PredOutcome::Correct; 100];
+        let r = simulate_620(&trace, Some(&correct), &Ppc620Config::base());
+        assert_eq!(r.verify_latency.total(), 100);
+    }
+
+    #[test]
+    fn cache_misses_slow_execution() {
+        // Loads striding far apart miss; same-line loads hit.
+        let strided: Trace = (0..2000u64)
+            .map(|i| load(0x10000, 10, 0x10_0000 + i * 4096))
+            .collect();
+        let local: Trace = (0..2000u64).map(|i| load(0x10000, 10, 0x10_0000 + (i % 8) * 8)).collect();
+        let rs = simulate_620(&strided, None, &Ppc620Config::base());
+        let rl = simulate_620(&local, None, &Ppc620Config::base());
+        assert!(rs.l1_misses > 1900);
+        assert!(rl.l1_misses < 10);
+        assert!(rs.cycles > rl.cycles * 2);
+    }
+}

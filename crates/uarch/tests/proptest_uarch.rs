@@ -1,0 +1,165 @@
+//! Property tests for the timing models and cache: model-based cache
+//! checking and whole-simulator sanity invariants on random traces.
+
+use lvp_trace::{BranchEvent, MemAccess, OpKind, PredOutcome, RegRef, Trace, TraceEntry};
+use lvp_uarch::{
+    simulate_21164, simulate_620, Alpha21164Config, Cache, CacheConfig, Ppc620Config,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// The set-associative cache agrees with a straightforward
+    /// LRU-lists reference model.
+    #[test]
+    fn cache_matches_lru_reference(
+        addrs in proptest::collection::vec(0u64..4096, 1..400),
+        ways in 1usize..4,
+    ) {
+        let line = 64usize;
+        let size = 256 * ways; // 4 sets
+        let mut cache = Cache::new(CacheConfig { size, ways, line });
+        let n_sets = size / (line * ways);
+        let mut sets: Vec<VecDeque<u64>> = vec![VecDeque::new(); n_sets];
+        for &a in &addrs {
+            let line_addr = a / line as u64;
+            let set = (line_addr as usize) % n_sets;
+            let expected_hit = sets[set].contains(&line_addr);
+            prop_assert_eq!(cache.access(a), expected_hit, "address {:#x}", a);
+            if let Some(pos) = sets[set].iter().position(|&t| t == line_addr) {
+                sets[set].remove(pos);
+            } else if sets[set].len() == ways {
+                sets[set].pop_back();
+            }
+            sets[set].push_front(line_addr);
+        }
+    }
+}
+
+/// Random but well-formed trace entries: ALU ops, loads, stores, and
+/// branches over a small register/address space.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let entry = prop_oneof![
+        4 => (0u64..64, 1u8..16, 1u8..16).prop_map(|(pc, rd, rs)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::IntSimple,
+            dst: Some(RegRef::int(rd)),
+            srcs: [Some(RegRef::int(rs)), None],
+            mem: None,
+            branch: None,
+        }),
+        1 => (0u64..64, 1u8..16).prop_map(|(pc, rd)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::IntComplex,
+            dst: Some(RegRef::int(rd)),
+            srcs: [None, None],
+            mem: None,
+            branch: None,
+        }),
+        3 => (0u64..64, 1u8..16, 0u64..256).prop_map(|(pc, rd, slot)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::Load,
+            dst: Some(RegRef::int(rd)),
+            srcs: [Some(RegRef::int(2)), None],
+            mem: Some(MemAccess { addr: 0x10_0000 + slot * 8, width: 8, value: slot, fp: false }),
+            branch: None,
+        }),
+        2 => (0u64..64, 1u8..16, 0u64..256).prop_map(|(pc, rs, slot)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::Store,
+            dst: None,
+            srcs: [Some(RegRef::int(2)), Some(RegRef::int(rs))],
+            mem: Some(MemAccess { addr: 0x10_0000 + slot * 8, width: 8, value: 1, fp: false }),
+            branch: None,
+        }),
+        1 => (0u64..64, any::<bool>()).prop_map(|(pc, taken)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::CondBranch,
+            dst: None,
+            srcs: [Some(RegRef::int(5)), None],
+            mem: None,
+            branch: Some(BranchEvent { taken, target: 0x10000 }),
+        }),
+        1 => (0u64..64, 1u8..4).prop_map(|(pc, fd)| TraceEntry {
+            pc: 0x10000 + pc * 4,
+            kind: OpKind::FpComplex,
+            dst: Some(RegRef::fp(fd)),
+            srcs: [Some(RegRef::fp(0)), None],
+            mem: None,
+            branch: None,
+        }),
+    ];
+    proptest::collection::vec(entry, 0..400).prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_outcomes(loads: usize) -> impl Strategy<Value = Vec<PredOutcome>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(PredOutcome::NotPredicted),
+            Just(PredOutcome::Incorrect),
+            Just(PredOutcome::Correct),
+            Just(PredOutcome::Constant),
+        ],
+        loads..=loads,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both timing models terminate, retire every instruction exactly
+    /// once, and respect the physical IPC ceiling, for any trace and any
+    /// annotation.
+    #[test]
+    fn models_terminate_and_conserve_instructions(
+        (trace, outcomes) in arb_trace().prop_flat_map(|t| {
+            let loads = t.stats().loads as usize;
+            (Just(t), arb_outcomes(loads))
+        })
+    ) {
+        let n = trace.stats().instructions;
+        for cfg in [Ppc620Config::base(), Ppc620Config::plus()] {
+            let base = simulate_620(&trace, None, &cfg);
+            prop_assert_eq!(base.instructions, n);
+            prop_assert!(base.cycles >= n / cfg.width as u64);
+            let lvp = simulate_620(&trace, Some(&outcomes), &cfg);
+            prop_assert_eq!(lvp.instructions, n);
+            prop_assert_eq!(lvp.loads, trace.stats().loads);
+        }
+        let acfg = Alpha21164Config::base();
+        let base = simulate_21164(&trace, None, &acfg);
+        prop_assert_eq!(base.instructions, n);
+        prop_assert!(base.cycles >= n / acfg.width as u64);
+        let lvp = simulate_21164(&trace, Some(&outcomes), &acfg);
+        prop_assert_eq!(lvp.instructions, n);
+    }
+
+    /// An all-Correct annotation never slows either model down by more
+    /// than the verification slack, and an all-Constant annotation never
+    /// touches the 620 banks.
+    #[test]
+    fn usable_predictions_never_hurt_much(trace in arb_trace()) {
+        let loads = trace.stats().loads as usize;
+        let cfg = Ppc620Config::base();
+        let base = simulate_620(&trace, None, &cfg);
+        let correct = vec![PredOutcome::Correct; loads];
+        let lvp = simulate_620(&trace, Some(&correct), &cfg);
+        // Section 4.1: a correct prediction can still cost structurally —
+        // the dependent "may end up occupying [its] reservation station
+        // for one cycle longer", and the load itself retires one cycle
+        // later (verification lag). Bound: one cycle per load plus slack.
+        prop_assert!(
+            lvp.cycles <= base.cycles + loads as u64 + 8,
+            "correct predictions slowed the 620 beyond the verification bound: {} vs {}",
+            lvp.cycles,
+            base.cycles
+        );
+        let constant = vec![PredOutcome::Constant; loads];
+        let c = simulate_620(&trace, Some(&constant), &cfg);
+        prop_assert_eq!(
+            c.l1_accesses,
+            trace.stats().stores,
+            "constants must leave only stores in the banks"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Hand-written assembly micro-kernels.
+//!
+//! Besides the compiled suite, a few kernels are written directly in
+//! LRISC assembly: they exercise the assembler on human-written code and
+//! isolate single microarchitectural behaviors (the pointer chase is the
+//! canonical value-prediction demonstration — a serial chain of loads
+//! that only LVP can collapse).
+
+use crate::WorkloadError;
+use lvp_isa::{AsmProfile, Assembler, Program};
+use lvp_sim::Machine;
+use lvp_trace::Trace;
+
+/// A hand-written assembly micro-kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// What it isolates.
+    pub description: &'static str,
+    /// LRISC assembly source.
+    pub source: &'static str,
+    /// Expected `out` values.
+    pub expected: &'static [u64],
+}
+
+/// Copies a 4 KiB buffer byte by byte and checks a few cells.
+const MEMCPY: &str = r"
+    .equ LEN, 4096
+main:
+    la   t0, src
+    la   t1, dst
+    li   t2, 0                  # i
+copy:
+    add  t3, t0, t2
+    lbu  t4, 0(t3)
+    add  t3, t1, t2
+    sb   t4, 0(t3)
+    addi t2, t2, 1
+    li   t3, LEN
+    blt  t2, t3, copy
+    # Spot-check three cells and a digest over every 256th byte.
+    la   t1, dst
+    lbu  a0, 0(t1)
+    out  a0
+    lbu  a0, 1000(t1)
+    out  a0
+    li   t2, 0                  # i
+    li   a1, 0                  # digest
+digest:
+    add  t3, t1, t2
+    lbu  t4, 0(t3)
+    add  a1, a1, t4
+    addi t2, t2, 256
+    li   t3, LEN
+    blt  t2, t3, digest
+    out  a1
+    halt
+
+    .data
+src:
+    .space 4096, 7
+dst:
+    .space 4096
+";
+
+/// Computes the length of a NUL-terminated string.
+const STRLEN: &str = r#"
+main:
+    la   t0, str
+    li   a0, 0
+scan:
+    lbu  t1, 0(t0)
+    beqz t1, done
+    addi t0, t0, 1
+    addi a0, a0, 1
+    j    scan
+done:
+    out  a0
+    halt
+
+    .data
+str:
+    .asciiz "the quick brown fox jumps over the lazy dog"
+"#;
+
+/// Walks a cyclic linked list of 16 nodes for 4096 steps: a serial
+/// pointer chase — every iteration's load address depends on the
+/// previous load's value, the canonical LVP showcase.
+const POINTER_CHASE: &str = r"
+main:
+    la   t0, node0
+    li   t1, 4096               # steps
+    li   a0, 0                  # sum of payloads
+walk:
+    ld   t2, 8(t0)              # payload
+    add  a0, a0, t2
+    ld   t0, 0(t0)              # next
+    addi t1, t1, -1
+    bnez t1, walk
+    out  a0
+    halt
+
+    .data
+    .align 3
+node0:  .dword node1, 10
+node1:  .dword node2, 20
+node2:  .dword node3, 30
+node3:  .dword node4, 40
+node4:  .dword node5, 50
+node5:  .dword node6, 60
+node6:  .dword node7, 70
+node7:  .dword node8, 80
+node8:  .dword node9, 90
+node9:  .dword node10, 100
+node10: .dword node11, 110
+node11: .dword node12, 120
+node12: .dword node13, 130
+node13: .dword node14, 140
+node14: .dword node15, 150
+node15: .dword node0, 160
+";
+
+/// The kernel registry.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "memcpy",
+            description: "byte-granularity buffer copy",
+            source: MEMCPY,
+            // src filled with 7s: cells are 7, digest = 16 * 7.
+            expected: &[7, 7, 112],
+        },
+        Kernel {
+            name: "strlen",
+            description: "NUL-terminated string scan",
+            source: STRLEN,
+            expected: &[43],
+        },
+        Kernel {
+            name: "pointer_chase",
+            description: "serial linked-list walk (the canonical LVP target)",
+            source: POINTER_CHASE,
+            // 4096 steps over a 16-node cycle summing 10..160:
+            // 256 laps * 1360 = 348160.
+            expected: &[348_160],
+        },
+    ]
+}
+
+impl Kernel {
+    /// Looks a kernel up by name.
+    pub fn by_name(name: &str) -> Option<Kernel> {
+        kernels().into_iter().find(|k| k.name == name)
+    }
+
+    /// Assembles the kernel under a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Compile`] if the bundled source fails to
+    /// assemble (a bug in this crate).
+    pub fn assemble(&self, profile: AsmProfile) -> Result<Program, WorkloadError> {
+        Assembler::new(profile).assemble(self.source).map_err(|e| {
+            WorkloadError::Compile(lvp_lang::LangError::new(0, format!("kernel asm: {e}")))
+        })
+    }
+
+    /// Assembles, runs, validates the expected output, and returns the
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] on assembly failure, simulation fault, or
+    /// output mismatch.
+    pub fn run(&self, profile: AsmProfile) -> Result<Trace, WorkloadError> {
+        let program = self.assemble(profile)?;
+        let mut machine = Machine::new(&program);
+        let trace = machine.run_traced(10_000_000)?;
+        if machine.output() != self.expected {
+            return Err(WorkloadError::SelfCheck {
+                name: self.name,
+                output: machine.output().to_vec(),
+            });
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_trace::PredOutcome;
+    use lvp_uarch::{simulate_620, Ppc620Config};
+
+    #[test]
+    fn all_kernels_run_under_both_profiles() {
+        for k in kernels() {
+            for profile in [AsmProfile::Toc, AsmProfile::Gp] {
+                let trace = k
+                    .run(profile)
+                    .unwrap_or_else(|e| panic!("{} failed under {profile}: {e}", k.name));
+                assert!(trace.stats().loads > 40, "{} has too few loads", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for k in kernels() {
+            assert_eq!(Kernel::by_name(k.name).unwrap().name, k.name);
+        }
+        assert!(Kernel::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn pointer_chase_is_lvp_showcase() {
+        // The single link load cycles through 16 node addresses, so the
+        // depth-1 Simple LVPT can never predict it — but the paper's
+        // Limit configuration (16-deep history with perfect selection)
+        // captures it completely. This kernel is exactly the case the
+        // Limit study exists for.
+        let k = Kernel::by_name("pointer_chase").unwrap();
+        let trace = k.run(AsmProfile::Toc).unwrap();
+        let mut simple = lvp_predictor::LvpUnit::new(lvp_predictor::LvpConfig::simple());
+        let simple_outcomes = simple.annotate(&trace);
+        let simple_usable = simple_outcomes.iter().filter(|o| o.usable()).count();
+        assert!(
+            (simple_usable as f64) < 0.2 * simple_outcomes.len() as f64,
+            "depth-1 must fail on a 16-node cycle: {simple_usable}/{}",
+            simple_outcomes.len()
+        );
+        let mut unit = lvp_predictor::LvpUnit::new(lvp_predictor::LvpConfig::limit());
+        let outcomes = unit.annotate(&trace);
+        let usable = outcomes.iter().filter(|o| o.usable()).count();
+        assert!(
+            usable as f64 > 0.9 * outcomes.len() as f64,
+            "16-deep history must capture the cycle: {usable}/{}",
+            outcomes.len()
+        );
+        let cfg = Ppc620Config::base();
+        let base = simulate_620(&trace, None, &cfg);
+        let lvp = simulate_620(&trace, Some(&outcomes), &cfg);
+        assert!(
+            lvp.speedup_over(&base) > 1.3,
+            "pointer chase must speed up dramatically: {:.3}",
+            lvp.speedup_over(&base)
+        );
+        // And perfect prediction approaches the no-dependence bound.
+        let perfect = vec![PredOutcome::Correct; trace.stats().loads as usize];
+        let p = simulate_620(&trace, Some(&perfect), &cfg);
+        assert!(p.speedup_over(&base) >= lvp.speedup_over(&base) - 0.01);
+    }
+
+    #[test]
+    fn memcpy_validates_copy() {
+        let k = Kernel::by_name("memcpy").unwrap();
+        k.run(AsmProfile::Gp).unwrap();
+    }
+}

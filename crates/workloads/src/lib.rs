@@ -1,0 +1,361 @@
+//! # lvp-workloads — the 17-benchmark suite
+//!
+//! Mini-C reimplementations of the paper's Table 1 benchmark suite. The
+//! original binaries (SPEC'92/'95 plus Unix utilities, traced with
+//! TRIP6000/ATOM) are not obtainable, so each entry here reproduces the
+//! *computation and load population* of its namesake: same algorithmic
+//! core, same data-redundancy character, deterministically generated
+//! inputs (every workload seeds its own generator — runs are
+//! bit-reproducible).
+//!
+//! Every workload is self-checking: it emits result values through the
+//! `out` instruction, and [`Workload::run`] verifies them against the
+//! expected outputs recorded in the registry.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvp_isa::AsmProfile;
+//! use lvp_workloads::{suite, Workload};
+//!
+//! let quick = Workload::by_name("quick").unwrap();
+//! let run = quick.run(AsmProfile::Toc)?;
+//! assert!(run.trace.stats().loads > 0);
+//! assert_eq!(run.output[0], 1, "quicksort self-check: sorted");
+//! assert_eq!(suite().len(), 17);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod kernels;
+
+pub use kernels::{kernels, Kernel};
+
+use lvp_isa::{AsmProfile, Program};
+use lvp_lang::{compile, LangError};
+use lvp_sim::{Machine, SimError};
+use lvp_trace::Trace;
+use std::fmt;
+
+/// Instruction budget per workload run; generous headroom over the
+/// largest suite member.
+pub const DEFAULT_FUEL: u64 = 80_000_000;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name, matching the paper's Table 1.
+    pub name: &'static str,
+    /// What the original program is.
+    pub description: &'static str,
+    /// The input we run (Table 1, "input" column analogue).
+    pub input: &'static str,
+    /// Mini-C source text.
+    pub source: &'static str,
+    /// Whether the paper classifies this benchmark as floating-point.
+    pub floating_point: bool,
+}
+
+/// Error from compiling or running a workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The mini-C source failed to compile (a bug in this crate).
+    Compile(LangError),
+    /// The simulation faulted or ran out of fuel.
+    Sim(SimError),
+    /// The program produced unexpected output (self-check failed).
+    SelfCheck {
+        /// Which workload failed.
+        name: &'static str,
+        /// What it printed.
+        output: Vec<u64>,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Compile(e) => write!(f, "workload failed to compile: {e}"),
+            WorkloadError::Sim(e) => write!(f, "workload failed to run: {e}"),
+            WorkloadError::SelfCheck { name, output } => {
+                write!(f, "workload `{name}` self-check failed; output {output:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Compile(e) => Some(e),
+            WorkloadError::Sim(e) => Some(e),
+            WorkloadError::SelfCheck { .. } => None,
+        }
+    }
+}
+
+impl From<LangError> for WorkloadError {
+    fn from(e: LangError) -> WorkloadError {
+        WorkloadError::Compile(e)
+    }
+}
+
+impl From<SimError> for WorkloadError {
+    fn from(e: SimError) -> WorkloadError {
+        WorkloadError::Sim(e)
+    }
+}
+
+/// The result of running one workload: the full dynamic trace plus the
+/// program's output channel.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// The instruction/address/value trace (phase 1 output).
+    pub trace: Trace,
+    /// Values the program emitted via `out`/`outf`.
+    pub output: Vec<u64>,
+    /// Order-sensitive digest of the output.
+    pub checksum: u64,
+    /// The compiled program (for layout/symbol queries).
+    pub program: Program,
+}
+
+impl Workload {
+    /// Looks up a suite member by name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        suite().into_iter().find(|w| w.name == name)
+    }
+
+    /// Compiles the workload under a codegen profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Compile`] if the bundled source fails to
+    /// compile (which would be a bug in this crate).
+    pub fn compile(&self, profile: AsmProfile) -> Result<Program, WorkloadError> {
+        Ok(compile(self.source, profile)?)
+    }
+
+    /// Compiles and runs the workload to completion, collecting its trace
+    /// and validating its self-check output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if compilation fails, simulation faults,
+    /// the fuel budget expires, or the self-check fails.
+    pub fn run(&self, profile: AsmProfile) -> Result<WorkloadRun, WorkloadError> {
+        let program = self.compile(profile)?;
+        let mut machine = Machine::new(&program);
+        let trace = machine.run_traced(DEFAULT_FUEL)?;
+        let output = machine.output().to_vec();
+        let checksum = machine.output_checksum();
+        self.self_check(&output)?;
+        Ok(WorkloadRun { trace, output, checksum, program })
+    }
+
+    /// The golden output recorded for this workload (identical under both
+    /// codegen profiles and at every optimization level).
+    pub fn expected_output(&self) -> &'static [u64] {
+        match self.name {
+            "cc1-271" => &[5116, 4280855201, 3073642617],
+            "cc1" => &[1051, 1906, 958, 951, 39, 1388921680],
+            "cjpeg" => &[16371, 1756734354],
+            "compress" => &[3441, 3696, 1640942524],
+            "doduc" => &[288, 112, 4478, 8299],
+            "eqntott" => &[1197, 845915746],
+            "gawk" => &[3798, 164336664],
+            "gperf" => &[29, 400, 1213795924],
+            "grep" => &[274],
+            "hydro2d" => &[311913, 110440],
+            "mpeg" => &[2929054926],
+            "perl" => &[640, 193590736],
+            "quick" => &[1, 1581140438],
+            "sc" => &[2, 96519870],
+            "swm256" => &[12012, 58169],
+            "tomcatv" => &[408, 58726, 59189],
+            "xlisp" => &[4, 4590, 720, 1410311160],
+            other => panic!("workload `{other}` has no golden output recorded"),
+        }
+    }
+
+    /// Validates the output against both structural invariants and the
+    /// recorded golden values.
+    fn self_check(&self, output: &[u64]) -> Result<(), WorkloadError> {
+        let fail = || WorkloadError::SelfCheck { name: self.name, output: output.to_vec() };
+        // Structural invariants first (they diagnose better than a bare
+        // golden mismatch).
+        let ok = match self.name {
+            // quick: sorted flag must be 1.
+            "quick" => output.len() == 2 && output[0] == 1,
+            // xlisp: 6-queens has exactly 4 solutions.
+            "xlisp" => output.len() == 4 && output[0] == 4,
+            // eqntott emits a -1 marker on any sort violation.
+            "eqntott" => output.len() == 2 && output.iter().all(|&v| v != u64::MAX),
+            // grep: the planted fragments guarantee matches.
+            "grep" => output.len() == 1 && output[0] > 0,
+            // doduc: all particles end up absorbed or escaped.
+            "doduc" => output.len() == 4 && output[0] + output[1] == 400,
+            // perl: the planted permutations guarantee anagram hits, and
+            // they are found on each of the 8 scans.
+            "perl" => output.len() == 2 && output[0] > 0 && output[0].is_multiple_of(8),
+            _ => !output.is_empty(),
+        };
+        if !ok || output != self.expected_output() {
+            return Err(fail());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.description)
+    }
+}
+
+macro_rules! workload {
+    ($name:literal, $file:literal, $fp:literal, $desc:literal, $input:literal) => {
+        Workload {
+            name: $name,
+            description: $desc,
+            input: $input,
+            source: include_str!(concat!("../programs/", $file)),
+            floating_point: $fp,
+        }
+    };
+}
+
+/// The full 17-benchmark suite in the paper's Table 1 order.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        workload!("cc1-271", "cc1_271.mc", false, "GCC 2.7.1 analogue: expression compiler pass", "synthetic expression stream"),
+        workload!("cc1", "cc1.mc", false, "GCC 1.35 analogue: lexer + symbol table", "synthetic C-like source"),
+        workload!("cjpeg", "cjpeg.mc", false, "JPEG encoder core", "128x128 BW image"),
+        workload!("compress", "compress.mc", false, "LZW compressor", "24 KB synthetic text"),
+        workload!("doduc", "doduc.mc", true, "Nuclear reactor Monte Carlo", "tiny input (400 particles)"),
+        workload!("eqntott", "eqntott.mc", false, "Truth-table term sort (cmppt)", "1,200 PLA terms"),
+        workload!("gawk", "gawk.mc", false, "AWK-style field parsing", "synthetic simulator output"),
+        workload!("gperf", "gperf.mc", false, "Perfect hash generator", "64-keyword dictionary"),
+        workload!("grep", "grep.mc", false, "gnu-grep -c \"st*mo\"", "same input class as compress"),
+        workload!("hydro2d", "hydro2d.mc", true, "Galactic jet hydrodynamics", "52x52 grid, 10 steps"),
+        workload!("mpeg", "mpeg.mc", false, "MPEG decoder core", "4 frames w/ fast dithering"),
+        workload!("perl", "perl.mc", false, "Anagram search", "find \"admits\" in word list"),
+        workload!("quick", "quick.mc", false, "Recursive quicksort", "5,000 random elements"),
+        workload!("sc", "sc.mc", false, "Spreadsheet recalculation", "48x24 sheet, sparse formulas"),
+        workload!("swm256", "swm256.mc", true, "Shallow water model", "5 iterations"),
+        workload!("tomcatv", "tomcatv.mc", true, "Mesh generation", "4 iterations"),
+        workload!("xlisp", "xlisp.mc", false, "LISP interpreter analogue", "6 queens, 30 evaluations"),
+    ]
+}
+
+/// The integer subset (13 benchmarks, as in the paper).
+pub fn integer_suite() -> Vec<Workload> {
+    suite().into_iter().filter(|w| !w.floating_point).collect()
+}
+
+/// The floating-point subset (4 benchmarks).
+pub fn fp_suite() -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.floating_point).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_17_members_13_integer() {
+        assert_eq!(suite().len(), 17);
+        assert_eq!(integer_suite().len(), 13);
+        assert_eq!(fp_suite().len(), 4);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = suite().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in suite() {
+            assert_eq!(Workload::by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(Workload::by_name("nonesuch").is_none());
+    }
+
+    // One test per workload: compiles and runs under BOTH profiles,
+    // produces identical output, and passes its self-check.
+    macro_rules! workload_test {
+        ($fn_name:ident, $name:literal) => {
+            #[test]
+            fn $fn_name() {
+                let w = Workload::by_name($name).expect("workload registered");
+                let toc = w.run(AsmProfile::Toc).expect("Toc run failed");
+                let gp = w.run(AsmProfile::Gp).expect("Gp run failed");
+                assert_eq!(toc.output, gp.output, "profiles must agree");
+                assert!(
+                    toc.trace.stats().instructions > 10_000,
+                    "{} too small: {} instructions",
+                    $name,
+                    toc.trace.stats().instructions
+                );
+                assert!(toc.trace.stats().loads > 500, "{} has too few loads", $name);
+            }
+        };
+    }
+
+    workload_test!(run_cc1_271, "cc1-271");
+    workload_test!(run_cc1, "cc1");
+    workload_test!(run_cjpeg, "cjpeg");
+    workload_test!(run_compress, "compress");
+    workload_test!(run_doduc, "doduc");
+    workload_test!(run_eqntott, "eqntott");
+    workload_test!(run_gawk, "gawk");
+    workload_test!(run_gperf, "gperf");
+    workload_test!(run_grep, "grep");
+    workload_test!(run_hydro2d, "hydro2d");
+    workload_test!(run_mpeg, "mpeg");
+    workload_test!(run_perl, "perl");
+    workload_test!(run_quick, "quick");
+    workload_test!(run_sc, "sc");
+    workload_test!(run_swm256, "swm256");
+    workload_test!(run_tomcatv, "tomcatv");
+    workload_test!(run_xlisp, "xlisp");
+
+    #[test]
+    fn fp_workloads_execute_fp_ops() {
+        for w in fp_suite() {
+            let run = w.run(AsmProfile::Gp).unwrap();
+            assert!(
+                run.trace.stats().fp_ops > 1000,
+                "{} should be FP-heavy, got {} fp ops",
+                w.name,
+                run.trace.stats().fp_ops
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_golden_outputs() {
+        // O1 must not change any observable behavior on real programs —
+        // the strongest end-to-end check of the optimizer.
+        use lvp_lang::{compile_with, OptLevel};
+        for w in ["quick", "grep", "xlisp", "cjpeg"] {
+            let w = Workload::by_name(w).unwrap();
+            let program = compile_with(w.source, AsmProfile::Toc, OptLevel::O1).unwrap();
+            let mut m = lvp_sim::Machine::new(&program);
+            m.run(DEFAULT_FUEL).unwrap();
+            assert_eq!(m.output(), w.expected_output(), "{} diverged at O1", w.name);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Workload::by_name("compress").unwrap();
+        let a = w.run(AsmProfile::Toc).unwrap();
+        let b = w.run(AsmProfile::Toc).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.trace.stats(), b.trace.stats());
+    }
+}

@@ -1,0 +1,94 @@
+//! Implementing a custom value predictor (the paper's future-work
+//! direction: "moving beyond history-based prediction to computed
+//! predictions") against the `ValuePredictor` trait, and comparing it
+//! with the built-in last-value and stride predictors on a real
+//! benchmark.
+//!
+//! ```sh
+//! cargo run --release --example custom_predictor -- quick
+//! ```
+
+use lvp::isa::AsmProfile;
+use lvp::predictor::{
+    evaluate_predictor, LastValuePredictor, StridePredictor, ValuePredictor,
+};
+use lvp::workloads::Workload;
+
+/// A two-level hybrid: per-PC chooser between last-value and stride,
+/// steered by which component was correct more recently.
+struct HybridPredictor {
+    last_value: LastValuePredictor,
+    stride: StridePredictor,
+    /// 2-bit chooser per PC: >= 2 prefers stride.
+    chooser: Vec<u8>,
+    mask: usize,
+}
+
+impl HybridPredictor {
+    fn new(entries: usize) -> HybridPredictor {
+        HybridPredictor {
+            last_value: LastValuePredictor::new(entries),
+            stride: StridePredictor::new(entries),
+            chooser: vec![1; entries],
+            mask: entries - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+}
+
+impl ValuePredictor for HybridPredictor {
+    fn predict(&self, pc: u64) -> Option<u64> {
+        if self.chooser[self.index(pc)] >= 2 {
+            self.stride.predict(pc).or_else(|| self.last_value.predict(pc))
+        } else {
+            self.last_value.predict(pc).or_else(|| self.stride.predict(pc))
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        let lv_right = self.last_value.predict(pc) == Some(actual);
+        let st_right = self.stride.predict(pc) == Some(actual);
+        let idx = self.index(pc);
+        let c = &mut self.chooser[idx];
+        match (lv_right, st_right) {
+            (true, false) => *c = c.saturating_sub(1),
+            (false, true) => *c = (*c + 1).min(3),
+            _ => {}
+        }
+        self.last_value.train(pc, actual);
+        self.stride.train(pc, actual);
+    }
+
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    let workload = Workload::by_name(&name)
+        .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
+    let run = workload.run(AsmProfile::Toc)?;
+    println!("{workload}: {} dynamic loads\n", run.trace.stats().loads);
+
+    let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
+        Box::new(LastValuePredictor::new(1024)),
+        Box::new(StridePredictor::new(1024)),
+        Box::new(HybridPredictor::new(1024)),
+    ];
+    println!("{:12} {:>9} {:>9} {:>9}", "predictor", "coverage", "accuracy", "hit rate");
+    for p in predictors.iter_mut() {
+        let eval = evaluate_predictor(p.as_mut(), &run.trace);
+        println!(
+            "{:12} {:>8.1}% {:>8.1}% {:>8.1}%",
+            p.name(),
+            100.0 * eval.coverage(),
+            100.0 * eval.accuracy(),
+            100.0 * eval.hit_rate()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! End-to-end speedup measurement for one benchmark: run the full
+//! three-phase pipeline (trace → LVP annotation → cycle simulation) on
+//! the PowerPC 620, 620+, and Alpha 21164 models, printing IPC and
+//! speedup for each LVP configuration.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_speedup -- gawk
+//! ```
+
+use lvp::isa::AsmProfile;
+use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
+use lvp::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gawk".to_string());
+    let workload = Workload::by_name(&name)
+        .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
+    println!("{workload}\n");
+
+    // PowerPC-style traces drive the 620 models; Alpha-style traces
+    // drive the 21164 model — as in the paper's Section 5.
+    let toc = workload.run(AsmProfile::Toc)?;
+    let gp = workload.run(AsmProfile::Gp)?;
+
+    let configs = [
+        LvpConfig::simple(),
+        LvpConfig::constant(),
+        LvpConfig::limit(),
+        LvpConfig::perfect(),
+    ];
+
+    for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
+        let base = simulate_620(&toc.trace, None, &machine);
+        println!("PPC {}: baseline {base}", machine.name);
+        for cfg in configs {
+            let mut unit = LvpUnit::new(cfg);
+            let outcomes = unit.annotate(&toc.trace);
+            let r = simulate_620(&toc.trace, Some(&outcomes), &machine);
+            println!(
+                "  {:8} IPC {:.3}  speedup {:.3}  ({} constants bypassed the cache)",
+                cfg.name,
+                r.ipc(),
+                r.speedup_over(&base),
+                r.constant_loads
+            );
+        }
+        println!();
+    }
+
+    let machine = Alpha21164Config::base();
+    let base = simulate_21164(&gp.trace, None, &machine);
+    println!("Alpha {}: baseline {base}", machine.name);
+    for cfg in [LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()] {
+        let mut unit = LvpUnit::new(cfg);
+        let outcomes = unit.annotate(&gp.trace);
+        let r = simulate_21164(&gp.trace, Some(&outcomes), &machine);
+        println!(
+            "  {:8} IPC {:.3}  speedup {:.3}",
+            cfg.name,
+            r.ipc(),
+            r.speedup_over(&base)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Working with binary trace files: generate a trace once, store it on
+//! disk, and drive LVP studies from the file — the workflow the paper
+//! used to decouple its three simulation phases across machines.
+//!
+//! ```sh
+//! cargo run --release --example trace_files -- xlisp
+//! ```
+
+use lvp::isa::AsmProfile;
+use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::trace::{read_trace, write_trace};
+use lvp::uarch::{simulate_620, Ppc620Config};
+use lvp::workloads::Workload;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xlisp".to_string());
+    let workload = Workload::by_name(&name)
+        .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
+
+    // Phase 1 once: trace to a file.
+    let path = std::env::temp_dir().join(format!("lvp-{name}.trace"));
+    let run = workload.run(AsmProfile::Toc)?;
+    write_trace(BufWriter::new(File::create(&path)?), &run.trace)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {} entries ({:.1} MB, {:.1} B/entry) to {}",
+        run.trace.len(),
+        bytes as f64 / 1e6,
+        bytes as f64 / run.trace.len() as f64,
+        path.display()
+    );
+
+    // Phases 2+3 from the file, independent of the simulator.
+    let trace = read_trace(BufReader::new(File::open(&path)?))?;
+    assert_eq!(trace.len(), run.trace.len());
+    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let outcomes = unit.annotate(&trace);
+    let base = simulate_620(&trace, None, &Ppc620Config::base());
+    let lvp = simulate_620(&trace, Some(&outcomes), &Ppc620Config::base());
+    println!("from file: baseline {base}");
+    println!("from file: speedup {:.3} with Simple LVP", lvp.speedup_over(&base));
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

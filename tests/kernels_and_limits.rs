@@ -1,0 +1,84 @@
+//! Integration tests for the assembly kernels and the dataflow-limit
+//! analysis across the whole stack.
+
+use lvp::isa::AsmProfile;
+use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::uarch::{
+    dataflow_limit, simulate_21164, simulate_620, Alpha21164Config, LatencyTable, Ppc620Config,
+};
+use lvp::workloads::{kernels, Kernel, Workload};
+
+#[test]
+fn kernels_run_on_all_machines() {
+    for k in kernels() {
+        let trace = k.run(AsmProfile::Toc).expect("kernel runs");
+        let r620 = simulate_620(&trace, None, &Ppc620Config::base());
+        let r21164 = simulate_21164(&trace, None, &Alpha21164Config::base());
+        assert_eq!(r620.instructions, trace.stats().instructions, "{}", k.name);
+        assert_eq!(r21164.instructions, trace.stats().instructions, "{}", k.name);
+    }
+}
+
+#[test]
+fn pointer_chase_dataflow_limit_is_load_bound() {
+    let k = Kernel::by_name("pointer_chase").expect("registered");
+    let trace = k.run(AsmProfile::Toc).expect("runs");
+    let lat = LatencyTable::ppc620();
+    let base = dataflow_limit(&trace, None, &lat);
+    // The serial link-load chain bounds the critical path: at least
+    // load-latency cycles per step (4096 steps).
+    assert!(
+        base.critical_path >= 4096 * lat.load,
+        "chase must be chain-bound: {}",
+        base.critical_path
+    );
+    // The Limit configuration captures the 16-node cycle and collapses it.
+    let mut unit = LvpUnit::new(LvpConfig::limit());
+    let outcomes = unit.annotate(&trace);
+    let limit = dataflow_limit(&trace, Some(&outcomes), &lat);
+    // With the link loads predicted, the remaining critical path is the
+    // 1-cycle-per-iteration loop counter (~4096) instead of the 2-cycle
+    // load chain (~8192).
+    assert!(
+        limit.critical_path * 10 <= base.critical_path * 6,
+        "prediction must break the chain down to the counter bound: {} vs {}",
+        limit.critical_path,
+        base.critical_path
+    );
+}
+
+#[test]
+fn machine_never_beats_its_dataflow_limit_without_lvp() {
+    // Without prediction, no real machine can exceed the dependence bound.
+    for name in ["xlisp", "grep"] {
+        let w = Workload::by_name(name).expect("registered");
+        let run = w.run(AsmProfile::Toc).expect("runs");
+        let lat = LatencyTable::ppc620();
+        let limit = dataflow_limit(&run.trace, None, &lat);
+        let machine = simulate_620(&run.trace, None, &Ppc620Config::base());
+        assert!(
+            machine.cycles >= limit.critical_path,
+            "{name}: the 620 ran faster than its dataflow limit ({} < {})",
+            machine.cycles,
+            limit.critical_path
+        );
+    }
+}
+
+#[test]
+fn sampled_windows_agree_on_speedup_direction() {
+    let w = Workload::by_name("gawk").expect("registered");
+    let run = w.run(AsmProfile::Toc).expect("runs");
+    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let outcomes = unit.annotate(&run.trace);
+    let cfg = Ppc620Config::base();
+    let (mut base_c, mut lvp_c) = (0u64, 0u64);
+    for window in run.trace.windows(20_000, 200_000) {
+        base_c += simulate_620(&window.trace, None, &cfg).cycles;
+        lvp_c += simulate_620(&window.trace, Some(window.outcomes(&outcomes)), &cfg).cycles;
+    }
+    assert!(
+        lvp_c < base_c,
+        "sampled simulation must agree that LVP speeds gawk up: {lvp_c} vs {base_c}"
+    );
+}
