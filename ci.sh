@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo CI gate: formatting, lints, and the full test suite.
+# Usage: ./ci.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ci: all checks passed"

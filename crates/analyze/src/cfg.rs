@@ -1,0 +1,315 @@
+//! Control-flow graph construction over an assembled [`Program`].
+//!
+//! Instructions are identified by their index into [`Program::text`]
+//! (instruction `i` lives at `TEXT_BASE + 4*i`). Basic blocks are maximal
+//! straight-line index ranges; edges follow [`Instr::control_flow`].
+//!
+//! Indirect jumps (`jalr`) are handled conservatively: since the target
+//! register value is unknown statically, a `jalr` is given edges to every
+//! block that could plausibly be indirectly entered — blocks starting at a
+//! text-segment symbol (call targets taken with `la`/`jalr`) and blocks
+//! starting at a *return site* (the instruction after any linking
+//! `jal`/`jalr`). A `jalr` may also leave the program entirely (the
+//! machine's exit address), so it never forces its textual successor to be
+//! reachable by itself.
+
+use lvp_isa::{CtrlFlow, Instr, Program, INSTR_BYTES};
+
+/// A basic block: the half-open instruction index range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// A direct branch or jump whose target falls outside the text segment
+/// (or is misaligned); recorded during CFG construction for the `LVP004`
+/// lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadBranch {
+    /// Instruction index of the branch.
+    pub instr: usize,
+    /// The out-of-range target address.
+    pub target: u64,
+}
+
+/// The control-flow graph of a program's text segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    entry_block: usize,
+    block_of_instr: Vec<usize>,
+    bad_branches: Vec<BadBranch>,
+    text_base: u64,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`'s text segment.
+    ///
+    /// Programs with an empty text segment yield a CFG with no blocks.
+    pub fn build(program: &Program) -> Cfg {
+        let text = program.text();
+        let n = text.len();
+        let text_base = program.layout().text_base();
+        let mut cfg = Cfg {
+            blocks: Vec::new(),
+            entry_block: 0,
+            block_of_instr: vec![0; n],
+            bad_branches: Vec::new(),
+            text_base,
+        };
+        if n == 0 {
+            return cfg;
+        }
+
+        // Resolve a branch displacement to an instruction index, recording
+        // out-of-text targets for LVP004.
+        let target_of = |i: usize, offset: i32, bad: &mut Vec<BadBranch>| -> Option<usize> {
+            let pc = text_base + i as u64 * INSTR_BYTES;
+            let target = pc.wrapping_add_signed(offset as i64);
+            let in_text = target >= text_base
+                && target < text_base + n as u64 * INSTR_BYTES
+                && target.is_multiple_of(INSTR_BYTES);
+            if in_text {
+                Some(((target - text_base) / INSTR_BYTES) as usize)
+            } else {
+                bad.push(BadBranch { instr: i, target });
+                None
+            }
+        };
+
+        // Leaders: entry, direct targets, instructions following any
+        // terminator, text symbols and return sites (potential indirect
+        // targets).
+        let mut leader = vec![false; n];
+        let entry_idx = Self::index_of_pc_raw(text_base, n, program.entry()).unwrap_or(0);
+        leader[entry_idx] = true;
+        leader[0] = true;
+        for &addr in program.symbols().values() {
+            if let Some(i) = Self::index_of_pc_raw(text_base, n, addr) {
+                leader[i] = true;
+            }
+        }
+        let mut scratch_bad = Vec::new();
+        for (i, instr) in text.iter().enumerate() {
+            match instr.control_flow() {
+                CtrlFlow::Fall => {}
+                CtrlFlow::CondBranch { offset } | CtrlFlow::Jump { offset } => {
+                    if let Some(t) = target_of(i, offset, &mut scratch_bad) {
+                        leader[t] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                CtrlFlow::IndirectJump { .. } | CtrlFlow::Halt => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+            }
+        }
+
+        // Carve blocks.
+        for (i, &is_leader) in leader.iter().enumerate() {
+            if is_leader {
+                cfg.blocks.push(BasicBlock {
+                    start: i,
+                    end: n, // fixed up below
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            }
+            cfg.block_of_instr[i] = cfg.blocks.len() - 1;
+        }
+        for b in 0..cfg.blocks.len() {
+            if b + 1 < cfg.blocks.len() {
+                cfg.blocks[b].end = cfg.blocks[b + 1].start;
+            }
+        }
+        cfg.entry_block = cfg.block_of_instr[entry_idx];
+
+        // The conservative indirect-target set: text-symbol blocks plus
+        // return sites (instruction after a linking jal/jalr).
+        let mut indirect_targets: Vec<usize> = Vec::new();
+        for &addr in program.symbols().values() {
+            if let Some(i) = Self::index_of_pc_raw(text_base, n, addr) {
+                indirect_targets.push(cfg.block_of_instr[i]);
+            }
+        }
+        for (i, instr) in text.iter().enumerate() {
+            let links = match *instr {
+                Instr::Jal { rd, .. } | Instr::Jalr { rd, .. } => !rd.is_zero(),
+                _ => false,
+            };
+            if links && i + 1 < n {
+                indirect_targets.push(cfg.block_of_instr[i + 1]);
+            }
+        }
+        indirect_targets.sort_unstable();
+        indirect_targets.dedup();
+
+        // Edges, from each block's final instruction.
+        for b in 0..cfg.blocks.len() {
+            let last = cfg.blocks[b].end - 1;
+            let mut succs: Vec<usize> = Vec::new();
+            match text[last].control_flow() {
+                CtrlFlow::Fall => {
+                    if last + 1 < n {
+                        succs.push(cfg.block_of_instr[last + 1]);
+                    }
+                }
+                CtrlFlow::CondBranch { offset } => {
+                    if let Some(t) = target_of(last, offset, &mut cfg.bad_branches) {
+                        succs.push(cfg.block_of_instr[t]);
+                    }
+                    if last + 1 < n {
+                        succs.push(cfg.block_of_instr[last + 1]);
+                    }
+                }
+                CtrlFlow::Jump { offset } => {
+                    if let Some(t) = target_of(last, offset, &mut cfg.bad_branches) {
+                        succs.push(cfg.block_of_instr[t]);
+                    }
+                }
+                CtrlFlow::IndirectJump { .. } => {
+                    succs.extend_from_slice(&indirect_targets);
+                }
+                CtrlFlow::Halt => {}
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            cfg.blocks[b].succs = succs;
+        }
+        for b in 0..cfg.blocks.len() {
+            for s in cfg.blocks[b].succs.clone() {
+                cfg.blocks[s].preds.push(b);
+            }
+        }
+        cfg
+    }
+
+    fn index_of_pc_raw(text_base: u64, n: usize, pc: u64) -> Option<usize> {
+        if pc < text_base || !pc.is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        let i = ((pc - text_base) / INSTR_BYTES) as usize;
+        (i < n).then_some(i)
+    }
+
+    /// The basic blocks, in text order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Block id of the entry point.
+    pub fn entry_block(&self) -> usize {
+        self.entry_block
+    }
+
+    /// Block id containing instruction index `i`.
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block_of_instr[i]
+    }
+
+    /// Direct branches whose target is outside the text segment.
+    pub fn bad_branches(&self) -> &[BadBranch] {
+        &self.bad_branches
+    }
+
+    /// Address of instruction index `i`.
+    pub fn pc_of(&self, i: usize) -> u64 {
+        self.text_base + i as u64 * INSTR_BYTES
+    }
+
+    /// Per-block reachability from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![self.entry_block];
+        seen[self.entry_block] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{AsmProfile, Assembler};
+
+    fn assemble(src: &str) -> Program {
+        Assembler::new(AsmProfile::Gp).assemble(src).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = assemble("main:\n li a0, 1\n li a1, 2\n add a0, a0, a1\n halt\n");
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert!(cfg.bad_branches().is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_adds_edges() {
+        let p = assemble("main:\n li a0, 3\nloop:\n addi a0, a0, -1\n bne a0, zero, loop\n halt\n");
+        let cfg = Cfg::build(&p);
+        // Blocks: [li], [addi; bne], [halt].
+        assert_eq!(cfg.blocks().len(), 3);
+        let loop_block = cfg
+            .blocks()
+            .iter()
+            .position(|b| cfg.pc_of(b.start) == p.symbol("loop").unwrap())
+            .unwrap();
+        let succs = &cfg.blocks()[loop_block].succs;
+        assert!(succs.contains(&loop_block), "back edge to itself");
+        assert_eq!(succs.len(), 2);
+    }
+
+    #[test]
+    fn jump_has_single_successor() {
+        let p = assemble("main:\n j end\n li a0, 1\nend:\n halt\n");
+        let cfg = Cfg::build(&p);
+        let entry = &cfg.blocks()[cfg.entry_block()];
+        assert_eq!(entry.succs.len(), 1);
+        // The `li` block is not the jump's successor.
+        let reach = cfg.reachable();
+        assert!(
+            reach.iter().filter(|&&r| !r).count() >= 1,
+            "li block unreachable"
+        );
+    }
+
+    #[test]
+    fn indirect_jump_targets_symbols_and_return_sites() {
+        let p = assemble("main:\n jal ra, f\n halt\nf:\n jalr zero, ra, 0\n");
+        let cfg = Cfg::build(&p);
+        let reach = cfg.reachable();
+        // Everything is reachable: main, the return site (halt), and f.
+        assert!(reach.iter().all(|&r| r));
+        // The return block's successors include the return site, not just
+        // text symbols.
+        let f_block = cfg
+            .block_of(((p.symbol("f").unwrap() - p.layout().text_base()) / INSTR_BYTES) as usize);
+        let halt_idx = 1; // instruction after the jal
+        assert!(cfg.blocks()[f_block]
+            .succs
+            .contains(&cfg.block_of(halt_idx)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Diagnostics emitted by the verifier, with stable lint codes.
+
+use std::fmt;
+
+/// A stable lint code. The numeric codes are part of the crate's public
+/// interface (tests and downstream tooling match on them); see the crate
+/// docs for the full table.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LintCode {
+    /// `LVP001`: read of a register that is uninitialized on every path
+    /// from the entry point.
+    UninitRead,
+    /// `LVP002`: basic block unreachable from the entry point.
+    UnreachableBlock,
+    /// `LVP003`: register store whose value can never be observed.
+    DeadStore,
+    /// `LVP004`: branch or jump target outside the text segment (or
+    /// misaligned).
+    BranchOutOfText,
+    /// `LVP005`: statically resolvable memory operand that is misaligned
+    /// or outside the data segment.
+    BadMemOperand,
+    /// `LVP006`: write to the hardwired zero register (always discarded).
+    WriteToZero,
+}
+
+impl LintCode {
+    /// The stable `LVPnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::UninitRead => "LVP001",
+            LintCode::UnreachableBlock => "LVP002",
+            LintCode::DeadStore => "LVP003",
+            LintCode::BranchOutOfText => "LVP004",
+            LintCode::BadMemOperand => "LVP005",
+            LintCode::WriteToZero => "LVP006",
+        }
+    }
+
+    /// A short kebab-case name for the lint.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::UninitRead => "uninit-read",
+            LintCode::UnreachableBlock => "unreachable-block",
+            LintCode::DeadStore => "dead-store",
+            LintCode::BranchOutOfText => "branch-out-of-text",
+            LintCode::BadMemOperand => "bad-mem-operand",
+            LintCode::WriteToZero => "write-to-zero",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.as_str(), self.name())
+    }
+}
+
+/// One verifier finding, anchored to the pc of the offending instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub code: LintCode,
+    /// Address of the offending instruction.
+    pub pc: u64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: LintCode, pc: u64, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            pc,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders as `pc:code: message`, e.g.
+    /// `0x10040: LVP001 (uninit-read): read of uninitialized register t0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}: {}", self.pc, self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(LintCode::UninitRead.as_str(), "LVP001");
+        assert_eq!(LintCode::UnreachableBlock.as_str(), "LVP002");
+        assert_eq!(LintCode::DeadStore.as_str(), "LVP003");
+        assert_eq!(LintCode::BranchOutOfText.as_str(), "LVP004");
+        assert_eq!(LintCode::BadMemOperand.as_str(), "LVP005");
+        assert_eq!(LintCode::WriteToZero.as_str(), "LVP006");
+    }
+
+    #[test]
+    fn display_includes_pc_and_code() {
+        let d = Diagnostic::new(LintCode::UninitRead, 0x10040, "read of t0");
+        let s = d.to_string();
+        assert!(s.contains("0x10040"));
+        assert!(s.contains("LVP001"));
+        assert!(s.contains("read of t0"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # lvp-analyze — static analysis and verification for LRISC programs
+//!
+//! Static companion to the dynamic machinery in `lvp-predictor`: where the
+//! Load Classification Table *learns* per-static-load behavior at run
+//! time, this crate *derives* it from program structure, and doubles as a
+//! correctness gate (verifier) over everything the `lvp-lang` compiler and
+//! the hand-written workload kernels emit.
+//!
+//! The crate provides four layers, each usable on its own:
+//!
+//! * [`Cfg`] — basic blocks and control-flow edges over a
+//!   [`lvp_isa::Program`], with conservative indirect-jump (`jalr`)
+//!   handling;
+//! * [`ReachingDefs`] / [`Liveness`] — classic iterative dataflow over the
+//!   64 combined integer + floating-point register slots;
+//! * [`verify`] — the lint engine, producing [`Diagnostic`]s with stable
+//!   codes (table below);
+//! * [`classify_loads`] / [`LctComparison`] — the paper-facing pass:
+//!   statically classify every load (constant-pool, stack reload, global,
+//!   computed) and join the classes against the dynamic LCT outcome per
+//!   pc.
+//!
+//! # Lint codes
+//!
+//! | Code | Name | Meaning |
+//! |------|------|---------|
+//! | `LVP001` | `uninit-read` | A register is read, and **no** write to it reaches the read on *any* path from the entry point. Registers initialized by the machine (`zero`, `ra`, `sp`, `gp`) are exempt, as are `sp`-relative spills of a register (prologue saves of callee-saved registers legitimately store uninitialized values). |
+//! | `LVP002` | `unreachable-block` | A basic block is unreachable from the entry point, even under conservative indirect-jump assumptions (every text symbol and every return site is a potential `jalr` target). |
+//! | `LVP003` | `dead-store` | A register write that can never be observed: overwritten in the same block before any read, or never read and not live out of its block. Writes to `ra` and callee-saved registers (including `sp`/`gp`) are exempt from the never-read case — epilogue restores are dead in the outermost frame by design. |
+//! | `LVP004` | `branch-out-of-text` | A direct branch or jump target lies outside the text segment or is misaligned. |
+//! | `LVP005` | `bad-mem-operand` | A memory operand whose address is statically known (`zero`-based absolute, or `gp`-based when `gp` is never written) is misaligned for its access width or falls outside the data segment. |
+//! | `LVP006` | `write-to-zero` | An instruction writes the hardwired zero register, discarding the value. `jal`/`jalr` with a `zero` link register (the standard no-link idiom) are exempt. |
+//!
+//! All lints are *must*-style: a diagnostic is a definite defect on every
+//! execution path (or, for `LVP002`/`LVP003`, provably dead text), so
+//! correct compiler output verifies clean and the lints can gate codegen
+//! in CI.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvp_isa::{AsmProfile, Assembler};
+//! use lvp_analyze::{verify, LintCode};
+//!
+//! // Reads `a0` before any write: flagged on every path.
+//! let buggy = Assembler::new(AsmProfile::Gp)
+//!     .assemble("main:\n add a1, a0, a0\n out a1\n halt\n")?;
+//! let diags = verify(&buggy);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, LintCode::UninitRead);
+//!
+//! let clean = Assembler::new(AsmProfile::Gp)
+//!     .assemble("main:\n li a0, 42\n out a0\n halt\n")?;
+//! assert!(verify(&clean).is_empty());
+//! # Ok::<(), lvp_isa::AsmError>(())
+//! ```
+
+mod cfg;
+mod dataflow;
+mod diag;
+mod loads;
+mod verify;
+
+pub use cfg::{BadBranch, BasicBlock, Cfg};
+pub use dataflow::{BitSet, DefSite, Liveness, ReachingDefs, NUM_REGS};
+pub use diag::{Diagnostic, LintCode};
+pub use loads::{classify_loads, ClassAgreement, LctComparison, StaticLoad, StaticLoadClass};
+pub use verify::verify;

@@ -1,0 +1,343 @@
+//! The program verifier: runs every lint over a [`Program`] and collects
+//! [`Diagnostic`]s.
+//!
+//! The lints are deliberately *must*-style (a finding is a definite bug on
+//! every path) or idiom-aware, so that correct compiler output and the
+//! hand-written workload kernels verify clean; see the crate docs for the
+//! precise conservatism of each lint.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{Liveness, ReachingDefs};
+use crate::diag::{Diagnostic, LintCode};
+use lvp_isa::{Instr, Program, Reg, RegId};
+
+/// Register slots that the machine initializes at program entry
+/// (`zero`, `ra` = exit address, `sp` = stack top, `gp` = pool base);
+/// reads of these are never uninitialized.
+const ENTRY_INIT: u64 = (1 << 0) | (1 << 1) | (1 << 2) | (1 << 3);
+
+/// Runs all lints over `program`, returning diagnostics sorted by pc.
+pub fn verify(program: &Program) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(program);
+    let mut diags = Vec::new();
+    if program.text().is_empty() {
+        return diags;
+    }
+    let reachable = cfg.reachable();
+    let rdefs = ReachingDefs::compute(program, &cfg);
+    let live = Liveness::compute(program, &cfg);
+
+    lint_branch_targets(&cfg, &mut diags);
+    lint_unreachable(program, &cfg, &reachable, &mut diags);
+    lint_uninit_reads(program, &cfg, &reachable, &rdefs, &mut diags);
+    lint_dead_stores(program, &cfg, &reachable, &live, &mut diags);
+    lint_mem_operands(program, &mut diags);
+    lint_zero_writes(program, &cfg, &mut diags);
+
+    diags.sort_by_key(|d| (d.pc, d.code));
+    diags
+}
+
+/// `LVP004`: direct branch/jump targets outside the text segment.
+fn lint_branch_targets(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for bad in cfg.bad_branches() {
+        diags.push(Diagnostic::new(
+            LintCode::BranchOutOfText,
+            cfg.pc_of(bad.instr),
+            format!(
+                "branch target {:#x} is outside the text segment",
+                bad.target
+            ),
+        ));
+    }
+}
+
+/// `LVP002`: blocks unreachable from the entry point.
+fn lint_unreachable(program: &Program, cfg: &Cfg, reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] {
+            let len = block.end - block.start;
+            diags.push(Diagnostic::new(
+                LintCode::UnreachableBlock,
+                cfg.pc_of(block.start),
+                format!(
+                    "unreachable block of {len} instruction{} starting with `{}`",
+                    if len == 1 { "" } else { "s" },
+                    program.text()[block.start],
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether this use of `reg` by `instr` is exempt from the uninit-read
+/// lint: spilling a (possibly still uninitialized) register to the stack
+/// in a prologue is standard ABI practice — callee-saved registers are
+/// saved before the function knows whether the caller ever set them.
+fn is_spill_of(instr: &Instr, reg: RegId) -> bool {
+    let stored = match *instr {
+        Instr::Sb { rs2, .. }
+        | Instr::Sh { rs2, .. }
+        | Instr::Sw { rs2, .. }
+        | Instr::Sd { rs2, .. } => RegId::Int(rs2),
+        Instr::Fsd { fs2, .. } => RegId::Fp(fs2),
+        _ => return false,
+    };
+    let sp_based = matches!(instr.mem_operand(), Some((base, _)) if base == Reg::SP);
+    sp_based && stored == reg
+}
+
+/// `LVP001`: a register read where no real definition reaches on any path.
+fn lint_uninit_reads(
+    program: &Program,
+    cfg: &Cfg,
+    reachable: &[bool],
+    rdefs: &ReachingDefs,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        for i in block.start..block.end {
+            let instr = &program.text()[i];
+            for (nth, u) in instr.uses().enumerate() {
+                // `add a1, a0, a0` names the same register twice; report once.
+                if instr.uses().take(nth).any(|prev| prev == u) {
+                    continue;
+                }
+                let slot = u.flat_index();
+                if slot < 64 && ENTRY_INIT & (1u64 << slot) != 0 {
+                    continue;
+                }
+                if is_spill_of(instr, u) {
+                    continue;
+                }
+                if rdefs.only_entry_def_reaches(cfg, i, u) {
+                    diags.push(Diagnostic::new(
+                        LintCode::UninitRead,
+                        cfg.pc_of(i),
+                        format!("`{instr}` reads register {u}, which is uninitialized on every path from entry"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether writes to this register are ABI bookkeeping that may
+/// legitimately go unread: epilogue restores of callee-saved registers
+/// (including `sp`/`gp` adjustment) and `ra` are dead in the outermost
+/// frame — nothing reads them after the final return — but they are
+/// required ABI behavior, not bugs.
+fn is_abi_preserved(d: RegId) -> bool {
+    match d {
+        RegId::Int(r) => r == Reg::RA || r.is_callee_saved(),
+        RegId::Fp(r) => r.is_callee_saved(),
+    }
+}
+
+/// `LVP003`: register writes that can never be observed — either
+/// overwritten in the same block before any read, or unused to the end of
+/// a block whose live-out set does not contain the register.
+fn lint_dead_stores(
+    program: &Program,
+    cfg: &Cfg,
+    reachable: &[bool],
+    live: &Liveness,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        'defs: for i in block.start..block.end {
+            let instr = &program.text()[i];
+            let Some(d) = instr.defs() else { continue };
+            // Zero-register writes are LVP006's concern.
+            if d.is_zero() {
+                continue;
+            }
+            for j in i + 1..block.end {
+                let next = &program.text()[j];
+                if next.uses().any(|u| u == d) {
+                    continue 'defs; // value observed
+                }
+                if next.defs() == Some(d) {
+                    diags.push(Diagnostic::new(
+                        LintCode::DeadStore,
+                        cfg.pc_of(i),
+                        format!(
+                            "value written to {d} by `{instr}` is overwritten at {:#x} before any read",
+                            cfg.pc_of(j)
+                        ),
+                    ));
+                    continue 'defs;
+                }
+            }
+            // Unused to the end of the block: dead iff not live-out.
+            if live.live_out[b] & (1u64 << d.flat_index()) == 0 && !is_abi_preserved(d) {
+                diags.push(Diagnostic::new(
+                    LintCode::DeadStore,
+                    cfg.pc_of(i),
+                    format!("value written to {d} by `{instr}` is never read"),
+                ));
+            }
+        }
+    }
+}
+
+/// `LVP005`: statically resolvable memory operands that are misaligned or
+/// fall outside the data segment. Only operands whose base register has a
+/// statically known value are checked: `zero` (absolute addressing) and
+/// `gp` (pool base) when the program never writes `gp`.
+fn lint_mem_operands(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let layout = program.layout();
+    let gp_stable = !program
+        .text()
+        .iter()
+        .any(|i| i.defs() == Some(RegId::Int(Reg::GP)));
+    for (i, instr) in program.text().iter().enumerate() {
+        let Some((base, offset)) = instr.mem_operand() else {
+            continue;
+        };
+        let addr = if base == Reg::ZERO {
+            offset as i64 as u64
+        } else if base == Reg::GP && gp_stable {
+            program.pool_base().wrapping_add_signed(offset as i64)
+        } else {
+            continue;
+        };
+        let pc = layout.text_base() + i as u64 * 4;
+        let width = instr.mem_width().map(|w| w.bytes()).unwrap_or(8);
+        if !addr.is_multiple_of(width) {
+            diags.push(Diagnostic::new(
+                LintCode::BadMemOperand,
+                pc,
+                format!("`{instr}` accesses {addr:#x}, which is not {width}-byte aligned"),
+            ));
+        }
+        let in_data = addr >= layout.data_base() && addr + width <= layout.data_end();
+        if !in_data {
+            diags.push(Diagnostic::new(
+                LintCode::BadMemOperand,
+                pc,
+                format!(
+                    "`{instr}` accesses {addr:#x}, outside the data segment [{:#x}, {:#x}) ({:?})",
+                    layout.data_base(),
+                    layout.data_end(),
+                    layout.classify_value(addr)
+                ),
+            ));
+        }
+    }
+}
+
+/// `LVP006`: writes to the hardwired zero register. `jal`/`jalr` with a
+/// `zero` link register are the standard "discard the return address"
+/// idiom and are exempt.
+fn lint_zero_writes(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for (i, instr) in program.text().iter().enumerate() {
+        if matches!(instr, Instr::Jal { .. } | Instr::Jalr { .. }) {
+            continue;
+        }
+        if matches!(instr.defs(), Some(d) if d.is_zero()) {
+            diags.push(Diagnostic::new(
+                LintCode::WriteToZero,
+                cfg.pc_of(i),
+                format!("`{instr}` writes to the hardwired zero register; the value is discarded"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{AsmProfile, Assembler};
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let p = Assembler::new(AsmProfile::Gp).assemble(src).unwrap();
+        verify(&p)
+    }
+
+    fn codes(src: &str) -> Vec<LintCode> {
+        diags(src).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let d = diags(
+            "main:\n li a0, 3\nloop:\n addi a0, a0, -1\n bne a0, zero, loop\n out a0\n halt\n",
+        );
+        assert!(d.is_empty(), "unexpected diagnostics: {d:?}");
+    }
+
+    #[test]
+    fn uninit_read_detected() {
+        let c = codes("main:\n add a1, a0, a0\n out a1\n halt\n");
+        assert_eq!(c, vec![LintCode::UninitRead]);
+    }
+
+    #[test]
+    fn uninit_read_not_reported_at_join_with_one_def() {
+        let c = codes(
+            "main:\n beq t0, zero, skip\n li a0, 1\nskip:\n add a1, a0, a0\n out a1\n halt\n",
+        );
+        // t0 read is uninit; the a0 read at the join is only *maybe*
+        // uninit and must not be reported.
+        assert_eq!(c, vec![LintCode::UninitRead]);
+    }
+
+    #[test]
+    fn spill_of_callee_saved_is_exempt() {
+        let c = codes(
+            "main:\n addi sp, sp, -16\n sd s0, 0(sp)\n li s0, 5\n out s0\n ld s0, 0(sp)\n addi sp, sp, 16\n halt\n",
+        );
+        assert!(c.is_empty(), "prologue spill misdiagnosed: {c:?}");
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let c = codes("main:\n j end\n li a0, 1\n out a0\nend:\n halt\n");
+        assert_eq!(c, vec![LintCode::UnreachableBlock]);
+    }
+
+    #[test]
+    fn dead_store_overwrite_detected() {
+        let c = codes("main:\n li a0, 1\n li a0, 2\n out a0\n halt\n");
+        assert_eq!(c, vec![LintCode::DeadStore]);
+    }
+
+    #[test]
+    fn dead_store_never_read_detected() {
+        let c = codes("main:\n li a0, 1\n li a1, 7\n out a0\n halt\n");
+        assert_eq!(c, vec![LintCode::DeadStore]);
+    }
+
+    #[test]
+    fn write_to_zero_detected() {
+        let c = codes("main:\n add zero, a0, a0\n halt\n");
+        // The read of a0 is also uninit.
+        assert!(c.contains(&LintCode::WriteToZero), "got {c:?}");
+    }
+
+    #[test]
+    fn absolute_mem_operand_checked() {
+        // 0x8 is far below DATA_BASE.
+        let c = codes("main:\n li a0, 1\n sw a0, 8(zero)\n out a0\n halt\n");
+        assert_eq!(c, vec![LintCode::BadMemOperand]);
+    }
+
+    #[test]
+    fn misaligned_pool_operand_checked() {
+        let p = Assembler::new(AsmProfile::Toc)
+            .assemble("main:\n ld a0, 1(gp)\n out a0\n halt\n")
+            .unwrap();
+        let d = verify(&p);
+        assert!(
+            d.iter().any(|d| d.code == LintCode::BadMemOperand),
+            "misaligned gp-relative access not flagged: {d:?}"
+        );
+    }
+}

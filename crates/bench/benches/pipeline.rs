@@ -42,7 +42,11 @@ fn bench_pipeline(c: &mut Criterion) {
     });
     g.bench_function("phase3 620 with LVP", |b| {
         b.iter(|| {
-            black_box(simulate_620(&run.trace, Some(&outcomes), &Ppc620Config::base()))
+            black_box(simulate_620(
+                &run.trace,
+                Some(&outcomes),
+                &Ppc620Config::base(),
+            ))
         })
     });
     g.bench_function("phase3 21164 baseline", |b| {

@@ -15,7 +15,9 @@ fn stream(n: usize) -> Vec<(u64, u64, u64)> {
     let mut out = Vec::with_capacity(n);
     let mut state = 0x1234_5678_9abc_def0u64;
     for _ in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let pc = 0x10000 + 4 * ((state >> 16) % 256);
         let addr = 0x10_0000 + 8 * ((state >> 24) % 4096);
         let value = if state % 10 < 8 { pc * 3 } else { state >> 32 };
@@ -61,7 +63,10 @@ fn bench_lct(c: &mut Criterion) {
     let s = stream(10_000);
     c.bench_function("lct classify+update", |b| {
         b.iter(|| {
-            let mut t = Lct::new(LctConfig { entries: 256, counter_bits: 2 });
+            let mut t = Lct::new(LctConfig {
+                entries: 256,
+                counter_bits: 2,
+            });
             for &(pc, _, v) in &s {
                 let cls = t.classify(pc);
                 t.update(pc, v % 2 == 0);

@@ -11,8 +11,15 @@ use lvp_workloads::suite;
 fn with_bits(bits: u8) -> LvpConfig {
     LvpConfig {
         name: "sweep",
-        lvpt: LvptConfig { entries: 1024, history_depth: 1, perfect_selection: false },
-        lct: LctConfig { entries: 256, counter_bits: bits },
+        lvpt: LvptConfig {
+            entries: 1024,
+            history_depth: 1,
+            perfect_selection: false,
+        },
+        lct: LctConfig {
+            entries: 256,
+            counter_bits: bits,
+        },
         cvu: CvuConfig { entries: 32 },
         perfect: false,
     }

@@ -11,8 +11,15 @@ use lvp_workloads::suite;
 fn sized(entries: usize) -> LvpConfig {
     LvpConfig {
         name: "sweep",
-        lvpt: LvptConfig { entries, history_depth: 1, perfect_selection: false },
-        lct: LctConfig { entries: 256, counter_bits: 2 },
+        lvpt: LvptConfig {
+            entries,
+            history_depth: 1,
+            perfect_selection: false,
+        },
+        lct: LctConfig {
+            entries: 256,
+            counter_bits: 2,
+        },
         cvu: CvuConfig { entries: 32 },
         perfect: false,
     }

@@ -6,14 +6,16 @@
 use lvp_bench::{geo_mean, pct1, workload_trace, TablePrinter};
 use lvp_isa::AsmProfile;
 use lvp_predictor::{
-    evaluate_predictor, BhrIndexedPredictor, FcmPredictor, LastValuePredictor,
-    StridePredictor, ValuePredictor,
+    evaluate_predictor, BhrIndexedPredictor, FcmPredictor, LastValuePredictor, StridePredictor,
+    ValuePredictor,
 };
 use lvp_trace::OpKind;
 use lvp_workloads::suite;
 
 fn main() {
-    println!("Ablation: value predictor families (1024-entry L1 tables, hit rate = correct/loads)\n");
+    println!(
+        "Ablation: value predictor families (1024-entry L1 tables, hit rate = correct/loads)\n"
+    );
     let mut t = TablePrinter::new(vec![
         "benchmark",
         "last-value",

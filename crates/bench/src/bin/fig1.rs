@@ -10,8 +10,10 @@ use lvp_workloads::suite;
 
 fn main() {
     println!("Figure 1: Load Value Locality (history depth 1 / depth 16)\n");
-    for (panel, profile) in [("Alpha-style (Gp)", AsmProfile::Gp), ("PowerPC-style (Toc)", AsmProfile::Toc)]
-    {
+    for (panel, profile) in [
+        ("Alpha-style (Gp)", AsmProfile::Gp),
+        ("PowerPC-style (Toc)", AsmProfile::Toc),
+    ] {
         println!("== {panel} ==");
         let mut t = TablePrinter::new(vec!["benchmark", "depth 1", "depth 16"]);
         let (mut d1s, mut d16s) = (Vec::new(), Vec::new());
@@ -26,7 +28,11 @@ fn main() {
             d16s.push(d16);
             t.row(vec![w.name.to_string(), pct1(d1), pct1(d16)]);
         }
-        t.row(vec!["GM".to_string(), pct1(geo_mean(&d1s)), pct1(geo_mean(&d16s))]);
+        t.row(vec![
+            "GM".to_string(),
+            pct1(geo_mean(&d1s)),
+            pct1(geo_mean(&d16s)),
+        ]);
         println!("{}", t.render());
     }
     println!(

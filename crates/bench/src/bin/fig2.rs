@@ -10,8 +10,10 @@ use lvp_workloads::suite;
 
 fn main() {
     println!("Figure 2: PowerPC (Toc) Value Locality by Data Type (depth 1 / 16)\n");
-    let mut per_class: Vec<(ValueClass, Vec<f64>, Vec<f64>)> =
-        ValueClass::ALL.iter().map(|&c| (c, Vec::new(), Vec::new())).collect();
+    let mut per_class: Vec<(ValueClass, Vec<f64>, Vec<f64>)> = ValueClass::ALL
+        .iter()
+        .map(|&c| (c, Vec::new(), Vec::new()))
+        .collect();
 
     let mut t = TablePrinter::new(vec![
         "benchmark",

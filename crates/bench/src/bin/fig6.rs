@@ -20,7 +20,14 @@ fn main() {
         LvpConfig::limit(),
         LvpConfig::perfect(),
     ];
-    let mut t = TablePrinter::new(vec!["benchmark", "base IPC", "Simple", "Constant", "Limit", "Perfect"]);
+    let mut t = TablePrinter::new(vec![
+        "benchmark",
+        "base IPC",
+        "Simple",
+        "Constant",
+        "Limit",
+        "Perfect",
+    ]);
     let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let machine = Ppc620Config::base();
     for w in suite() {
@@ -45,7 +52,11 @@ fn main() {
 
     // ---- Alpha 21164 (Gp traces) ----
     println!("== Alpha AXP 21164 (Gp profile traces) ==");
-    let configs_alpha = [LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()];
+    let configs_alpha = [
+        LvpConfig::simple(),
+        LvpConfig::limit(),
+        LvpConfig::perfect(),
+    ];
     let mut t = TablePrinter::new(vec!["benchmark", "base IPC", "Simple", "Limit", "Perfect"]);
     let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let machine = Alpha21164Config::base();

@@ -19,8 +19,7 @@ fn main() {
     ];
     let machines = [Ppc620Config::base(), Ppc620Config::plus()];
     // totals[machine][config]
-    let mut totals =
-        vec![vec![VerifyLatencyHistogram::default(); configs.len()]; machines.len()];
+    let mut totals = vec![vec![VerifyLatencyHistogram::default(); configs.len()]; machines.len()];
     for w in suite() {
         let run = workload_trace(&w, AsmProfile::Toc);
         for (ci, cfg) in configs.iter().enumerate() {

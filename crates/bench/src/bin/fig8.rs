@@ -12,7 +12,10 @@ use lvp_workloads::suite;
 
 /// The 620's functional units as the paper groups them in Figure 8.
 const FU_GROUPS: [(&str, &[OpKind]); 5] = [
-    ("BRU", &[OpKind::CondBranch, OpKind::Jump, OpKind::IndirectJump]),
+    (
+        "BRU",
+        &[OpKind::CondBranch, OpKind::Jump, OpKind::IndirectJump],
+    ),
     ("MCFX", &[OpKind::IntComplex]),
     ("FPU", &[OpKind::FpSimple, OpKind::FpComplex]),
     ("SCFX", &[OpKind::IntSimple, OpKind::System]),
@@ -31,8 +34,10 @@ fn main() {
         println!("== PPC {} ==", machine.name);
         // Aggregate operand-wait stats across the whole suite.
         let mut base_waits = OperandWaitStats::default();
-        let mut cfg_waits: Vec<OperandWaitStats> =
-            configs.iter().map(|_| OperandWaitStats::default()).collect();
+        let mut cfg_waits: Vec<OperandWaitStats> = configs
+            .iter()
+            .map(|_| OperandWaitStats::default())
+            .collect();
         for w in suite() {
             let run = workload_trace(&w, AsmProfile::Toc);
             let base = simulate_620(&run.trace, None, &machine);
@@ -56,7 +61,11 @@ fn main() {
             let mut row = vec![name.to_string(), format!("{base_avg:.2}")];
             for waits in &cfg_waits {
                 let avg = waits.average_of(kinds);
-                let norm = if base_avg > 0.0 { 100.0 * avg / base_avg } else { 100.0 };
+                let norm = if base_avg > 0.0 {
+                    100.0 * avg / base_avg
+                } else {
+                    100.0
+                };
                 row.push(format!("{norm:.0}%"));
             }
             t.row(row);

@@ -13,8 +13,7 @@ fn main() {
     println!("Figure 9: Percentage of Cycles with Bank Conflicts\n");
     for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
         println!("== PPC {} ==", machine.name);
-        let mut t =
-            TablePrinter::new(vec!["benchmark", "base", "Simple", "Constant"]);
+        let mut t = TablePrinter::new(vec!["benchmark", "base", "Simple", "Constant"]);
         let (mut sb, mut ss, mut sc) = (0.0f64, 0.0f64, 0.0f64);
         let mut n = 0usize;
         for w in suite() {

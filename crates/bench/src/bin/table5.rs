@@ -8,15 +8,31 @@ fn main() {
     let p = LatencyTable::ppc620();
     let a = LatencyTable::alpha21164();
     let mut t = TablePrinter::new(vec!["instruction class", "PPC 620", "AXP 21164"]);
-    t.row(vec!["Simple Integer".to_string(), p.int_simple.to_string(), a.int_simple.to_string()]);
+    t.row(vec![
+        "Simple Integer".to_string(),
+        p.int_simple.to_string(),
+        a.int_simple.to_string(),
+    ]);
     t.row(vec![
         "Complex Integer".to_string(),
         p.int_complex.to_string(),
         a.int_complex.to_string(),
     ]);
-    t.row(vec!["Load/Store".to_string(), p.load.to_string(), a.load.to_string()]);
-    t.row(vec!["Simple FP".to_string(), p.fp_simple.to_string(), a.fp_simple.to_string()]);
-    t.row(vec!["Complex FP".to_string(), p.fp_complex.to_string(), a.fp_complex.to_string()]);
+    t.row(vec![
+        "Load/Store".to_string(),
+        p.load.to_string(),
+        a.load.to_string(),
+    ]);
+    t.row(vec![
+        "Simple FP".to_string(),
+        p.fp_simple.to_string(),
+        a.fp_simple.to_string(),
+    ]);
+    t.row(vec![
+        "Complex FP".to_string(),
+        p.fp_complex.to_string(),
+        a.fp_complex.to_string(),
+    ]);
     t.row(vec![
         "Branch mispredict".to_string(),
         p.mispredict_penalty.to_string(),

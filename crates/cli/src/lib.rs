@@ -13,12 +13,15 @@
 //! lvp profile <prog|workload> [opts]  hottest static loads
 //! lvp simulate <prog|workload> [opts] cycle-accurate timing
 //! lvp trace <prog|workload> [opts]    dump the text trace (--top lines)
+//! lvp check <prog|workload> [opts]    static verifier (lints LVP001-006)
 //!
 //! options:
 //!   --profile toc|gp        codegen profile        (default toc)
 //!   --config  simple|constant|limit|perfect        (default simple)
 //!   --machine 620|620+|21164                       (default 620)
 //!   --top     N             rows in `profile`      (default 10)
+//!   --lint                  run the verifier after `asm`
+//!   --compare-lct           join static load classes vs the LCT (`check`)
 //! ```
 //!
 //! `<prog|workload>` is a suite workload name (`lvp suite` lists them), a
@@ -65,6 +68,10 @@ pub struct Options {
     pub machine: MachineSel,
     /// Row limit for `profile`.
     pub top: usize,
+    /// Run the static verifier after `asm`.
+    pub lint: bool,
+    /// Join static load classes against the dynamic LCT in `check`.
+    pub compare_lct: bool,
 }
 
 /// Which timing model to run.
@@ -86,12 +93,15 @@ impl Default for Options {
             config: LvpConfig::simple(),
             machine: MachineSel::Ppc620,
             top: 10,
+            lint: false,
+            compare_lct: false,
         }
     }
 }
 
-/// Parses `--flag value` pairs from `args`, returning the options and
-/// the remaining positional arguments.
+/// Parses `--flag value` pairs (and the valueless `--lint` /
+/// `--compare-lct` switches) from `args`, returning the options and the
+/// remaining positional arguments.
 ///
 /// # Errors
 ///
@@ -145,6 +155,8 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
                     .parse()
                     .map_err(|_| CliError::new("--top requires a number"))?;
             }
+            "--lint" => opts.lint = true,
+            "--compare-lct" => opts.compare_lct = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag `{flag}`")));
             }
@@ -242,10 +254,13 @@ pub fn cmd_run(target: &str, opts: &Options) -> Result<String, CliError> {
 }
 
 /// `lvp asm <file.s>` — assembles and returns the disassembly listing.
+/// With `--lint`, also runs the static verifier and fails on any
+/// diagnostic.
 ///
 /// # Errors
 ///
-/// Propagates file and assembly errors.
+/// Propagates file and assembly errors; with `--lint`, any lint
+/// diagnostic is an error whose message lists every finding.
 pub fn cmd_asm(target: &str, opts: &Options) -> Result<String, CliError> {
     let program = load_program_with(target, opts.profile, opts.opt)?;
     let mut out = program.disassemble();
@@ -257,6 +272,59 @@ pub fn cmd_asm(target: &str, opts: &Options) -> Result<String, CliError> {
         program.entry(),
         program.pool_base()
     );
+    if opts.lint {
+        let diags = lvp_analyze::verify(&program);
+        if diags.is_empty() {
+            let _ = writeln!(out, "lint: clean (0 diagnostics)");
+        } else {
+            return Err(CliError::new(render_diagnostics(target, &diags)));
+        }
+    }
+    Ok(out)
+}
+
+fn render_diagnostics(target: &str, diags: &[lvp_analyze::Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{target}: {d}");
+    }
+    let _ = write!(
+        out,
+        "{target}: {} diagnostic{} found",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// `lvp check <target>` — runs the static verifier over the program and
+/// fails if any lint fires. With `--compare-lct`, also traces the
+/// program, trains the LVP unit's Load Classification Table, and prints
+/// the static-class vs LCT-outcome comparison table.
+///
+/// # Errors
+///
+/// Propagates program-resolution errors; any lint diagnostic becomes an
+/// error whose message lists every finding (one per line). With
+/// `--compare-lct`, simulation errors are also propagated.
+pub fn cmd_check(target: &str, opts: &Options) -> Result<String, CliError> {
+    let program = load_program_with(target, opts.profile, opts.opt)?;
+    let diags = lvp_analyze::verify(&program);
+    if !diags.is_empty() {
+        return Err(CliError::new(render_diagnostics(target, &diags)));
+    }
+    let mut out = format!(
+        "{target}: ok ({} instructions, 0 diagnostics)\n",
+        program.text().len()
+    );
+    if opts.compare_lct {
+        let (trace, _) = trace_program(&program)?;
+        let mut unit = LvpUnit::new(opts.config);
+        let _ = unit.annotate(&trace);
+        let static_loads = lvp_analyze::classify_loads(&program);
+        let cmp = lvp_analyze::LctComparison::build(&static_loads, unit.lct(), &trace);
+        let _ = write!(out, "\n{cmp}");
+    }
     Ok(out)
 }
 
@@ -323,7 +391,11 @@ pub fn cmd_profile(target: &str, opts: &Options) -> Result<String, CliError> {
         opts.top,
         100.0 * profiler.coverage_of_top(opts.top)
     );
-    let _ = writeln!(out, "{:>10}  {:>9}  {:>8}  {:>8}  kind", "pc", "count", "local@1", "values");
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>9}  {:>8}  {:>8}  kind",
+        "pc", "count", "local@1", "values"
+    );
     for s in report.iter().take(opts.top) {
         let values = if s.distinct_values as usize >= LoadProfiler::DISTINCT_CAP {
             ">16".to_string()
@@ -354,8 +426,11 @@ pub fn cmd_trace(target: &str, opts: &Options) -> Result<String, CliError> {
     let program = load_program_with(target, opts.profile, opts.opt)?;
     let (trace, _) = trace_program(&program)?;
     let text = dump_text(&trace);
-    let mut out: String =
-        text.lines().take(opts.top + 1).collect::<Vec<_>>().join("\n");
+    let mut out: String = text
+        .lines()
+        .take(opts.top + 1)
+        .collect::<Vec<_>>()
+        .join("\n");
     out.push('\n');
     let _ = writeln!(
         out,
@@ -381,11 +456,19 @@ pub fn cmd_simulate(target: &str, opts: &Options) -> Result<String, CliError> {
     let (name, base, lvp) = match opts.machine {
         MachineSel::Ppc620 => {
             let m = Ppc620Config::base();
-            (m.name, simulate_620(&trace, None, &m), simulate_620(&trace, Some(&outcomes), &m))
+            (
+                m.name,
+                simulate_620(&trace, None, &m),
+                simulate_620(&trace, Some(&outcomes), &m),
+            )
         }
         MachineSel::Ppc620Plus => {
             let m = Ppc620Config::plus();
-            (m.name, simulate_620(&trace, None, &m), simulate_620(&trace, Some(&outcomes), &m))
+            (
+                m.name,
+                simulate_620(&trace, None, &m),
+                simulate_620(&trace, Some(&outcomes), &m),
+            )
         }
         MachineSel::Alpha21164 => {
             let m = Alpha21164Config::base();
@@ -414,9 +497,11 @@ pub fn usage() -> &'static str {
      \x20 annotate <prog|workload>      LVP unit statistics\n\
      \x20 profile  <prog|workload>      hottest static loads\n\
      \x20 simulate <prog|workload>      cycle-accurate timing\n\
-     \x20 trace    <prog|workload>      dump the text trace\n\n\
+     \x20 trace    <prog|workload>      dump the text trace\n\
+     \x20 check    <prog|workload>      static verifier (lints LVP001-006)\n\n\
      options: --profile toc|gp  --config simple|constant|limit|perfect\n\
-     \x20        --machine 620|620+|21164  --opt 0|1  --top N\n"
+     \x20        --machine 620|620+|21164  --opt 0|1  --top N\n\
+     \x20        --lint (verify after asm)  --compare-lct (with check)\n"
 }
 
 /// Dispatches a full argument vector (excluding `argv[0]`).
@@ -444,8 +529,12 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(target()?, &opts),
         "simulate" => cmd_simulate(target()?, &opts),
         "trace" => cmd_trace(target()?, &opts),
+        "check" => cmd_check(target()?, &opts),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
-        other => Err(CliError::new(format!("unknown command `{other}`\n\n{}", usage()))),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -497,7 +586,10 @@ mod tests {
     #[test]
     fn run_on_workload() {
         let out = cmd_run("xlisp", &Options::default()).unwrap();
-        assert!(out.contains("output: [4,"), "xlisp prints 4 solutions: {out}");
+        assert!(
+            out.contains("output: [4,"),
+            "xlisp prints 4 solutions: {out}"
+        );
         assert!(out.contains("instructions"));
     }
 
@@ -512,7 +604,14 @@ mod tests {
 
     #[test]
     fn profile_reports_top_loads() {
-        let out = cmd_profile("xlisp", &Options { top: 3, ..Options::default() }).unwrap();
+        let out = cmd_profile(
+            "xlisp",
+            &Options {
+                top: 3,
+                ..Options::default()
+            },
+        )
+        .unwrap();
         assert!(out.contains("static loads"));
         // summary + blank + header + 3 rows
         assert_eq!(out.lines().count(), 6, "unexpected layout: {out}");
@@ -520,25 +619,104 @@ mod tests {
 
     #[test]
     fn simulate_all_machines() {
-        for machine in [MachineSel::Ppc620, MachineSel::Ppc620Plus, MachineSel::Alpha21164] {
-            let out =
-                cmd_simulate("xlisp", &Options { machine, ..Options::default() }).unwrap();
+        for machine in [
+            MachineSel::Ppc620,
+            MachineSel::Ppc620Plus,
+            MachineSel::Alpha21164,
+        ] {
+            let out = cmd_simulate(
+                "xlisp",
+                &Options {
+                    machine,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
             assert!(out.contains("speedup:"), "{out}");
         }
     }
 
     #[test]
     fn trace_dump_is_bounded() {
-        let out =
-            cmd_trace("xlisp", &Options { top: 5, ..Options::default() }).unwrap();
+        let out = cmd_trace(
+            "xlisp",
+            &Options {
+                top: 5,
+                ..Options::default()
+            },
+        )
+        .unwrap();
         assert!(out.contains("entries total"));
         assert!(out.lines().count() <= 8, "{out}");
     }
 
     #[test]
+    fn check_reports_clean_workload() {
+        let out = cmd_check("quick", &Options::default()).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        assert!(out.contains("0 diagnostics"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_buggy_assembly() {
+        let dir = std::env::temp_dir().join("lvp-cli-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buggy.s");
+        std::fs::write(&path, "main:\n add a1, a0, a0\n out a1\n halt\n").unwrap();
+        let err = cmd_check(path.to_str().unwrap(), &Options::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("LVP001"), "{msg}");
+        assert!(msg.contains("1 diagnostic found"), "{msg}");
+
+        // The same program fails `asm --lint` but passes plain `asm`.
+        let opts = Options {
+            lint: true,
+            ..Options::default()
+        };
+        assert!(cmd_asm(path.to_str().unwrap(), &opts).is_err());
+        assert!(cmd_asm(path.to_str().unwrap(), &Options::default()).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_compare_lct_prints_table() {
+        let opts = Options {
+            compare_lct: true,
+            ..Options::default()
+        };
+        let out = cmd_check("quick", &opts).unwrap();
+        for class in ["constant", "stack-reload", "global", "computed"] {
+            assert!(out.contains(class), "missing `{class}` row:\n{out}");
+        }
+    }
+
+    #[test]
+    fn asm_lint_clean_appends_summary() {
+        let opts = Options {
+            lint: true,
+            ..Options::default()
+        };
+        let out = cmd_asm("quick", &opts).unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn bool_flags_parse_without_values() {
+        let (o, pos) = parse_options(&args(&["quick", "--lint", "--compare-lct"])).unwrap();
+        assert!(o.lint && o.compare_lct);
+        assert_eq!(pos, vec!["quick"]);
+    }
+
+    #[test]
     fn dispatch_errors_are_helpful() {
-        assert!(dispatch(&args(&["frobnicate"])).unwrap_err().to_string().contains("usage"));
-        assert!(dispatch(&args(&["run"])).unwrap_err().to_string().contains("requires"));
+        assert!(dispatch(&args(&["frobnicate"]))
+            .unwrap_err()
+            .to_string()
+            .contains("usage"));
+        assert!(dispatch(&args(&["run"]))
+            .unwrap_err()
+            .to_string()
+            .contains("requires"));
         assert!(dispatch(&args(&["run", "nonesuch"])).is_err());
         assert!(dispatch(&args(&["help"])).unwrap().contains("commands"));
     }

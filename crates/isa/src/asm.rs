@@ -74,7 +74,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, msg: impl Into<String>) -> AsmError {
-        AsmError { line, msg: msg.into() }
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
     }
 
     /// 1-based source line the error refers to (0 for file-level errors).
@@ -144,7 +147,12 @@ enum PInstr {
     /// A fully-resolved machine instruction.
     Ready(Instr),
     /// Conditional branch: emitter closure picks the opcode.
-    Branch { mnem: &'static str, rs1: Reg, rs2: Reg, target: Target },
+    Branch {
+        mnem: &'static str,
+        rs1: Reg,
+        rs2: Reg,
+        target: Target,
+    },
     /// `jal rd, target`
     Jal { rd: Reg, target: Target },
     /// `la rd, sym+addend` (profile-dependent)
@@ -285,8 +293,7 @@ impl Assembler {
                 })?
                 + patch.addend;
             let bytes = (val as u64).to_le_bytes();
-            p1.data[patch.offset..patch.offset + patch.size]
-                .copy_from_slice(&bytes[..patch.size]);
+            p1.data[patch.offset..patch.offset + patch.size].copy_from_slice(&bytes[..patch.size]);
         }
 
         // Emit pool contents.
@@ -342,7 +349,12 @@ impl Assembler {
         };
         match item {
             PInstr::Ready(i) => out.push(*i),
-            PInstr::Branch { mnem, rs1, rs2, target } => {
+            PInstr::Branch {
+                mnem,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let offset = resolve(target)?;
                 let (rs1, rs2) = (*rs1, *rs2);
                 out.push(match *mnem {
@@ -376,15 +388,27 @@ impl Assembler {
                     AsmProfile::Gp => {
                         let (hi, lo) = split_hi_lo(target);
                         out.push(Instr::Lui { rd: *rd, imm: hi });
-                        out.push(Instr::Addi { rd: *rd, rs1: *rd, imm: lo });
+                        out.push(Instr::Addi {
+                            rd: *rd,
+                            rs1: *rd,
+                            imm: lo,
+                        });
                     }
                 }
             }
             PInstr::LiPool { rd, offset } => {
-                out.push(Instr::Ld { rd: *rd, base: Reg::GP, offset: *offset });
+                out.push(Instr::Ld {
+                    rd: *rd,
+                    base: Reg::GP,
+                    offset: *offset,
+                });
             }
             PInstr::FliPool { fd, offset } => {
-                out.push(Instr::Fld { fd: *fd, base: Reg::GP, offset: *offset });
+                out.push(Instr::Fld {
+                    fd: *fd,
+                    base: Reg::GP,
+                    offset: *offset,
+                });
             }
         }
         Ok(())
@@ -407,7 +431,10 @@ impl Pass1 {
         while let Some(colon) = find_label_colon(rest) {
             let name = rest[..colon].trim();
             if !is_ident(name) {
-                return Err(AsmError::new(line_no, format!("invalid label name `{name}`")));
+                return Err(AsmError::new(
+                    line_no,
+                    format!("invalid label name `{name}`"),
+                ));
             }
             let addr = match self.section {
                 Section::Text => self.text_cursor,
@@ -455,7 +482,10 @@ impl Pass1 {
                     _ => 8,
                 };
                 if self.section != Section::Data {
-                    return Err(AsmError::new(line, format!(".{name} outside .data section")));
+                    return Err(AsmError::new(
+                        line,
+                        format!(".{name} outside .data section"),
+                    ));
                 }
                 for piece in split_args(args) {
                     self.data_cell(&piece, size, line)?;
@@ -463,7 +493,10 @@ impl Pass1 {
             }
             "ascii" | "asciiz" => {
                 if self.section != Section::Data {
-                    return Err(AsmError::new(line, format!(".{name} outside .data section")));
+                    return Err(AsmError::new(
+                        line,
+                        format!(".{name} outside .data section"),
+                    ));
                 }
                 let s = parse_string(args.trim(), line)?;
                 self.data.extend_from_slice(&s);
@@ -480,7 +513,11 @@ impl Pass1 {
                     return Err(AsmError::new(line, ".space takes 1 or 2 arguments"));
                 }
                 let n = self.int_arg(&pieces[0], line)?;
-                let fill = if pieces.len() == 2 { self.int_arg(&pieces[1], line)? as u8 } else { 0 };
+                let fill = if pieces.len() == 2 {
+                    self.int_arg(&pieces[1], line)? as u8
+                } else {
+                    0
+                };
                 if n < 0 {
                     return Err(AsmError::new(line, ".space size must be non-negative"));
                 }
@@ -555,12 +592,16 @@ impl Pass1 {
 
         macro_rules! reg {
             ($i:expr) => {
-                a[$i].parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))?
+                a[$i]
+                    .parse::<Reg>()
+                    .map_err(|e| AsmError::new(line, e.to_string()))?
             };
         }
         macro_rules! freg {
             ($i:expr) => {
-                a[$i].parse::<FReg>().map_err(|e| AsmError::new(line, e.to_string()))?
+                a[$i]
+                    .parse::<FReg>()
+                    .map_err(|e| AsmError::new(line, e.to_string()))?
             };
         }
 
@@ -660,14 +701,22 @@ impl Pass1 {
         if mnem == "fld" {
             need(2)?;
             let (offset, base) = self.mem_operand(&a[1], line)?;
-            let i = Instr::Fld { fd: freg!(0), base, offset };
+            let i = Instr::Fld {
+                fd: freg!(0),
+                base,
+                offset,
+            };
             self.push(line, PInstr::Ready(i));
             return Ok(());
         }
         if mnem == "fsd" {
             need(2)?;
             let (offset, base) = self.mem_operand(&a[1], line)?;
-            let i = Instr::Fsd { fs2: freg!(0), base, offset };
+            let i = Instr::Fsd {
+                fs2: freg!(0),
+                base,
+                offset,
+            };
             self.push(line, PInstr::Ready(i));
             return Ok(());
         }
@@ -704,19 +753,28 @@ impl Pass1 {
         match mnem {
             "fsqrt.d" => {
                 need(2)?;
-                let i = Instr::FsqrtD { fd: freg!(0), fs1: freg!(1) };
+                let i = Instr::FsqrtD {
+                    fd: freg!(0),
+                    fs1: freg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fneg.d" => {
                 need(2)?;
-                let i = Instr::FnegD { fd: freg!(0), fs1: freg!(1) };
+                let i = Instr::FnegD {
+                    fd: freg!(0),
+                    fs1: freg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fabs.d" => {
                 need(2)?;
-                let i = Instr::FabsD { fd: freg!(0), fs1: freg!(1) };
+                let i = Instr::FabsD {
+                    fd: freg!(0),
+                    fs1: freg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
@@ -724,31 +782,47 @@ impl Pass1 {
                 // Pseudo: fmax.d fd, fs, fs
                 need(2)?;
                 let fs = freg!(1);
-                let i = Instr::FmaxD { fd: freg!(0), fs1: fs, fs2: fs };
+                let i = Instr::FmaxD {
+                    fd: freg!(0),
+                    fs1: fs,
+                    fs2: fs,
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fcvt.d.l" => {
                 need(2)?;
-                let i = Instr::FcvtDL { fd: freg!(0), rs1: reg!(1) };
+                let i = Instr::FcvtDL {
+                    fd: freg!(0),
+                    rs1: reg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fcvt.l.d" => {
                 need(2)?;
-                let i = Instr::FcvtLD { rd: reg!(0), fs1: freg!(1) };
+                let i = Instr::FcvtLD {
+                    rd: reg!(0),
+                    fs1: freg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fmv.x.d" => {
                 need(2)?;
-                let i = Instr::FmvXD { rd: reg!(0), fs1: freg!(1) };
+                let i = Instr::FmvXD {
+                    rd: reg!(0),
+                    fs1: freg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
             "fmv.d.x" => {
                 need(2)?;
-                let i = Instr::FmvDX { fd: freg!(0), rs1: reg!(1) };
+                let i = Instr::FmvDX {
+                    fd: freg!(0),
+                    rs1: reg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
                 return Ok(());
             }
@@ -760,7 +834,12 @@ impl Pass1 {
             need(3)?;
             let target = parse_target(&a[2], line)?;
             let mnem_static = static_branch(mnem);
-            let item = PInstr::Branch { mnem: mnem_static, rs1: reg!(0), rs2: reg!(1), target };
+            let item = PInstr::Branch {
+                mnem: mnem_static,
+                rs1: reg!(0),
+                rs2: reg!(1),
+                target,
+            };
             self.push(line, item);
             return Ok(());
         }
@@ -774,7 +853,12 @@ impl Pass1 {
                 "bgtu" => ("bltu", reg!(1), reg!(0)),
                 _ => ("bgeu", reg!(1), reg!(0)),
             };
-            let item = PInstr::Branch { mnem: static_branch(m), rs1, rs2, target };
+            let item = PInstr::Branch {
+                mnem: static_branch(m),
+                rs1,
+                rs2,
+                target,
+            };
             self.push(line, item);
             return Ok(());
         }
@@ -791,7 +875,12 @@ impl Pass1 {
                 "blez" => ("bge", Reg::ZERO, rs),
                 _ => ("blt", Reg::ZERO, rs),
             };
-            let item = PInstr::Branch { mnem: static_branch(m), rs1, rs2, target };
+            let item = PInstr::Branch {
+                mnem: static_branch(m),
+                rs1,
+                rs2,
+                target,
+            };
             self.push(line, item);
             return Ok(());
         }
@@ -803,82 +892,148 @@ impl Pass1 {
                 if !(-(1 << 19)..(1 << 19)).contains(&imm) {
                     return Err(err("lui immediate must fit in 20 bits"));
                 }
-                let i = Instr::Lui { rd: reg!(0), imm: imm as i32 };
+                let i = Instr::Lui {
+                    rd: reg!(0),
+                    imm: imm as i32,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "jal" => {
                 // `jal target` or `jal rd, target`
                 if a.len() == 1 {
                     let target = parse_target(&a[0], line)?;
-                    self.push(line, PInstr::Jal { rd: Reg::RA, target });
+                    self.push(
+                        line,
+                        PInstr::Jal {
+                            rd: Reg::RA,
+                            target,
+                        },
+                    );
                 } else {
                     need(2)?;
                     let target = parse_target(&a[1], line)?;
-                    self.push(line, PInstr::Jal { rd: reg!(0), target });
+                    self.push(
+                        line,
+                        PInstr::Jal {
+                            rd: reg!(0),
+                            target,
+                        },
+                    );
                 }
             }
             "jalr" => {
                 // `jalr rs1` or `jalr rd, rs1, offset`
                 if a.len() == 1 {
-                    let i = Instr::Jalr { rd: Reg::RA, rs1: reg!(0), offset: 0 };
+                    let i = Instr::Jalr {
+                        rd: Reg::RA,
+                        rs1: reg!(0),
+                        offset: 0,
+                    };
                     self.push(line, PInstr::Ready(i));
                 } else {
                     need(3)?;
                     let offset = self.eval_int(&a[2], line)?;
-                    let offset =
-                        i32::try_from(offset).map_err(|_| err("offset out of range"))?;
-                    let i = Instr::Jalr { rd: reg!(0), rs1: reg!(1), offset };
+                    let offset = i32::try_from(offset).map_err(|_| err("offset out of range"))?;
+                    let i = Instr::Jalr {
+                        rd: reg!(0),
+                        rs1: reg!(1),
+                        offset,
+                    };
                     self.push(line, PInstr::Ready(i));
                 }
             }
             "j" => {
                 need(1)?;
                 let target = parse_target(&a[0], line)?;
-                self.push(line, PInstr::Jal { rd: Reg::ZERO, target });
+                self.push(
+                    line,
+                    PInstr::Jal {
+                        rd: Reg::ZERO,
+                        target,
+                    },
+                );
             }
             "jr" => {
                 need(1)?;
-                let i = Instr::Jalr { rd: Reg::ZERO, rs1: reg!(0), offset: 0 };
+                let i = Instr::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: reg!(0),
+                    offset: 0,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "call" => {
                 need(1)?;
                 let target = parse_target(&a[0], line)?;
-                self.push(line, PInstr::Jal { rd: Reg::RA, target });
+                self.push(
+                    line,
+                    PInstr::Jal {
+                        rd: Reg::RA,
+                        target,
+                    },
+                );
             }
             "callr" => {
                 need(1)?;
-                let i = Instr::Jalr { rd: Reg::RA, rs1: reg!(0), offset: 0 };
+                let i = Instr::Jalr {
+                    rd: Reg::RA,
+                    rs1: reg!(0),
+                    offset: 0,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "ret" => {
                 need(0)?;
-                let i = Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+                let i = Instr::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::RA,
+                    offset: 0,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "mv" => {
                 need(2)?;
-                let i = Instr::Addi { rd: reg!(0), rs1: reg!(1), imm: 0 };
+                let i = Instr::Addi {
+                    rd: reg!(0),
+                    rs1: reg!(1),
+                    imm: 0,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "not" => {
                 need(2)?;
-                let i = Instr::Xori { rd: reg!(0), rs1: reg!(1), imm: -1 };
+                let i = Instr::Xori {
+                    rd: reg!(0),
+                    rs1: reg!(1),
+                    imm: -1,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "neg" => {
                 need(2)?;
-                let i = Instr::Sub { rd: reg!(0), rs1: Reg::ZERO, rs2: reg!(1) };
+                let i = Instr::Sub {
+                    rd: reg!(0),
+                    rs1: Reg::ZERO,
+                    rs2: reg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "seqz" => {
                 need(2)?;
-                let i = Instr::Sltiu { rd: reg!(0), rs1: reg!(1), imm: 1 };
+                let i = Instr::Sltiu {
+                    rd: reg!(0),
+                    rs1: reg!(1),
+                    imm: 1,
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "snez" => {
                 need(2)?;
-                let i = Instr::Sltu { rd: reg!(0), rs1: Reg::ZERO, rs2: reg!(1) };
+                let i = Instr::Sltu {
+                    rd: reg!(0),
+                    rs1: Reg::ZERO,
+                    rs2: reg!(1),
+                };
                 self.push(line, PInstr::Ready(i));
             }
             "li" => {
@@ -942,12 +1097,26 @@ impl Pass1 {
     /// (as real PowerPC *and* Alpha compilers do).
     fn lower_li(&mut self, rd: Reg, imm: i64, line: usize) {
         if (-2048..2048).contains(&imm) {
-            self.push(line, PInstr::Ready(Instr::Addi { rd, rs1: Reg::ZERO, imm: imm as i32 }));
+            self.push(
+                line,
+                PInstr::Ready(Instr::Addi {
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: imm as i32,
+                }),
+            );
         } else if imm >= i32::MIN as i64 && imm <= i32::MAX as i64 {
             let (hi, lo) = split_hi_lo(imm);
             self.push(line, PInstr::Ready(Instr::Lui { rd, imm: hi }));
             if lo != 0 {
-                self.push(line, PInstr::Ready(Instr::Addi { rd, rs1: rd, imm: lo }));
+                self.push(
+                    line,
+                    PInstr::Ready(Instr::Addi {
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    }),
+                );
             }
         } else {
             let off = self.pool.offset_of(PoolKey::Int(imm));
@@ -967,7 +1136,11 @@ impl Pass1 {
             let base = base_text
                 .parse::<Reg>()
                 .map_err(|e| AsmError::new(line, e.to_string()))?;
-            let off = if off_text.is_empty() { 0 } else { self.eval_int(off_text, line)? };
+            let off = if off_text.is_empty() {
+                0
+            } else {
+                self.eval_int(off_text, line)?
+            };
             let off = i32::try_from(off)
                 .map_err(|_| AsmError::new(line, "memory offset out of range"))?;
             Ok((off, base))
@@ -992,7 +1165,10 @@ impl Pass1 {
                 return Ok(v + addend);
             }
         }
-        Err(AsmError::new(line, format!("expected integer expression, found `{text}`")))
+        Err(AsmError::new(
+            line,
+            format!("expected integer expression, found `{text}`"),
+        ))
     }
 
     fn int_arg(&self, args: &str, line: usize) -> Result<i64, AsmError> {
@@ -1040,8 +1216,11 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Splits a line into mnemonic/directive name and the remaining argument text.
@@ -1193,7 +1372,10 @@ fn parse_string(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
         } else if c.is_ascii() {
             out.push(c as u8);
         } else {
-            return Err(AsmError::new(line, format!("non-ASCII character `{c}` in string")));
+            return Err(AsmError::new(
+                line,
+                format!("non-ASCII character `{c}` in string"),
+            ));
         }
     }
     Ok(out)
@@ -1204,7 +1386,9 @@ mod tests {
     use super::*;
 
     fn asm(profile: AsmProfile, src: &str) -> Program {
-        Assembler::new(profile).assemble(src).expect("assembly failed")
+        Assembler::new(profile)
+            .assemble(src)
+            .expect("assembly failed")
     }
 
     #[test]
@@ -1218,7 +1402,11 @@ mod tests {
         // bnez expands to bne a0, zero, -4
         assert_eq!(
             p.text()[2],
-            Instr::Bne { rs1: Reg::A0, rs2: Reg::ZERO, offset: -4 }
+            Instr::Bne {
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: -4
+            }
         );
     }
 
@@ -1248,7 +1436,10 @@ mod tests {
 
     #[test]
     fn li_small_medium_large() {
-        let p = asm(AsmProfile::Gp, "main: li t0, 7\n li t1, 0x12345\n li t2, 0x123456789ab\n halt\n");
+        let p = asm(
+            AsmProfile::Gp,
+            "main: li t0, 7\n li t1, 0x12345\n li t2, 0x123456789ab\n halt\n",
+        );
         assert!(matches!(p.text()[0], Instr::Addi { imm: 7, .. }));
         assert!(matches!(p.text()[1], Instr::Lui { .. }));
         // Large constant comes from the pool in both profiles.
@@ -1283,8 +1474,7 @@ mod tests {
             let p = asm(profile, "main: fli ft0, 2.5\n halt\n");
             assert!(matches!(p.text()[0], Instr::Fld { base: Reg::GP, .. }));
             let pool_off = (p.pool_base() - DATA_BASE) as usize;
-            let bits =
-                u64::from_le_bytes(p.data()[pool_off..pool_off + 8].try_into().unwrap());
+            let bits = u64::from_le_bytes(p.data()[pool_off..pool_off + 8].try_into().unwrap());
             assert_eq!(f64::from_bits(bits), 2.5);
         }
     }
@@ -1312,7 +1502,10 @@ mod tests {
         assert_eq!(u16::from_le_bytes(d[3..5].try_into().unwrap()), 258);
         assert_eq!(i32::from_le_bytes(d[5..9].try_into().unwrap()), -1);
         let off_d = (p.symbol("d").unwrap() - DATA_BASE) as usize;
-        assert_eq!(u64::from_le_bytes(d[off_d..off_d + 8].try_into().unwrap()), 5);
+        assert_eq!(
+            u64::from_le_bytes(d[off_d..off_d + 8].try_into().unwrap()),
+            5
+        );
         let off_s = (p.symbol("s").unwrap() - DATA_BASE) as usize;
         assert_eq!(&d[off_s..off_s + 4], b"hi\n\0");
         let off_sp = (p.symbol("sp").unwrap() - DATA_BASE) as usize;
@@ -1366,7 +1559,11 @@ mod tests {
         let p = asm(AsmProfile::Gp, "main: beq zero, zero, .+8\n nop\n halt\n");
         assert_eq!(
             p.text()[0],
-            Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 8 }
+            Instr::Beq {
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                offset: 8
+            }
         );
     }
 
@@ -1388,7 +1585,10 @@ mod tests {
 
     #[test]
     fn swapped_branch_pseudos() {
-        let p = asm(AsmProfile::Gp, "main: bgt t0, t1, main\n ble t0, t1, main\n halt\n");
+        let p = asm(
+            AsmProfile::Gp,
+            "main: bgt t0, t1, main\n ble t0, t1, main\n halt\n",
+        );
         assert!(matches!(p.text()[0], Instr::Blt { rs1: r1, rs2: r0, .. }
             if r1 == Reg::T1 && r0 == Reg::T0));
         assert!(matches!(p.text()[1], Instr::Bge { rs1: r1, rs2: r0, .. }
@@ -1403,7 +1603,82 @@ mod tests {
 
     #[test]
     fn string_with_comment_chars() {
-        let p = asm(AsmProfile::Gp, ".data\ns: .asciiz \"a#b;c\"\n.text\nmain: halt\n");
+        let p = asm(
+            AsmProfile::Gp,
+            ".data\ns: .asciiz \"a#b;c\"\n.text\nmain: halt\n",
+        );
         assert_eq!(&p.data()[0..6], b"a#b;c\0");
+    }
+
+    /// Assembles expecting failure; returns the full error text.
+    fn asm_err(src: &str) -> String {
+        Assembler::new(AsmProfile::Gp)
+            .assemble(src)
+            .expect_err("assembly unexpectedly succeeded")
+            .to_string()
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = asm_err("main: frobnicate a0, a1\n halt\n");
+        assert!(e.contains("unknown mnemonic `frobnicate`"), "{e}");
+        assert!(e.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_register() {
+        let e = asm_err("main: add a0, r7, a1\n halt\n");
+        assert!(e.contains("unknown register name `r7`"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = asm_err("main: nop\nmain: halt\n");
+        assert!(e.contains("duplicate label `main`"), "{e}");
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn error_undefined_branch_label() {
+        let e = asm_err("main: beq a0, a0, nowhere\n halt\n");
+        assert!(e.contains("undefined label `nowhere`"), "{e}");
+    }
+
+    #[test]
+    fn error_undefined_la_symbol() {
+        let e = asm_err("main: la t0, missing\n halt\n");
+        assert!(e.contains("undefined symbol"), "{e}");
+        assert!(e.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn error_memory_offset_out_of_range() {
+        // Offsets are stored as i32; anything wider is rejected.
+        let e = asm_err("main: ld t0, 9999999999(sp)\n halt\n");
+        assert!(e.contains("memory offset out of range"), "{e}");
+    }
+
+    #[test]
+    fn error_wrong_operand_count() {
+        let e = asm_err("main: add a0, a1\n halt\n");
+        assert!(e.contains("expected 3 operands, found 2"), "{e}");
+    }
+
+    #[test]
+    fn error_instruction_outside_text() {
+        let e = asm_err(".data\n add a0, a1, a2\n");
+        assert!(e.contains("instruction outside .text section"), "{e}");
+    }
+
+    #[test]
+    fn error_data_directive_outside_data() {
+        let e = asm_err("main: halt\n .dword 42\n");
+        assert!(e.contains("outside .data section"), "{e}");
+    }
+
+    #[test]
+    fn error_shift_amount_out_of_range() {
+        let e = asm_err("main: slli a0, a0, 64\n halt\n");
+        assert!(e.contains("shift amount must be in 0..64"), "{e}");
     }
 }

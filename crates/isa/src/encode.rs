@@ -184,72 +184,318 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
     let imm = (word >> 32) as u32 as i32;
     let reg = |n: u8| Reg::try_new(n).ok_or(DecodeError::BadRegister(n));
     let freg = |n: u8| FReg::try_new(n).ok_or(DecodeError::BadRegister(n));
-    let shamt = |n: u8| if n < 64 { Ok(n) } else { Err(DecodeError::BadShamt(n)) };
+    let shamt = |n: u8| {
+        if n < 64 {
+            Ok(n)
+        } else {
+            Err(DecodeError::BadShamt(n))
+        }
+    };
     use Instr::*;
     Ok(match op {
-        Opc::Add => Add { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Sub => Sub { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Sll => Sll { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Slt => Slt { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Sltu => Sltu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Xor => Xor { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Srl => Srl { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Sra => Sra { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Or => Or { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::And => And { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Mul => Mul { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Mulh => Mulh { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Div => Div { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Divu => Divu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Rem => Rem { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Remu => Remu { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
-        Opc::Addi => Addi { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Slti => Slti { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Sltiu => Sltiu { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Xori => Xori { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Ori => Ori { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Andi => Andi { rd: reg(a)?, rs1: reg(b)?, imm },
-        Opc::Slli => Slli { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
-        Opc::Srli => Srli { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
-        Opc::Srai => Srai { rd: reg(a)?, rs1: reg(b)?, shamt: shamt(c)? },
+        Opc::Add => Add {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Sub => Sub {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Sll => Sll {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Slt => Slt {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Sltu => Sltu {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Xor => Xor {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Srl => Srl {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Sra => Sra {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Or => Or {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::And => And {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Mul => Mul {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Mulh => Mulh {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Div => Div {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Divu => Divu {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Rem => Rem {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Remu => Remu {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+        },
+        Opc::Addi => Addi {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Slti => Slti {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Sltiu => Sltiu {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Xori => Xori {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Ori => Ori {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Andi => Andi {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            imm,
+        },
+        Opc::Slli => Slli {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            shamt: shamt(c)?,
+        },
+        Opc::Srli => Srli {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            shamt: shamt(c)?,
+        },
+        Opc::Srai => Srai {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            shamt: shamt(c)?,
+        },
         Opc::Lui => Lui { rd: reg(a)?, imm },
-        Opc::Lb => Lb { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Lbu => Lbu { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Lh => Lh { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Lhu => Lhu { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Lw => Lw { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Lwu => Lwu { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Ld => Ld { rd: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Fld => Fld { fd: freg(a)?, base: reg(b)?, offset: imm },
-        Opc::Sb => Sb { rs2: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Sh => Sh { rs2: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Sw => Sw { rs2: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Sd => Sd { rs2: reg(a)?, base: reg(b)?, offset: imm },
-        Opc::Fsd => Fsd { fs2: freg(a)?, base: reg(b)?, offset: imm },
-        Opc::FaddD => FaddD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FsubD => FsubD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FmulD => FmulD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FdivD => FdivD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FsqrtD => FsqrtD { fd: freg(a)?, fs1: freg(b)? },
-        Opc::FminD => FminD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FmaxD => FmaxD { fd: freg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FnegD => FnegD { fd: freg(a)?, fs1: freg(b)? },
-        Opc::FabsD => FabsD { fd: freg(a)?, fs1: freg(b)? },
-        Opc::FeqD => FeqD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FltD => FltD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FleD => FleD { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
-        Opc::FcvtDL => FcvtDL { fd: freg(a)?, rs1: reg(b)? },
-        Opc::FcvtLD => FcvtLD { rd: reg(a)?, fs1: freg(b)? },
-        Opc::FmvXD => FmvXD { rd: reg(a)?, fs1: freg(b)? },
-        Opc::FmvDX => FmvDX { fd: freg(a)?, rs1: reg(b)? },
-        Opc::Beq => Beq { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Bne => Bne { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Blt => Blt { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Bge => Bge { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Bltu => Bltu { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Bgeu => Bgeu { rs1: reg(a)?, rs2: reg(b)?, offset: imm },
-        Opc::Jal => Jal { rd: reg(a)?, offset: imm },
-        Opc::Jalr => Jalr { rd: reg(a)?, rs1: reg(b)?, offset: imm },
+        Opc::Lb => Lb {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Lbu => Lbu {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Lh => Lh {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Lhu => Lhu {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Lw => Lw {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Lwu => Lwu {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Ld => Ld {
+            rd: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Fld => Fld {
+            fd: freg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Sb => Sb {
+            rs2: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Sh => Sh {
+            rs2: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Sw => Sw {
+            rs2: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Sd => Sd {
+            rs2: reg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::Fsd => Fsd {
+            fs2: freg(a)?,
+            base: reg(b)?,
+            offset: imm,
+        },
+        Opc::FaddD => FaddD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FsubD => FsubD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FmulD => FmulD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FdivD => FdivD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FsqrtD => FsqrtD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+        },
+        Opc::FminD => FminD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FmaxD => FmaxD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FnegD => FnegD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+        },
+        Opc::FabsD => FabsD {
+            fd: freg(a)?,
+            fs1: freg(b)?,
+        },
+        Opc::FeqD => FeqD {
+            rd: reg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FltD => FltD {
+            rd: reg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FleD => FleD {
+            rd: reg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        Opc::FcvtDL => FcvtDL {
+            fd: freg(a)?,
+            rs1: reg(b)?,
+        },
+        Opc::FcvtLD => FcvtLD {
+            rd: reg(a)?,
+            fs1: freg(b)?,
+        },
+        Opc::FmvXD => FmvXD {
+            rd: reg(a)?,
+            fs1: freg(b)?,
+        },
+        Opc::FmvDX => FmvDX {
+            fd: freg(a)?,
+            rs1: reg(b)?,
+        },
+        Opc::Beq => Beq {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Bne => Bne {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Blt => Blt {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Bge => Bge {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Bltu => Bltu {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Bgeu => Bgeu {
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: imm,
+        },
+        Opc::Jal => Jal {
+            rd: reg(a)?,
+            offset: imm,
+        },
+        Opc::Jalr => Jalr {
+            rd: reg(a)?,
+            rs1: reg(b)?,
+            offset: imm,
+        },
         Opc::Out => Out { rs1: reg(a)? },
         Opc::OutF => OutF { fs1: freg(a)? },
         Opc::Halt => Halt,
@@ -264,15 +510,48 @@ mod tests {
     #[test]
     fn round_trip_samples() {
         let samples = [
-            Instr::Add { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::T0 },
-            Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -32768 },
-            Instr::Lui { rd: Reg::T0, imm: 0x7ffff },
-            Instr::Ld { rd: Reg::RA, base: Reg::SP, offset: 2047 },
-            Instr::Fsd { fs2: FReg::FA0, base: Reg::SP, offset: -8 },
-            Instr::FsqrtD { fd: FReg::new(31), fs1: FReg::new(0) },
-            Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, offset: -2048 },
-            Instr::Jal { rd: Reg::RA, offset: 1 << 20 },
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Instr::Add {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::T0,
+            },
+            Instr::Addi {
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -32768,
+            },
+            Instr::Lui {
+                rd: Reg::T0,
+                imm: 0x7ffff,
+            },
+            Instr::Ld {
+                rd: Reg::RA,
+                base: Reg::SP,
+                offset: 2047,
+            },
+            Instr::Fsd {
+                fs2: FReg::FA0,
+                base: Reg::SP,
+                offset: -8,
+            },
+            Instr::FsqrtD {
+                fd: FReg::new(31),
+                fs1: FReg::new(0),
+            },
+            Instr::Beq {
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                offset: -2048,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 1 << 20,
+            },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
             Instr::Halt,
             Instr::Nop,
         ];

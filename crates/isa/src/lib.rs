@@ -44,6 +44,6 @@ mod reg;
 
 pub use asm::{AsmError, AsmProfile, Assembler};
 pub use encode::{decode, encode, DecodeError};
-pub use op::{FuClass, Instr, MemWidth, INSTR_BYTES};
+pub use op::{CtrlFlow, FuClass, Instr, MemWidth, RegId, INSTR_BYTES};
 pub use program::{Layout, Program, Segment, DATA_BASE, MEM_SIZE, STACK_TOP, TEXT_BASE};
 pub use reg::{FReg, ParseRegError, Reg, FP_ABI_NAMES, INT_ABI_NAMES};

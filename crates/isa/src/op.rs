@@ -232,27 +232,136 @@ impl MemWidth {
     }
 }
 
+/// A register in either file, used by the unified def/use accessors
+/// ([`Instr::defs`], [`Instr::uses`]) that drive static dataflow analysis.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegId {
+    /// An integer (general-purpose) register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl RegId {
+    /// Dense index 0–63 across both register files (integer registers
+    /// first), matching `lvp_trace::RegRef::flat_index`.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self {
+            RegId::Int(r) => r.number() as usize,
+            RegId::Fp(r) => 32 + r.number() as usize,
+        }
+    }
+
+    /// Whether this is the hardwired integer zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        matches!(self, RegId::Int(r) if r.is_zero())
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegId::Int(r) => r.fmt(f),
+            RegId::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+/// Static control-flow behavior of one instruction, as used for CFG
+/// construction ([`Instr::control_flow`]). Offsets are signed byte
+/// displacements from the instruction's own address.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum CtrlFlow {
+    /// Execution always continues at the next instruction.
+    Fall,
+    /// Conditional branch: either the target or the next instruction.
+    CondBranch {
+        /// Byte offset of the taken target.
+        offset: i32,
+    },
+    /// Direct unconditional jump (`jal`); a link register may be written.
+    Jump {
+        /// Byte offset of the target.
+        offset: i32,
+    },
+    /// Indirect jump (`jalr`): the target is `(base + offset) & !1`,
+    /// unknown statically.
+    IndirectJump {
+        /// Base register holding the target address.
+        base: Reg,
+        /// Byte displacement added to the base.
+        offset: i32,
+    },
+    /// Execution stops (`halt`).
+    Halt,
+}
+
 impl Instr {
     /// The functional-unit class this instruction executes on.
     pub fn fu_class(&self) -> FuClass {
         use Instr::*;
         match self {
-            Add { .. } | Sub { .. } | Sll { .. } | Slt { .. } | Sltu { .. } | Xor { .. }
-            | Srl { .. } | Sra { .. } | Or { .. } | And { .. } | Addi { .. } | Slti { .. }
-            | Sltiu { .. } | Xori { .. } | Ori { .. } | Andi { .. } | Slli { .. }
-            | Srli { .. } | Srai { .. } | Lui { .. } => FuClass::IntSimple,
+            Add { .. }
+            | Sub { .. }
+            | Sll { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Xor { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Or { .. }
+            | And { .. }
+            | Addi { .. }
+            | Slti { .. }
+            | Sltiu { .. }
+            | Xori { .. }
+            | Ori { .. }
+            | Andi { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Srai { .. }
+            | Lui { .. } => FuClass::IntSimple,
             Mul { .. } | Mulh { .. } | Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => {
                 FuClass::IntComplex
             }
-            Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwu { .. }
-            | Ld { .. } | Fld { .. } | Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. }
+            Lb { .. }
+            | Lbu { .. }
+            | Lh { .. }
+            | Lhu { .. }
+            | Lw { .. }
+            | Lwu { .. }
+            | Ld { .. }
+            | Fld { .. }
+            | Sb { .. }
+            | Sh { .. }
+            | Sw { .. }
+            | Sd { .. }
             | Fsd { .. } => FuClass::LoadStore,
-            FaddD { .. } | FsubD { .. } | FmulD { .. } | FminD { .. } | FmaxD { .. }
-            | FnegD { .. } | FabsD { .. } | FeqD { .. } | FltD { .. } | FleD { .. }
-            | FcvtDL { .. } | FcvtLD { .. } | FmvXD { .. } | FmvDX { .. } => FuClass::FpSimple,
+            FaddD { .. }
+            | FsubD { .. }
+            | FmulD { .. }
+            | FminD { .. }
+            | FmaxD { .. }
+            | FnegD { .. }
+            | FabsD { .. }
+            | FeqD { .. }
+            | FltD { .. }
+            | FleD { .. }
+            | FcvtDL { .. }
+            | FcvtLD { .. }
+            | FmvXD { .. }
+            | FmvDX { .. } => FuClass::FpSimple,
             FdivD { .. } | FsqrtD { .. } => FuClass::FpComplex,
-            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. }
-            | Jal { .. } | Jalr { .. } => FuClass::Branch,
+            Beq { .. }
+            | Bne { .. }
+            | Blt { .. }
+            | Bge { .. }
+            | Bltu { .. }
+            | Bgeu { .. }
+            | Jal { .. }
+            | Jalr { .. } => FuClass::Branch,
             Out { .. } | OutF { .. } | Halt | Nop => FuClass::System,
         }
     }
@@ -276,7 +385,10 @@ impl Instr {
     /// Whether this is a store (integer or FP).
     pub fn is_store(&self) -> bool {
         use Instr::*;
-        matches!(self, Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. } | Fsd { .. })
+        matches!(
+            self,
+            Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. } | Fsd { .. }
+        )
     }
 
     /// Whether this load/store targets the FP register file.
@@ -308,6 +420,197 @@ impl Instr {
             Ld { .. } | Fld { .. } | Sd { .. } | Fsd { .. } => MemWidth::B8,
             _ => return None,
         })
+    }
+
+    /// The register this instruction writes, if any.
+    ///
+    /// Writes to the hardwired zero register are still reported (the
+    /// verifier's `LVP006` lint flags them); link-register writes of
+    /// `jal`/`jalr` are included.
+    pub fn defs(&self) -> Option<RegId> {
+        use Instr::*;
+        match *self {
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | Sll { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Xor { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Or { rd, .. }
+            | And { rd, .. }
+            | Mul { rd, .. }
+            | Mulh { rd, .. }
+            | Div { rd, .. }
+            | Divu { rd, .. }
+            | Rem { rd, .. }
+            | Remu { rd, .. }
+            | Addi { rd, .. }
+            | Slti { rd, .. }
+            | Sltiu { rd, .. }
+            | Xori { rd, .. }
+            | Ori { rd, .. }
+            | Andi { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Srai { rd, .. }
+            | Lui { rd, .. }
+            | Lb { rd, .. }
+            | Lbu { rd, .. }
+            | Lh { rd, .. }
+            | Lhu { rd, .. }
+            | Lw { rd, .. }
+            | Lwu { rd, .. }
+            | Ld { rd, .. }
+            | FeqD { rd, .. }
+            | FltD { rd, .. }
+            | FleD { rd, .. }
+            | FcvtLD { rd, .. }
+            | FmvXD { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. } => Some(RegId::Int(rd)),
+            Fld { fd, .. }
+            | FaddD { fd, .. }
+            | FsubD { fd, .. }
+            | FmulD { fd, .. }
+            | FdivD { fd, .. }
+            | FsqrtD { fd, .. }
+            | FminD { fd, .. }
+            | FmaxD { fd, .. }
+            | FnegD { fd, .. }
+            | FabsD { fd, .. }
+            | FcvtDL { fd, .. }
+            | FmvDX { fd, .. } => Some(RegId::Fp(fd)),
+            Sb { .. }
+            | Sh { .. }
+            | Sw { .. }
+            | Sd { .. }
+            | Fsd { .. }
+            | Beq { .. }
+            | Bne { .. }
+            | Blt { .. }
+            | Bge { .. }
+            | Bltu { .. }
+            | Bgeu { .. }
+            | Out { .. }
+            | OutF { .. }
+            | Halt
+            | Nop => None,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order.
+    ///
+    /// The hardwired zero register is included when named as an operand;
+    /// filter with [`RegId::is_zero`] when building dependence edges.
+    pub fn uses(&self) -> impl Iterator<Item = RegId> {
+        use Instr::*;
+        let (a, b): (Option<RegId>, Option<RegId>) = match *self {
+            Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | Sll { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. }
+            | Sra { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Mulh { rs1, rs2, .. }
+            | Div { rs1, rs2, .. }
+            | Divu { rs1, rs2, .. }
+            | Rem { rs1, rs2, .. }
+            | Remu { rs1, rs2, .. }
+            | Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. }
+            | Bltu { rs1, rs2, .. }
+            | Bgeu { rs1, rs2, .. } => (Some(RegId::Int(rs1)), Some(RegId::Int(rs2))),
+            Addi { rs1, .. }
+            | Slti { rs1, .. }
+            | Sltiu { rs1, .. }
+            | Xori { rs1, .. }
+            | Ori { rs1, .. }
+            | Andi { rs1, .. }
+            | Slli { rs1, .. }
+            | Srli { rs1, .. }
+            | Srai { rs1, .. }
+            | Jalr { rs1, .. }
+            | Out { rs1 }
+            | FcvtDL { rs1, .. }
+            | FmvDX { rs1, .. } => (Some(RegId::Int(rs1)), None),
+            Lb { base, .. }
+            | Lbu { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
+            | Lw { base, .. }
+            | Lwu { base, .. }
+            | Ld { base, .. }
+            | Fld { base, .. } => (Some(RegId::Int(base)), None),
+            Sb { rs2, base, .. }
+            | Sh { rs2, base, .. }
+            | Sw { rs2, base, .. }
+            | Sd { rs2, base, .. } => (Some(RegId::Int(base)), Some(RegId::Int(rs2))),
+            Fsd { fs2, base, .. } => (Some(RegId::Int(base)), Some(RegId::Fp(fs2))),
+            FaddD { fs1, fs2, .. }
+            | FsubD { fs1, fs2, .. }
+            | FmulD { fs1, fs2, .. }
+            | FdivD { fs1, fs2, .. }
+            | FminD { fs1, fs2, .. }
+            | FmaxD { fs1, fs2, .. }
+            | FeqD { fs1, fs2, .. }
+            | FltD { fs1, fs2, .. }
+            | FleD { fs1, fs2, .. } => (Some(RegId::Fp(fs1)), Some(RegId::Fp(fs2))),
+            FsqrtD { fs1, .. }
+            | FnegD { fs1, .. }
+            | FabsD { fs1, .. }
+            | FcvtLD { fs1, .. }
+            | FmvXD { fs1, .. }
+            | OutF { fs1 } => (Some(RegId::Fp(fs1)), None),
+            Lui { .. } | Jal { .. } | Halt | Nop => (None, None),
+        };
+        [a, b].into_iter().flatten()
+    }
+
+    /// The `(base, offset)` address operand of a load or store, if any.
+    pub fn mem_operand(&self) -> Option<(Reg, i32)> {
+        use Instr::*;
+        match *self {
+            Lb { base, offset, .. }
+            | Lbu { base, offset, .. }
+            | Lh { base, offset, .. }
+            | Lhu { base, offset, .. }
+            | Lw { base, offset, .. }
+            | Lwu { base, offset, .. }
+            | Ld { base, offset, .. }
+            | Fld { base, offset, .. }
+            | Sb { base, offset, .. }
+            | Sh { base, offset, .. }
+            | Sw { base, offset, .. }
+            | Sd { base, offset, .. }
+            | Fsd { base, offset, .. } => Some((base, offset)),
+            _ => None,
+        }
+    }
+
+    /// Static control-flow behavior, for CFG construction.
+    pub fn control_flow(&self) -> CtrlFlow {
+        use Instr::*;
+        match *self {
+            Beq { offset, .. }
+            | Bne { offset, .. }
+            | Blt { offset, .. }
+            | Bge { offset, .. }
+            | Bltu { offset, .. }
+            | Bgeu { offset, .. } => CtrlFlow::CondBranch { offset },
+            Jal { offset, .. } => CtrlFlow::Jump { offset },
+            Jalr { rs1, offset, .. } => CtrlFlow::IndirectJump { base: rs1, offset },
+            Halt => CtrlFlow::Halt,
+            _ => CtrlFlow::Fall,
+        }
     }
 
     /// A short lowercase mnemonic for the instruction.
@@ -476,19 +779,50 @@ mod tests {
     #[test]
     fn classification() {
         let r = Reg::T0;
-        assert_eq!(Instr::Add { rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntSimple);
-        assert_eq!(Instr::Mul { rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntComplex);
         assert_eq!(
-            Instr::Ld { rd: r, base: r, offset: 0 }.fu_class(),
+            Instr::Add {
+                rd: r,
+                rs1: r,
+                rs2: r
+            }
+            .fu_class(),
+            FuClass::IntSimple
+        );
+        assert_eq!(
+            Instr::Mul {
+                rd: r,
+                rs1: r,
+                rs2: r
+            }
+            .fu_class(),
+            FuClass::IntComplex
+        );
+        assert_eq!(
+            Instr::Ld {
+                rd: r,
+                base: r,
+                offset: 0
+            }
+            .fu_class(),
             FuClass::LoadStore
         );
         let fr = FReg::FT0;
         assert_eq!(
-            Instr::FaddD { fd: fr, fs1: fr, fs2: fr }.fu_class(),
+            Instr::FaddD {
+                fd: fr,
+                fs1: fr,
+                fs2: fr
+            }
+            .fu_class(),
             FuClass::FpSimple
         );
         assert_eq!(
-            Instr::FdivD { fd: fr, fs1: fr, fs2: fr }.fu_class(),
+            Instr::FdivD {
+                fd: fr,
+                fs1: fr,
+                fs2: fr
+            }
+            .fu_class(),
             FuClass::FpComplex
         );
         assert_eq!(Instr::Jal { rd: r, offset: 8 }.fu_class(), FuClass::Branch);
@@ -498,33 +832,261 @@ mod tests {
     #[test]
     fn load_store_predicates() {
         let r = Reg::T0;
-        let ld = Instr::Ld { rd: r, base: r, offset: 8 };
+        let ld = Instr::Ld {
+            rd: r,
+            base: r,
+            offset: 8,
+        };
         assert!(ld.is_load() && !ld.is_store());
         assert_eq!(ld.mem_width(), Some(MemWidth::B8));
-        let sb = Instr::Sb { rs2: r, base: r, offset: -1 };
+        let sb = Instr::Sb {
+            rs2: r,
+            base: r,
+            offset: -1,
+        };
         assert!(sb.is_store() && !sb.is_load());
         assert_eq!(sb.mem_width(), Some(MemWidth::B1));
-        let fld = Instr::Fld { fd: FReg::FT0, base: r, offset: 0 };
+        let fld = Instr::Fld {
+            fd: FReg::FT0,
+            base: r,
+            offset: 0,
+        };
         assert!(fld.is_load() && fld.is_fp_mem());
-        let add = Instr::Add { rd: r, rs1: r, rs2: r };
+        let add = Instr::Add {
+            rd: r,
+            rs1: r,
+            rs2: r,
+        };
         assert_eq!(add.mem_width(), None);
     }
 
     #[test]
     fn display_formats() {
-        let i = Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -32 };
+        let i = Instr::Addi {
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: -32,
+        };
         assert_eq!(i.to_string(), "addi sp, sp, -32");
-        let b = Instr::Beq { rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 };
+        let b = Instr::Beq {
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            offset: -8,
+        };
         assert_eq!(b.to_string(), "beq t0, zero, .-8");
-        let l = Instr::Lw { rd: Reg::A0, base: Reg::SP, offset: 16 };
+        let l = Instr::Lw {
+            rd: Reg::A0,
+            base: Reg::SP,
+            offset: 16,
+        };
         assert_eq!(l.to_string(), "lw a0, 16(sp)");
     }
 
     #[test]
     fn branch_predicates() {
-        let b = Instr::Bne { rs1: Reg::T0, rs2: Reg::T1, offset: 4 };
+        let b = Instr::Bne {
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: 4,
+        };
         assert!(b.is_cond_branch() && !b.is_jump());
-        let j = Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let j = Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
         assert!(j.is_jump() && !j.is_cond_branch());
+    }
+
+    fn uses_of(i: Instr) -> Vec<RegId> {
+        i.uses().collect()
+    }
+
+    #[test]
+    fn defs_and_uses_int() {
+        let add = Instr::Add {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::T1,
+        };
+        assert_eq!(add.defs(), Some(RegId::Int(Reg::A0)));
+        assert_eq!(uses_of(add), vec![RegId::Int(Reg::A1), RegId::Int(Reg::T1)]);
+
+        let addi = Instr::Addi {
+            rd: Reg::T0,
+            rs1: Reg::SP,
+            imm: 8,
+        };
+        assert_eq!(addi.defs(), Some(RegId::Int(Reg::T0)));
+        assert_eq!(uses_of(addi), vec![RegId::Int(Reg::SP)]);
+
+        let lui = Instr::Lui {
+            rd: Reg::T1,
+            imm: 0x10,
+        };
+        assert_eq!(lui.defs(), Some(RegId::Int(Reg::T1)));
+        assert!(uses_of(lui).is_empty());
+    }
+
+    #[test]
+    fn defs_and_uses_memory() {
+        let ld = Instr::Ld {
+            rd: Reg::A0,
+            base: Reg::GP,
+            offset: 16,
+        };
+        assert_eq!(ld.defs(), Some(RegId::Int(Reg::A0)));
+        assert_eq!(uses_of(ld), vec![RegId::Int(Reg::GP)]);
+
+        // Stores define nothing; they read base then the stored value.
+        let sd = Instr::Sd {
+            rs2: Reg::A1,
+            base: Reg::SP,
+            offset: -8,
+        };
+        assert_eq!(sd.defs(), None);
+        assert_eq!(uses_of(sd), vec![RegId::Int(Reg::SP), RegId::Int(Reg::A1)]);
+
+        let fsd = Instr::Fsd {
+            fs2: FReg::FA0,
+            base: Reg::SP,
+            offset: 0,
+        };
+        assert_eq!(fsd.defs(), None);
+        assert_eq!(
+            uses_of(fsd),
+            vec![RegId::Int(Reg::SP), RegId::Fp(FReg::FA0)]
+        );
+
+        let fld = Instr::Fld {
+            fd: FReg::new(1),
+            base: Reg::SP,
+            offset: 0,
+        };
+        assert_eq!(fld.defs(), Some(RegId::Fp(FReg::new(1))));
+        assert_eq!(uses_of(fld), vec![RegId::Int(Reg::SP)]);
+    }
+
+    #[test]
+    fn defs_and_uses_fp_and_moves() {
+        let fadd = Instr::FaddD {
+            fd: FReg::FA0,
+            fs1: FReg::new(11),
+            fs2: FReg::new(12),
+        };
+        assert_eq!(fadd.defs(), Some(RegId::Fp(FReg::FA0)));
+        assert_eq!(
+            uses_of(fadd),
+            vec![RegId::Fp(FReg::new(11)), RegId::Fp(FReg::new(12))]
+        );
+
+        // Cross-file moves and compares: int destination, fp sources.
+        let feq = Instr::FeqD {
+            rd: Reg::A0,
+            fs1: FReg::FA0,
+            fs2: FReg::new(11),
+        };
+        assert_eq!(feq.defs(), Some(RegId::Int(Reg::A0)));
+        assert_eq!(
+            uses_of(feq),
+            vec![RegId::Fp(FReg::FA0), RegId::Fp(FReg::new(11))]
+        );
+
+        let fmv = Instr::FmvDX {
+            fd: FReg::FT0,
+            rs1: Reg::A0,
+        };
+        assert_eq!(fmv.defs(), Some(RegId::Fp(FReg::FT0)));
+        assert_eq!(uses_of(fmv), vec![RegId::Int(Reg::A0)]);
+    }
+
+    #[test]
+    fn defs_and_uses_control() {
+        // Branches read both sources and define nothing.
+        let beq = Instr::Beq {
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: 8,
+        };
+        assert_eq!(beq.defs(), None);
+        assert_eq!(uses_of(beq), vec![RegId::Int(Reg::T0), RegId::Int(Reg::T1)]);
+
+        // jal/jalr define their link register; jalr also reads its base.
+        let jal = Instr::Jal {
+            rd: Reg::RA,
+            offset: 16,
+        };
+        assert_eq!(jal.defs(), Some(RegId::Int(Reg::RA)));
+        assert!(uses_of(jal).is_empty());
+
+        let jalr = Instr::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
+        assert_eq!(jalr.defs(), Some(RegId::Int(Reg::ZERO)));
+        assert_eq!(uses_of(jalr), vec![RegId::Int(Reg::RA)]);
+
+        assert_eq!(Instr::Halt.defs(), None);
+        assert!(uses_of(Instr::Halt).is_empty());
+        assert_eq!(Instr::Nop.defs(), None);
+    }
+
+    #[test]
+    fn control_flow_kinds() {
+        assert_eq!(
+            Instr::Beq {
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: -8
+            }
+            .control_flow(),
+            CtrlFlow::CondBranch { offset: -8 }
+        );
+        assert_eq!(
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 32
+            }
+            .control_flow(),
+            CtrlFlow::Jump { offset: 32 }
+        );
+        assert_eq!(
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 4
+            }
+            .control_flow(),
+            CtrlFlow::IndirectJump {
+                base: Reg::RA,
+                offset: 4
+            }
+        );
+        assert_eq!(Instr::Halt.control_flow(), CtrlFlow::Halt);
+        assert_eq!(
+            Instr::Add {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A0
+            }
+            .control_flow(),
+            CtrlFlow::Fall
+        );
+    }
+
+    #[test]
+    fn reg_id_flat_index() {
+        assert_eq!(RegId::Int(Reg::ZERO).flat_index(), 0);
+        assert_eq!(RegId::Int(Reg::A0).flat_index(), Reg::A0.number() as usize);
+        assert_eq!(RegId::Fp(FReg::FT0).flat_index(), 32);
+        assert_eq!(
+            RegId::Fp(FReg::FA0).flat_index(),
+            32 + FReg::FA0.number() as usize
+        );
+        assert!(RegId::Int(Reg::ZERO).is_zero());
+        assert!(!RegId::Fp(FReg::FT0).is_zero());
+        assert_eq!(RegId::Int(Reg::SP).to_string(), "sp");
+        assert_eq!(RegId::Fp(FReg::FA0).to_string(), "fa0");
     }
 }

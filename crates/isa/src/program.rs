@@ -131,7 +131,14 @@ impl Program {
         symbols: BTreeMap<String, u64>,
     ) -> Program {
         let layout = Layout::new(text.len(), data.len());
-        Program { text, data, entry, pool_base, symbols, layout }
+        Program {
+            text,
+            data,
+            entry,
+            pool_base,
+            symbols,
+            layout,
+        }
     }
 
     /// The decoded instruction stream. Instruction `i` lives at address
@@ -218,7 +225,11 @@ mod tests {
 
     fn tiny() -> Program {
         let text = vec![
-            Instr::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: 7 },
+            Instr::Addi {
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 7,
+            },
             Instr::Halt,
         ];
         let mut symbols = BTreeMap::new();

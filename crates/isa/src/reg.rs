@@ -222,7 +222,9 @@ impl FromStr for Reg {
         if s == "fp" {
             return Ok(Reg::S0);
         }
-        Err(ParseRegError { name: s.to_string() })
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
     }
 }
 
@@ -241,7 +243,9 @@ impl FromStr for FReg {
                 }
             }
         }
-        Err(ParseRegError { name: s.to_string() })
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
     }
 }
 

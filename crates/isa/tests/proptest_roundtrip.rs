@@ -30,11 +30,7 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Divu { rd, rs1, rs2 }),
         (arb_reg(), arb_reg(), arb_imm()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
         (arb_reg(), arb_reg(), arb_imm()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, rs1, shamt)| Instr::Slli {
-            rd,
-            rs1,
-            shamt
-        }),
+        (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
         (arb_reg(), (-(1i32 << 19)..(1 << 19))).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
         (arb_reg(), arb_reg(), arb_imm()).prop_map(|(rd, base, offset)| Instr::Ld {
             rd,
@@ -61,16 +57,18 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             base,
             offset
         }),
-        (arb_freg(), arb_freg(), arb_freg())
-            .prop_map(|(fd, fs1, fs2)| Instr::FaddD { fd, fs1, fs2 }),
-        (arb_freg(), arb_freg(), arb_freg())
-            .prop_map(|(fd, fs1, fs2)| Instr::FdivD { fd, fs1, fs2 }),
-        (arb_freg(), arb_freg()).prop_map(|(fd, fs1)| Instr::FsqrtD { fd, fs1 }),
-        (arb_reg(), arb_freg(), arb_freg()).prop_map(|(rd, fs1, fs2)| Instr::FltD {
-            rd,
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fs1, fs2)| Instr::FaddD {
+            fd,
             fs1,
             fs2
         }),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fs1, fs2)| Instr::FdivD {
+            fd,
+            fs1,
+            fs2
+        }),
+        (arb_freg(), arb_freg()).prop_map(|(fd, fs1)| Instr::FsqrtD { fd, fs1 }),
+        (arb_reg(), arb_freg(), arb_freg()).prop_map(|(rd, fs1, fs2)| Instr::FltD { rd, fs1, fs2 }),
         (arb_reg(), arb_reg(), arb_offset()).prop_map(|(rs1, rs2, offset)| Instr::Beq {
             rs1,
             rs2,

@@ -33,8 +33,9 @@ const FP_TEMPS: usize = 6;
 const SPILL_SLOTS: usize = 16;
 /// Callee-saved integer registers available for scalar locals
 /// (`s1`..`s11`; `s0` is left free as a conventional frame pointer).
-const INT_SAVED: [&str; 11] =
-    ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"];
+const INT_SAVED: [&str; 11] = [
+    "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+];
 /// Callee-saved FP registers for float locals.
 const FP_SAVED: [&str; 12] = [
     "fs0", "fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11",
@@ -125,11 +126,18 @@ impl Generator {
             if globals
                 .insert(
                     g.name.clone(),
-                    GlobalSym { label: format!("g_{}", g.name), elem: g.elem, len: g.len },
+                    GlobalSym {
+                        label: format!("g_{}", g.name),
+                        elem: g.elem,
+                        len: g.len,
+                    },
                 )
                 .is_some()
             {
-                return Err(LangError::new(g.line, format!("duplicate global `{}`", g.name)));
+                return Err(LangError::new(
+                    g.line,
+                    format!("duplicate global `{}`", g.name),
+                ));
             }
         }
         let mut funcs = HashMap::new();
@@ -139,13 +147,21 @@ impl Generator {
                 ret: f.ret,
             };
             if funcs.insert(f.name.clone(), sig).is_some() {
-                return Err(LangError::new(f.line, format!("duplicate function `{}`", f.name)));
+                return Err(LangError::new(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
             }
         }
         if !funcs.contains_key("main") {
             return Err(LangError::new(0, "program must define `fn main()`"));
         }
-        Ok(Generator { globals, funcs, asm: String::new(), label_counter: 0 })
+        Ok(Generator {
+            globals,
+            funcs,
+            asm: String::new(),
+            label_counter: 0,
+        })
     }
 
     fn run(mut self, ast: &ProgramAst) -> Result<String, LangError> {
@@ -189,17 +205,18 @@ impl Generator {
             self.emit("    .align 3");
         }
         self.emitf(format_args!("{label}:"));
-        let expect_scalar = |lit: &Literal, want: ElemType, line: usize| -> Result<u64, LangError> {
-            match (lit, want) {
-                (Literal::Int(v), ElemType::Int) => Ok(*v as u64),
-                (Literal::Int(v), ElemType::Char) => Ok(*v as u64 & 0xff),
-                (Literal::Float(v), ElemType::Float) => Ok(v.to_bits()),
-                (Literal::Int(v), ElemType::Float) => Ok((*v as f64).to_bits()),
-                (Literal::Float(_), _) => {
-                    Err(LangError::new(line, "float initializer for integer global"))
+        let expect_scalar =
+            |lit: &Literal, want: ElemType, line: usize| -> Result<u64, LangError> {
+                match (lit, want) {
+                    (Literal::Int(v), ElemType::Int) => Ok(*v as u64),
+                    (Literal::Int(v), ElemType::Char) => Ok(*v as u64 & 0xff),
+                    (Literal::Float(v), ElemType::Float) => Ok(v.to_bits()),
+                    (Literal::Int(v), ElemType::Float) => Ok((*v as f64).to_bits()),
+                    (Literal::Float(_), _) => {
+                        Err(LangError::new(line, "float initializer for integer global"))
+                    }
                 }
-            }
-        };
+            };
         match &g.init {
             Init::None => self.emitf(format_args!("    .space {total}")),
             Init::Scalar(lit) => {
@@ -219,7 +236,10 @@ impl Generator {
                 if items.len() > len {
                     return Err(LangError::new(
                         g.line,
-                        format!("initializer has {} items but array length is {len}", items.len()),
+                        format!(
+                            "initializer has {} items but array length is {len}",
+                            items.len()
+                        ),
                     ));
                 }
                 for lit in items {
@@ -236,13 +256,19 @@ impl Generator {
             }
             Init::Str(s) => {
                 if g.elem != ElemType::Char {
-                    return Err(LangError::new(g.line, "string initializer requires a char array"));
+                    return Err(LangError::new(
+                        g.line,
+                        "string initializer requires a char array",
+                    ));
                 }
                 let len = g.len.unwrap() as usize;
                 if s.len() + 1 > len {
                     return Err(LangError::new(
                         g.line,
-                        format!("string of {} bytes does not fit in char[{len}]", s.len() + 1),
+                        format!(
+                            "string of {} bytes does not fit in char[{len}]",
+                            s.len() + 1
+                        ),
                     ));
                 }
                 let escaped: String = s
@@ -277,7 +303,9 @@ impl Generator {
                     Self::collect_decls(els, out);
                 }
                 Stmt::While { body, .. } => Self::collect_decls(body, out),
-                Stmt::For { init, step, body, .. } => {
+                Stmt::For {
+                    init, step, body, ..
+                } => {
                     if let Some(i) = init {
                         Self::collect_decls(std::slice::from_ref(i), out);
                     }
@@ -304,41 +332,51 @@ impl Generator {
 
         let mut next_sreg = 0usize;
         let mut next_fsreg = 0usize;
-        let mut declare =
-            |name: &str, elem: ElemType, len: Option<u64>, line: usize,
-             locals: &mut HashMap<String, LocalSym>,
-             frame_locals: &mut Vec<(String, ElemType, Option<u64>)>|
-             -> Result<(), LangError> {
-                if locals.contains_key(name) {
-                    return Err(LangError::new(line, format!("duplicate local `{name}`")));
-                }
-                let ty = elem.scalar();
-                let slot = if len.is_some() {
-                    frame_locals.push((name.to_string(), elem, len));
-                    Slot::Frame(-1) // patched below
-                } else {
-                    match ty {
-                        Type::Int if next_sreg < INT_SAVED.len() => {
-                            let r = INT_SAVED[next_sreg];
-                            next_sreg += 1;
-                            used_sregs.push(r);
-                            Slot::SReg(r)
-                        }
-                        Type::Float if next_fsreg < FP_SAVED.len() => {
-                            let r = FP_SAVED[next_fsreg];
-                            next_fsreg += 1;
-                            used_fsregs.push(r);
-                            Slot::FsReg(r)
-                        }
-                        _ => {
-                            frame_locals.push((name.to_string(), elem, None));
-                            Slot::Frame(-1)
-                        }
+        let mut declare = |name: &str,
+                           elem: ElemType,
+                           len: Option<u64>,
+                           line: usize,
+                           locals: &mut HashMap<String, LocalSym>,
+                           frame_locals: &mut Vec<(String, ElemType, Option<u64>)>|
+         -> Result<(), LangError> {
+            if locals.contains_key(name) {
+                return Err(LangError::new(line, format!("duplicate local `{name}`")));
+            }
+            let ty = elem.scalar();
+            let slot = if len.is_some() {
+                frame_locals.push((name.to_string(), elem, len));
+                Slot::Frame(-1) // patched below
+            } else {
+                match ty {
+                    Type::Int if next_sreg < INT_SAVED.len() => {
+                        let r = INT_SAVED[next_sreg];
+                        next_sreg += 1;
+                        used_sregs.push(r);
+                        Slot::SReg(r)
                     }
-                };
-                locals.insert(name.to_string(), LocalSym { slot, elem, len, ty });
-                Ok(())
+                    Type::Float if next_fsreg < FP_SAVED.len() => {
+                        let r = FP_SAVED[next_fsreg];
+                        next_fsreg += 1;
+                        used_fsregs.push(r);
+                        Slot::FsReg(r)
+                    }
+                    _ => {
+                        frame_locals.push((name.to_string(), elem, None));
+                        Slot::Frame(-1)
+                    }
+                }
             };
+            locals.insert(
+                name.to_string(),
+                LocalSym {
+                    slot,
+                    elem,
+                    len,
+                    ty,
+                },
+            );
+            Ok(())
+        };
 
         for (pname, pty) in &f.params {
             let elem = match pty {
@@ -350,7 +388,15 @@ impl Generator {
         let mut decls = Vec::new();
         Self::collect_decls(&f.body, &mut decls);
         for d in decls {
-            let Stmt::Decl { name, elem, len, line } = d else { unreachable!() };
+            let Stmt::Decl {
+                name,
+                elem,
+                len,
+                line,
+            } = d
+            else {
+                unreachable!()
+            };
             declare(name, *elem, *len, *line, &mut locals, &mut frame_locals)?;
         }
 
@@ -400,10 +446,16 @@ impl Generator {
         self.adjust_sp(-frame_size);
         self.emit("    sd ra, 0(sp)");
         for (i, r) in used_sregs.iter().enumerate() {
-            self.emitf(format_args!("    sd {r}, {}(sp)", sreg_save_base + i as i64 * 8));
+            self.emitf(format_args!(
+                "    sd {r}, {}(sp)",
+                sreg_save_base + i as i64 * 8
+            ));
         }
         for (i, r) in used_fsregs.iter().enumerate() {
-            self.emitf(format_args!("    fsd {r}, {}(sp)", fsreg_save_base + i as i64 * 8));
+            self.emitf(format_args!(
+                "    fsd {r}, {}(sp)",
+                fsreg_save_base + i as i64 * 8
+            ));
         }
         // Move parameters into their slots.
         let mut int_arg = 0usize;
@@ -438,16 +490,30 @@ impl Generator {
 
         // --- body ---
         self.stmts(&f.body, &mut ctx)?;
-        debug_assert_eq!(ctx.int_depth, 0, "int temp stack not empty at end of {}", f.name);
-        debug_assert_eq!(ctx.fp_depth, 0, "fp temp stack not empty at end of {}", f.name);
+        debug_assert_eq!(
+            ctx.int_depth, 0,
+            "int temp stack not empty at end of {}",
+            f.name
+        );
+        debug_assert_eq!(
+            ctx.fp_depth, 0,
+            "fp temp stack not empty at end of {}",
+            f.name
+        );
 
         // --- epilogue ---
         self.emitf(format_args!("{}:", ctx.epilogue));
         for (i, r) in used_fsregs.iter().enumerate() {
-            self.emitf(format_args!("    fld {r}, {}(sp)", fsreg_save_base + i as i64 * 8));
+            self.emitf(format_args!(
+                "    fld {r}, {}(sp)",
+                fsreg_save_base + i as i64 * 8
+            ));
         }
         for (i, r) in used_sregs.iter().enumerate() {
-            self.emitf(format_args!("    ld {r}, {}(sp)", sreg_save_base + i as i64 * 8));
+            self.emitf(format_args!(
+                "    ld {r}, {}(sp)",
+                sreg_save_base + i as i64 * 8
+            ));
         }
         self.emit("    ld ra, 0(sp)");
         self.adjust_sp(frame_size);
@@ -560,7 +626,12 @@ impl Generator {
                 self.emitf(format_args!("{l_end}:"));
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i, ctx)?;
                 }
@@ -614,7 +685,10 @@ impl Generator {
                         return Err(LangError::new(*line, "void function cannot return a value"));
                     }
                     (None, Some(t)) => {
-                        return Err(LangError::new(*line, format!("must return a value of type {t}")));
+                        return Err(LangError::new(
+                            *line,
+                            format!("must return a value of type {t}"),
+                        ));
                     }
                 }
                 let ep = ctx.epilogue.clone();
@@ -652,18 +726,30 @@ impl Generator {
         }
     }
 
-    fn assign(&mut self, lv: &LValue, expr: &Expr, line: usize, ctx: &mut FnCtx) -> Result<(), LangError> {
+    fn assign(
+        &mut self,
+        lv: &LValue,
+        expr: &Expr,
+        line: usize,
+        ctx: &mut FnCtx,
+    ) -> Result<(), LangError> {
         match lv {
             LValue::Var(name) => {
                 let v = self.expr(expr, ctx)?;
                 if let Some(sym) = ctx.locals.get(name).cloned() {
                     if sym.len.is_some() {
-                        return Err(LangError::new(line, format!("cannot assign to array `{name}`")));
+                        return Err(LangError::new(
+                            line,
+                            format!("cannot assign to array `{name}`"),
+                        ));
                     }
                     if sym.ty != v.ty {
                         return Err(LangError::new(
                             line,
-                            format!("type mismatch assigning {} to `{name}` of type {}", v.ty, sym.ty),
+                            format!(
+                                "type mismatch assigning {} to `{name}` of type {}",
+                                v.ty, sym.ty
+                            ),
                         ));
                     }
                     match (&sym.slot, v.ty) {
@@ -692,13 +778,19 @@ impl Generator {
                     Ok(())
                 } else if let Some(gsym) = self.globals.get(name).cloned() {
                     if gsym.len.is_some() {
-                        return Err(LangError::new(line, format!("cannot assign to array `{name}`")));
+                        return Err(LangError::new(
+                            line,
+                            format!("cannot assign to array `{name}`"),
+                        ));
                     }
                     let want = gsym.elem.scalar();
                     if want != v.ty {
                         return Err(LangError::new(
                             line,
-                            format!("type mismatch assigning {} to `{name}` of type {want}", v.ty),
+                            format!(
+                                "type mismatch assigning {} to `{name}` of type {want}",
+                                v.ty
+                            ),
                         ));
                     }
                     self.emitf(format_args!("    la t5, {}", gsym.label));
@@ -792,7 +884,10 @@ impl Generator {
         // Base address into t5.
         if let Some(sym) = ctx.locals.get(name).cloned() {
             let Slot::Frame(off) = sym.slot else {
-                return Err(LangError::new(line, format!("array `{name}` has no frame slot")));
+                return Err(LangError::new(
+                    line,
+                    format!("array `{name}` has no frame slot"),
+                ));
             };
             if (-2048..2048).contains(&off) {
                 self.emitf(format_args!("    addi t5, sp, {off}"));
@@ -823,7 +918,10 @@ impl Generator {
 
     fn expect_int(&self, v: &Val, line: usize) -> Result<(), LangError> {
         if v.ty != Type::Int {
-            return Err(LangError::new(line, format!("expected int, found {}", v.ty)));
+            return Err(LangError::new(
+                line,
+                format!("expected int, found {}", v.ty),
+            ));
         }
         Ok(())
     }
@@ -952,7 +1050,10 @@ impl Generator {
                 let rd = self.int_dest(d);
                 self.emitf(format_args!("    li {rd}, {v}"));
                 self.finish_int(d, ctx);
-                Ok(Val { ty: Type::Int, depth: d })
+                Ok(Val {
+                    ty: Type::Int,
+                    depth: d,
+                })
             }
             Expr::Float(v) => {
                 let d = self.push_fp(ctx);
@@ -960,7 +1061,10 @@ impl Generator {
                 // `fli` keeps full precision via the constant pool.
                 self.emitf(format_args!("    fli {rd}, {v:?}"));
                 self.finish_fp(d, ctx);
-                Ok(Val { ty: Type::Float, depth: d })
+                Ok(Val {
+                    ty: Type::Float,
+                    depth: d,
+                })
             }
             Expr::Var(name, line) => self.read_var(name, *line, ctx),
             Expr::Index(name, idx, line) => {
@@ -978,20 +1082,26 @@ impl Generator {
                             _ => self.emitf(format_args!("    ld {rd}, 0(t5)")),
                         }
                         self.finish_int(d, ctx);
-                        Ok(Val { ty: Type::Int, depth: d })
+                        Ok(Val {
+                            ty: Type::Int,
+                            depth: d,
+                        })
                     }
                     ElemType::Float => {
                         let d = self.push_fp(ctx);
                         let rd = self.fp_dest(d);
                         self.emitf(format_args!("    fld {rd}, 0(t5)"));
                         self.finish_fp(d, ctx);
-                        Ok(Val { ty: Type::Float, depth: d })
+                        Ok(Val {
+                            ty: Type::Float,
+                            depth: d,
+                        })
                     }
                 }
             }
-            Expr::Call(name, args, line) => self
-                .call(name, args, *line, ctx)?
-                .ok_or_else(|| LangError::new(*line, format!("void function `{name}` used as a value"))),
+            Expr::Call(name, args, line) => self.call(name, args, *line, ctx)?.ok_or_else(|| {
+                LangError::new(*line, format!("void function `{name}` used as a value"))
+            }),
             Expr::Cast(to, inner, line) => {
                 let v = self.expr(inner, ctx)?;
                 match (v.ty, to) {
@@ -1003,7 +1113,10 @@ impl Generator {
                         let rd = self.fp_dest(d);
                         self.emitf(format_args!("    fcvt.d.l {rd}, {src}"));
                         self.finish_fp(d, ctx);
-                        Ok(Val { ty: Type::Float, depth: d })
+                        Ok(Val {
+                            ty: Type::Float,
+                            depth: d,
+                        })
                     }
                     (Type::Float, Type::Int) => {
                         let src = self.fp_operand(v.depth, 0, ctx).to_string();
@@ -1012,7 +1125,10 @@ impl Generator {
                         let rd = self.int_dest(d);
                         self.emitf(format_args!("    fcvt.l.d {rd}, {src}"));
                         self.finish_int(d, ctx);
-                        Ok(Val { ty: Type::Int, depth: d })
+                        Ok(Val {
+                            ty: Type::Int,
+                            depth: d,
+                        })
                     }
                     _ => Err(LangError::new(*line, "unsupported cast")),
                 }
@@ -1072,28 +1188,40 @@ impl Generator {
                     let rd = self.int_dest(d);
                     self.emitf(format_args!("    mv {rd}, {r}"));
                     self.finish_int(d, ctx);
-                    Ok(Val { ty: Type::Int, depth: d })
+                    Ok(Val {
+                        ty: Type::Int,
+                        depth: d,
+                    })
                 }
                 (Slot::FsReg(r), Type::Float) => {
                     let d = self.push_fp(ctx);
                     let rd = self.fp_dest(d);
                     self.emitf(format_args!("    fmv.d {rd}, {r}"));
                     self.finish_fp(d, ctx);
-                    Ok(Val { ty: Type::Float, depth: d })
+                    Ok(Val {
+                        ty: Type::Float,
+                        depth: d,
+                    })
                 }
                 (Slot::Frame(off), Type::Int) => {
                     let d = self.push_int(ctx);
                     let rd = self.int_dest(d).to_string();
                     self.load_from_sp(&rd, *off);
                     self.finish_int(d, ctx);
-                    Ok(Val { ty: Type::Int, depth: d })
+                    Ok(Val {
+                        ty: Type::Int,
+                        depth: d,
+                    })
                 }
                 (Slot::Frame(off), Type::Float) => {
                     let d = self.push_fp(ctx);
                     let rd = self.fp_dest(d).to_string();
                     self.fload_from_sp(&rd, *off);
                     self.finish_fp(d, ctx);
-                    Ok(Val { ty: Type::Float, depth: d })
+                    Ok(Val {
+                        ty: Type::Float,
+                        depth: d,
+                    })
                 }
                 _ => unreachable!("slot/type mismatch"),
             }
@@ -1111,14 +1239,20 @@ impl Generator {
                     let rd = self.int_dest(d);
                     self.emitf(format_args!("    ld {rd}, 0(t5)"));
                     self.finish_int(d, ctx);
-                    Ok(Val { ty: Type::Int, depth: d })
+                    Ok(Val {
+                        ty: Type::Int,
+                        depth: d,
+                    })
                 }
                 Type::Float => {
                     let d = self.push_fp(ctx);
                     let rd = self.fp_dest(d);
                     self.emitf(format_args!("    fld {rd}, 0(t5)"));
                     self.finish_fp(d, ctx);
-                    Ok(Val { ty: Type::Float, depth: d })
+                    Ok(Val {
+                        ty: Type::Float,
+                        depth: d,
+                    })
                 }
             }
         } else {
@@ -1160,7 +1294,10 @@ impl Generator {
             self.emitf(format_args!("    li {rd2}, {const_result}"));
             self.finish_int(lv.depth, ctx);
             self.emitf(format_args!("{l_end}:"));
-            return Ok(Val { ty: Type::Int, depth: rv.depth });
+            return Ok(Val {
+                ty: Type::Int,
+                depth: rv.depth,
+            });
         }
 
         let lv = self.expr(lhs, ctx)?;
@@ -1209,7 +1346,10 @@ impl Generator {
                 }
                 self.finish_int(lv.depth, ctx);
                 self.pop_int(ctx); // rhs
-                Ok(Val { ty: Type::Int, depth: lv.depth })
+                Ok(Val {
+                    ty: Type::Int,
+                    depth: lv.depth,
+                })
             }
             Type::Float => {
                 let ra = self.fp_operand(lv.depth, 0, ctx).to_string();
@@ -1226,7 +1366,10 @@ impl Generator {
                         self.emitf(format_args!("    {m} {rd}, {ra}, {rb}"));
                         self.finish_fp(lv.depth, ctx);
                         self.pop_fp(ctx);
-                        Ok(Val { ty: Type::Float, depth: lv.depth })
+                        Ok(Val {
+                            ty: Type::Float,
+                            depth: lv.depth,
+                        })
                     }
                     BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                         self.pop_fp(ctx);
@@ -1245,7 +1388,10 @@ impl Generator {
                             _ => self.emitf(format_args!("    fle.d {rd}, {rb}, {ra}")),
                         }
                         self.finish_int(d, ctx);
-                        Ok(Val { ty: Type::Int, depth: d })
+                        Ok(Val {
+                            ty: Type::Int,
+                            depth: d,
+                        })
                     }
                     other => Err(LangError::new(
                         line,
@@ -1284,7 +1430,10 @@ impl Generator {
                         self.pop_fp(ctx);
                     }
                     (_, ty) => {
-                        return Err(LangError::new(line, format!("{name}() got a {ty} argument")));
+                        return Err(LangError::new(
+                            line,
+                            format!("{name}() got a {ty} argument"),
+                        ));
                     }
                 }
                 return Ok(None);
@@ -1315,7 +1464,11 @@ impl Generator {
         if sig.params.len() != args.len() {
             return Err(LangError::new(
                 line,
-                format!("`{name}` takes {} arguments, {} given", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` takes {} arguments, {} given",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
 
@@ -1399,14 +1552,20 @@ impl Generator {
                 let rd = self.int_dest(d);
                 self.emitf(format_args!("    mv {rd}, a0"));
                 self.finish_int(d, ctx);
-                Ok(Some(Val { ty: Type::Int, depth: d }))
+                Ok(Some(Val {
+                    ty: Type::Int,
+                    depth: d,
+                }))
             }
             Some(Type::Float) => {
                 let d = self.push_fp(ctx);
                 let rd = self.fp_dest(d);
                 self.emitf(format_args!("    fmv.d {rd}, fa0"));
                 self.finish_fp(d, ctx);
-                Ok(Some(Val { ty: Type::Float, depth: d }))
+                Ok(Some(Val {
+                    ty: Type::Float,
+                    depth: d,
+                }))
             }
         }
     }

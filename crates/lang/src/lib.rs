@@ -152,7 +152,10 @@ mod tests {
     fn arithmetic_and_precedence() {
         assert_eq!(run_both("fn main() { out(2 + 3 * 4 - 1); }"), vec![13]);
         assert_eq!(run_both("fn main() { out((2 + 3) * 4); }"), vec![20]);
-        assert_eq!(run_both("fn main() { out(7 / 2); out(7 % 2); }"), vec![3, 1]);
+        assert_eq!(
+            run_both("fn main() { out(7 / 2); out(7 % 2); }"),
+            vec![3, 1]
+        );
         assert_eq!(
             run_both("fn main() { out(-5 / 2); out(1 << 10); out(-8 >> 2); }"),
             vec![(-2i64) as u64, 1024, (-2i64) as u64]
@@ -169,11 +172,10 @@ mod tests {
             run_both("fn main() { out(1 && 2); out(0 && 1); out(0 || 3); out(0 || 0); }"),
             vec![1, 0, 1, 0]
         );
-        assert_eq!(run_both("fn main() { out(!0); out(!7); out(~0); }"), vec![
-            1,
-            0,
-            u64::MAX
-        ]);
+        assert_eq!(
+            run_both("fn main() { out(!0); out(!7); out(~0); }"),
+            vec![1, 0, u64::MAX]
+        );
     }
 
     #[test]
@@ -402,6 +404,9 @@ mod tests {
 
     #[test]
     fn decl_with_initializer_sugar() {
-        assert_eq!(run_both("fn main() { int x = 5; int y = x * 2; out(y); }"), vec![10]);
+        assert_eq!(
+            run_both("fn main() { int x = 5; int y = x * 2; out(y); }"),
+            vec![10]
+        );
     }
 }

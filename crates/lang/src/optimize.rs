@@ -32,9 +32,121 @@ const UNROLL_LIMIT: i64 = 8;
 pub fn optimize(mut ast: ProgramAst) -> ProgramAst {
     for f in &mut ast.funcs {
         let body = std::mem::take(&mut f.body);
-        f.body = opt_stmts(body);
+        f.body = eliminate_dead_assigns(opt_stmts(body));
     }
     ast
+}
+
+/// Removes scalar assignments that are provably killed by a later
+/// assignment to the same variable within the same straight-line statement
+/// list, with no possible read in between. Unrolling adjacent loops leaves
+/// exactly this pattern behind (`i = 8; j = 1; i = 0;`), which would
+/// otherwise compile to dead register stores.
+fn eliminate_dead_assigns(stmts: Vec<Stmt>) -> Vec<Stmt> {
+    // Recurse into nested bodies first.
+    let stmts: Vec<Stmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            Stmt::If { cond, then, els } => Stmt::If {
+                cond,
+                then: eliminate_dead_assigns(then),
+                els: eliminate_dead_assigns(els),
+            },
+            Stmt::While { cond, body } => Stmt::While {
+                cond,
+                body: eliminate_dead_assigns(body),
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                init,
+                cond,
+                step,
+                body: eliminate_dead_assigns(body),
+            },
+            other => other,
+        })
+        .collect();
+
+    // A statement the scan may step over without observing `var`: a
+    // declaration, or a call-free assignment that neither reads `var` nor
+    // (for array stores) could alias a scalar.
+    fn transparent(s: &Stmt, var: &str) -> bool {
+        match s {
+            Stmt::Decl { .. } => true,
+            Stmt::Assign { lv, expr, .. } => {
+                is_pure(expr)
+                    && !expr_reads(expr, var)
+                    && match lv {
+                        LValue::Var(w) => w != var,
+                        LValue::Index(_, idx) => is_pure(idx) && !expr_reads(idx, var),
+                    }
+            }
+            _ => false,
+        }
+    }
+
+    let mut keep = vec![true; stmts.len()];
+    for (i, s) in stmts.iter().enumerate() {
+        let Stmt::Assign {
+            lv: LValue::Var(var),
+            expr,
+            ..
+        } = s
+        else {
+            continue;
+        };
+        if !is_pure(expr) {
+            continue; // RHS may have side effects
+        }
+        for later in &stmts[i + 1..] {
+            // A plain reassignment kills; so does a `for` whose init
+            // reassigns (the init runs unconditionally before the cond).
+            let kills = match later {
+                Stmt::Assign {
+                    lv: LValue::Var(w),
+                    expr: e2,
+                    ..
+                } => w == var && is_pure(e2) && !expr_reads(e2, var),
+                Stmt::For {
+                    init: Some(init), ..
+                } => matches!(
+                    init.as_ref(),
+                    Stmt::Assign { lv: LValue::Var(w), expr: e2, .. }
+                        if w == var && is_pure(e2) && !expr_reads(e2, var)
+                ),
+                _ => false,
+            };
+            if kills {
+                keep[i] = false; // killed before any possible read
+                break;
+            }
+            if !transparent(later, var) {
+                break;
+            }
+        }
+    }
+    stmts
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s))
+        .collect()
+}
+
+/// Whether expression `e` reads variable `var`.
+fn expr_reads(e: &Expr, var: &str) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) => false,
+        Expr::Var(v, _) => v == var,
+        Expr::Index(_, idx, _) => expr_reads(idx, var),
+        Expr::Call(_, args, _) => args.iter().any(|a| expr_reads(a, var)),
+        Expr::Unary(_, a, _) => expr_reads(a, var),
+        Expr::Binary(_, a, b, _) => expr_reads(a, var) || expr_reads(b, var),
+        Expr::Cast(_, a, _) => expr_reads(a, var),
+    }
 }
 
 fn opt_stmts(stmts: Vec<Stmt>) -> Vec<Stmt> {
@@ -52,7 +164,11 @@ fn opt_stmt(s: Stmt, out: &mut Vec<Stmt>) {
                 LValue::Index(name, idx) => LValue::Index(name, Box::new(fold(*idx))),
                 v => v,
             };
-            out.push(Stmt::Assign { lv, expr: fold(expr), line });
+            out.push(Stmt::Assign {
+                lv,
+                expr: fold(expr),
+                line,
+            });
         }
         Stmt::Expr(e) => out.push(Stmt::Expr(fold(e))),
         Stmt::Return(e, line) => out.push(Stmt::Return(e.map(fold), line)),
@@ -73,9 +189,17 @@ fn opt_stmt(s: Stmt, out: &mut Vec<Stmt>) {
             if const_int(&cond) == Some(0) {
                 return; // dead loop
             }
-            out.push(Stmt::While { cond, body: opt_stmts(body) });
+            out.push(Stmt::While {
+                cond,
+                body: opt_stmts(body),
+            });
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init = init.map(|s| {
                 let mut v = Vec::new();
                 opt_stmt(*s, &mut v);
@@ -94,14 +218,12 @@ fn opt_stmt(s: Stmt, out: &mut Vec<Stmt>) {
                 Some(v) => {
                     // Folding never splits a statement today, but guard
                     // against it: chain with Block2.
-                    v.into_iter()
-                        .rev()
-                        .fold(None, |acc: Option<Box<Stmt>>, s| {
-                            Some(match acc {
-                                None => Box::new(s),
-                                Some(rest) => Box::new(Stmt::Block2(Box::new(s), rest)),
-                            })
+                    v.into_iter().rev().fold(None, |acc: Option<Box<Stmt>>, s| {
+                        Some(match acc {
+                            None => Box::new(s),
+                            Some(rest) => Box::new(Stmt::Block2(Box::new(s), rest)),
                         })
+                    })
                 }
             };
             out.push(Stmt::For {
@@ -140,27 +262,42 @@ fn try_unroll(
     if init.len() != 1 {
         return None;
     }
-    let Stmt::Assign { lv: LValue::Var(var), expr: init_e, line } = &init[0] else {
+    let Stmt::Assign {
+        lv: LValue::Var(var),
+        expr: init_e,
+        line,
+    } = &init[0]
+    else {
         return None;
     };
     let c0 = const_int(init_e)?;
     let Some(Expr::Binary(BinOp::Lt, lhs, rhs, _)) = cond else {
         return None;
     };
-    let Expr::Var(cond_var, _) = lhs.as_ref() else { return None };
+    let Expr::Var(cond_var, _) = lhs.as_ref() else {
+        return None;
+    };
     if cond_var != var {
         return None;
     }
     let c1 = const_int(rhs)?;
-    let Stmt::Assign { lv: LValue::Var(step_var), expr: step_e, .. } = step.as_ref()?.as_ref()
+    let Stmt::Assign {
+        lv: LValue::Var(step_var),
+        expr: step_e,
+        ..
+    } = step.as_ref()?.as_ref()
     else {
         return None;
     };
     if step_var != var {
         return None;
     }
-    let Expr::Binary(BinOp::Add, sl, sr, _) = step_e else { return None };
-    let Expr::Var(step_src, _) = sl.as_ref() else { return None };
+    let Expr::Binary(BinOp::Add, sl, sr, _) = step_e else {
+        return None;
+    };
+    let Expr::Var(step_src, _) = sl.as_ref() else {
+        return None;
+    };
     if step_src != var {
         return None;
     }
@@ -181,32 +318,82 @@ fn try_unroll(
         // Duplicating a declaration would redeclare the local; keep the loop.
         return None;
     }
+    // Bodies that never read the loop variable need no per-iteration
+    // `i = k` assignment; emitting one per copy creates a chain of dead
+    // stores (each overwritten unread by the next).
+    let body_reads_var = reads_var(body, var);
     let mut out = Vec::new();
     let mut i = c0;
     while i < c1 {
-        out.push(Stmt::Assign {
-            lv: LValue::Var(var.clone()),
-            expr: Expr::Int(i),
-            line: *line,
-        });
+        if body_reads_var {
+            out.push(Stmt::Assign {
+                lv: LValue::Var(var.clone()),
+                expr: Expr::Int(i),
+                line: *line,
+            });
+        }
         out.extend_from_slice(body);
         i += c2;
     }
     // Loop variable's final value must match the un-unrolled execution.
-    out.push(Stmt::Assign { lv: LValue::Var(var.clone()), expr: Expr::Int(i), line: *line });
+    out.push(Stmt::Assign {
+        lv: LValue::Var(var.clone()),
+        expr: Expr::Int(i),
+        line: *line,
+    });
     Some(out)
+}
+
+/// Whether any expression in the statement tree reads `var`.
+fn reads_var(stmts: &[Stmt], var: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Decl { .. } | Stmt::Break(_) | Stmt::Continue(_) => false,
+        Stmt::Assign { lv, expr, .. } => {
+            expr_reads(expr, var) || matches!(lv, LValue::Index(_, idx) if expr_reads(idx, var))
+        }
+        Stmt::Expr(e) => expr_reads(e, var),
+        Stmt::Return(e, _) => e.as_ref().is_some_and(|e| expr_reads(e, var)),
+        Stmt::If { cond, then, els } => {
+            expr_reads(cond, var) || reads_var(then, var) || reads_var(els, var)
+        }
+        Stmt::While { cond, body } => expr_reads(cond, var) || reads_var(body, var),
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            init.as_deref()
+                .is_some_and(|s| reads_var(std::slice::from_ref(s), var))
+                || cond.as_ref().is_some_and(|c| expr_reads(c, var))
+                || step
+                    .as_deref()
+                    .is_some_and(|s| reads_var(std::slice::from_ref(s), var))
+                || reads_var(body, var)
+        }
+        Stmt::Block2(a, b) => {
+            reads_var(std::slice::from_ref(a), var) || reads_var(std::slice::from_ref(b), var)
+        }
+    })
 }
 
 fn writes_var(stmts: &[Stmt], var: &str) -> bool {
     stmts.iter().any(|s| match s {
-        Stmt::Assign { lv: LValue::Var(v), .. } => v == var,
+        Stmt::Assign {
+            lv: LValue::Var(v), ..
+        } => v == var,
         Stmt::Assign { .. } | Stmt::Expr(_) | Stmt::Return(..) => false,
         Stmt::Decl { name, .. } => name == var, // shadowing: bail out
         Stmt::If { then, els, .. } => writes_var(then, var) || writes_var(els, var),
         Stmt::While { body, .. } => writes_var(body, var),
-        Stmt::For { init, step, body, .. } => {
-            init.as_deref().is_some_and(|s| writes_var(std::slice::from_ref(s), var))
-                || step.as_deref().is_some_and(|s| writes_var(std::slice::from_ref(s), var))
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            init.as_deref()
+                .is_some_and(|s| writes_var(std::slice::from_ref(s), var))
+                || step
+                    .as_deref()
+                    .is_some_and(|s| writes_var(std::slice::from_ref(s), var))
                 || writes_var(body, var)
         }
         Stmt::Block2(a, b) => {
@@ -223,9 +410,14 @@ fn has_decl(stmts: &[Stmt]) -> bool {
         Stmt::Decl { .. } => true,
         Stmt::If { then, els, .. } => has_decl(then) || has_decl(els),
         Stmt::While { body, .. } => has_decl(body),
-        Stmt::For { init, step, body, .. } => {
-            init.as_deref().is_some_and(|s| has_decl(std::slice::from_ref(s)))
-                || step.as_deref().is_some_and(|s| has_decl(std::slice::from_ref(s)))
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            init.as_deref()
+                .is_some_and(|s| has_decl(std::slice::from_ref(s)))
+                || step
+                    .as_deref()
+                    .is_some_and(|s| has_decl(std::slice::from_ref(s)))
                 || has_decl(body)
         }
         Stmt::Block2(a, b) => {
@@ -409,19 +601,22 @@ mod tests {
     #[test]
     fn folds_constants() {
         let ast = opt("fn main() { out(2 + 3 * 4); }");
-        assert_eq!(body(&ast), &[Stmt::Expr(Expr::Call(
-            "out".into(),
-            vec![Expr::Int(14)],
-            1
-        ))]);
+        assert_eq!(
+            body(&ast),
+            &[Stmt::Expr(Expr::Call("out".into(), vec![Expr::Int(14)], 1))]
+        );
     }
 
     #[test]
     fn folds_float_constants() {
         let ast = opt("fn main() { outf(1.5 * 2.0); out(1.0 < 2.0); }");
-        let Stmt::Expr(Expr::Call(_, args, _)) = &body(&ast)[0] else { panic!() };
+        let Stmt::Expr(Expr::Call(_, args, _)) = &body(&ast)[0] else {
+            panic!()
+        };
         assert_eq!(args[0], Expr::Float(3.0));
-        let Stmt::Expr(Expr::Call(_, args, _)) = &body(&ast)[1] else { panic!() };
+        let Stmt::Expr(Expr::Call(_, args, _)) = &body(&ast)[1] else {
+            panic!()
+        };
         assert_eq!(args[0], Expr::Int(1));
     }
 
@@ -458,26 +653,25 @@ mod tests {
     fn does_not_unroll_large_or_unsafe_loops() {
         let big = opt("fn main() { int i; for (i = 0; i < 100; i = i + 1) { out(i); } }");
         assert!(matches!(body(&big)[1], Stmt::For { .. }));
-        let writes =
-            opt("fn main() { int i; for (i = 0; i < 4; i = i + 1) { i = i + 1; } }");
+        let writes = opt("fn main() { int i; for (i = 0; i < 4; i = i + 1) { i = i + 1; } }");
         assert!(matches!(body(&writes)[1], Stmt::For { .. }));
-        let breaks =
-            opt("fn main() { int i; for (i = 0; i < 4; i = i + 1) { break; } }");
+        let breaks = opt("fn main() { int i; for (i = 0; i < 4; i = i + 1) { break; } }");
         assert!(matches!(body(&breaks)[1], Stmt::For { .. }));
     }
 
     #[test]
     fn unrolls_with_stride_and_preserves_exit_value() {
-        let ast =
-            opt("fn main() { int i; for (i = 1; i < 8; i = i + 3) { out(i); } out(i); }");
+        let ast = opt("fn main() { int i; for (i = 1; i < 8; i = i + 3) { out(i); } out(i); }");
         let b = body(&ast);
         // i takes 1, 4, 7; exits at 10.
         let outs: Vec<i64> = b
             .iter()
             .filter_map(|s| match s {
-                Stmt::Assign { lv: LValue::Var(v), expr: Expr::Int(k), .. } if v == "i" => {
-                    Some(*k)
-                }
+                Stmt::Assign {
+                    lv: LValue::Var(v),
+                    expr: Expr::Int(k),
+                    ..
+                } if v == "i" => Some(*k),
                 _ => None,
             })
             .collect();
@@ -486,9 +680,8 @@ mod tests {
 
     #[test]
     fn algebraic_identities() {
-        let ast = opt(
-            "fn main() { int x; x = 5; out(x + 0); out(x * 1); out(x * 0); out(x | 0); }",
-        );
+        let ast =
+            opt("fn main() { int x; x = 5; out(x + 0); out(x * 1); out(x * 0); out(x | 0); }");
         let exprs: Vec<&Expr> = body(&ast)
             .iter()
             .filter_map(|s| match s {
@@ -507,21 +700,70 @@ mod tests {
         // f() has side effects: 0 * f() must NOT fold away.
         let ast = opt("fn f() -> int { return 1; } fn main() { out(0 * f()); }");
         let f = &ast.funcs[1];
-        let Stmt::Expr(Expr::Call(_, args, _)) = &f.body[0] else { panic!() };
+        let Stmt::Expr(Expr::Call(_, args, _)) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(args[0], Expr::Binary(BinOp::Mul, _, _, _)));
     }
 
     #[test]
+    fn dead_assign_chain_from_adjacent_unrolls_is_removed() {
+        // Two adjacent unrolled loops: the first loop's exit-value
+        // assignment `i = 2` is killed by the second loop's `i = 0`.
+        let ast = opt("fn main() { int i; int s; s = 0; \
+             for (i = 0; i < 2; i = i + 1) { s = s + 1; } \
+             for (i = 0; i < 2; i = i + 1) { s = s + 2; } out(s); }");
+        let i_assigns: Vec<i64> = body(&ast)
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Assign {
+                    lv: LValue::Var(v),
+                    expr: Expr::Int(k),
+                    ..
+                } if v == "i" => Some(*k),
+                _ => None,
+            })
+            .collect();
+        // The bodies never read `i`, so only the final exit value remains.
+        assert_eq!(i_assigns, vec![2], "{:?}", body(&ast));
+    }
+
+    #[test]
+    fn dead_assign_not_removed_when_possibly_read() {
+        // `out(i)` between the two writes reads i: both must survive.
+        let ast = opt("fn main() { int i; i = 1; out(i); i = 2; out(i); }");
+        let writes = body(&ast)
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { lv: LValue::Var(v), .. } if v == "i"))
+            .count();
+        assert_eq!(writes, 2);
+    }
+
+    #[test]
+    fn for_init_kills_preceding_assignment() {
+        let ast = opt("fn main() { int i; int s; s = 0; i = 7; \
+             for (i = 0; i < 100; i = i + 1) { s = s + i; } out(s); }");
+        // `i = 7` is dead: the loop init rewrites i before any read.
+        let dead = body(&ast).iter().any(|s| {
+            matches!(s, Stmt::Assign { lv: LValue::Var(v), expr: Expr::Int(7), .. } if v == "i")
+        });
+        assert!(!dead, "{:?}", body(&ast));
+    }
+
+    #[test]
     fn nested_break_does_not_block_outer_unroll() {
-        let ast = opt(
-            "fn main() { int i; int j; for (i = 0; i < 2; i = i + 1) { \
-             for (j = 0; j < 100; j = j + 1) { break; } } }",
-        );
+        let ast = opt("fn main() { int i; int j; for (i = 0; i < 2; i = i + 1) { \
+             for (j = 0; j < 100; j = j + 1) { break; } } }");
         // Outer loop unrolls (the break binds to the inner loop).
         let fors = body(&ast)
             .iter()
             .filter(|s| matches!(s, Stmt::For { .. }))
             .count();
-        assert_eq!(fors, 2, "inner loop duplicated twice by the unroll: {:?}", body(&ast));
+        assert_eq!(
+            fors,
+            2,
+            "inner loop duplicated twice by the unroll: {:?}",
+            body(&ast)
+        );
     }
 }

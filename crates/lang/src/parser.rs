@@ -24,7 +24,12 @@ use std::collections::HashMap;
 /// Returns a [`LangError`] with the offending line for any syntax error.
 pub fn parse(source: &str) -> Result<ProgramAst, LangError> {
     let toks = lex(source)?;
-    Parser { toks, pos: 0, consts: HashMap::new() }.program()
+    Parser {
+        toks,
+        pos: 0,
+        consts: HashMap::new(),
+    }
+    .program()
 }
 
 struct Parser {
@@ -61,7 +66,10 @@ impl Parser {
         if &got == want {
             Ok(())
         } else {
-            Err(LangError::new(line, format!("expected `{want}`, found `{got}`")))
+            Err(LangError::new(
+                line,
+                format!("expected `{want}`, found `{got}`"),
+            ))
         }
     }
 
@@ -78,7 +86,10 @@ impl Parser {
         let line = self.line();
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(LangError::new(line, format!("expected identifier, found `{other}`"))),
+            other => Err(LangError::new(
+                line,
+                format!("expected identifier, found `{other}`"),
+            )),
         }
     }
 
@@ -156,7 +167,10 @@ impl Parser {
             Tok::KwInt => Ok(ElemType::Int),
             Tok::KwFloat => Ok(ElemType::Float),
             Tok::KwChar => Ok(ElemType::Char),
-            other => Err(LangError::new(line, format!("expected a type, found `{other}`"))),
+            other => Err(LangError::new(
+                line,
+                format!("expected a type, found `{other}`"),
+            )),
         }
     }
 
@@ -165,9 +179,10 @@ impl Parser {
         match self.elem_type()? {
             ElemType::Int => Ok(Type::Int),
             ElemType::Float => Ok(Type::Float),
-            ElemType::Char => {
-                Err(LangError::new(line, "`char` is only allowed as an array element type"))
-            }
+            ElemType::Char => Err(LangError::new(
+                line,
+                "`char` is only allowed as an array element type",
+            )),
         }
     }
 
@@ -180,7 +195,10 @@ impl Parser {
             let n = self.const_int()?;
             self.expect(&Tok::RBracket)?;
             if n <= 0 {
-                return Err(LangError::new(line, format!("array `{name}` must have positive length")));
+                return Err(LangError::new(
+                    line,
+                    format!("array `{name}` must have positive length"),
+                ));
             }
             Some(n as u64)
         } else {
@@ -206,7 +224,9 @@ impl Parser {
                     Init::List(items)
                 }
                 Some(Tok::Str(_)) => {
-                    let Tok::Str(s) = self.next()? else { unreachable!() };
+                    let Tok::Str(s) = self.next()? else {
+                        unreachable!()
+                    };
                     Init::Str(s)
                 }
                 _ => Init::Scalar(self.literal()?),
@@ -215,7 +235,13 @@ impl Parser {
             Init::None
         };
         self.expect(&Tok::Semi)?;
-        Ok(Global { name, elem, len, init, line })
+        Ok(Global {
+            name,
+            elem,
+            len,
+            init,
+            line,
+        })
     }
 
     fn literal(&mut self) -> Result<Literal, LangError> {
@@ -233,7 +259,10 @@ impl Parser {
                 })?;
                 Ok(Literal::Int(if neg { -v } else { v }))
             }
-            other => Err(LangError::new(line, format!("expected literal, found `{other}`"))),
+            other => Err(LangError::new(
+                line,
+                format!("expected literal, found `{other}`"),
+            )),
         }
     }
 
@@ -254,9 +283,19 @@ impl Parser {
             }
             self.expect(&Tok::RParen)?;
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.scalar_type()?) } else { None };
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.scalar_type()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(Func { name, params, ret, body, line })
+        Ok(Func {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
@@ -298,12 +337,26 @@ impl Parser {
                     let expr = self.expr()?;
                     self.expect(&Tok::Semi)?;
                     return Ok(Stmt::Block2(
-                        Box::new(Stmt::Decl { name: name.clone(), elem, len, line }),
-                        Box::new(Stmt::Assign { lv: LValue::Var(name), expr, line }),
+                        Box::new(Stmt::Decl {
+                            name: name.clone(),
+                            elem,
+                            len,
+                            line,
+                        }),
+                        Box::new(Stmt::Assign {
+                            lv: LValue::Var(name),
+                            expr,
+                            line,
+                        }),
                     ));
                 }
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt::Decl { name, elem, len, line })
+                Ok(Stmt::Decl {
+                    name,
+                    elem,
+                    len,
+                    line,
+                })
             }
             Some(Tok::If) => {
                 self.next()?;
@@ -311,7 +364,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = self.stmt_or_block()?;
-                let els = if self.eat(&Tok::Else) { self.stmt_or_block()? } else { Vec::new() };
+                let els = if self.eat(&Tok::Else) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
                 Ok(Stmt::If { cond, then, els })
             }
             Some(Tok::While) => {
@@ -346,7 +403,12 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen)?;
                 let body = self.stmt_or_block()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Some(Tok::Return) => {
                 self.next()?;
@@ -370,7 +432,11 @@ impl Parser {
             }
             Some(Tok::LBrace) => {
                 let body = self.block()?;
-                Ok(Stmt::If { cond: Expr::Int(1), then: body, els: Vec::new() })
+                Ok(Stmt::If {
+                    cond: Expr::Int(1),
+                    then: body,
+                    els: Vec::new(),
+                })
             }
             _ => {
                 let s = self.simple_stmt()?;
@@ -404,7 +470,11 @@ impl Parser {
                 }
             };
             let value = self.expr()?;
-            return Ok(Stmt::Assign { lv, expr: value, line });
+            return Ok(Stmt::Assign {
+                lv,
+                expr: value,
+                line,
+            });
         }
         Ok(Stmt::Expr(e))
     }
@@ -628,7 +698,10 @@ impl Parser {
                     }
                 }
             },
-            other => Err(LangError::new(line, format!("expected expression, found `{other}`"))),
+            other => Err(LangError::new(
+                line,
+                format!("expected expression, found `{other}`"),
+            )),
         }
     }
 }
@@ -660,12 +733,15 @@ mod tests {
         assert_eq!(ast.globals.len(), 5);
         assert_eq!(ast.globals[2].len, Some(32), "a[N] with N = 32");
         assert_eq!(ast.globals[3].len, Some(16), "s[16]");
-        assert_eq!(ast.globals[4].init, Init::List(vec![
-            Literal::Int(1),
-            Literal::Int(2),
-            Literal::Int(3),
-            Literal::Int(4)
-        ]));
+        assert_eq!(
+            ast.globals[4].init,
+            Init::List(vec![
+                Literal::Int(1),
+                Literal::Int(2),
+                Literal::Int(3),
+                Literal::Int(4)
+            ])
+        );
     }
 
     #[test]
@@ -684,10 +760,7 @@ mod tests {
 
     #[test]
     fn for_loop_parses() {
-        let ast = parse(
-            "fn main() { int i; for (i = 0; i < 10; i = i + 1) { out(i); } }",
-        )
-        .unwrap();
+        let ast = parse("fn main() { int i; for (i = 0; i < 10; i = i + 1) { out(i); } }").unwrap();
         let body = &ast.funcs[0].body;
         assert!(matches!(body[1], Stmt::For { .. }));
     }

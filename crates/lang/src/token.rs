@@ -185,7 +185,10 @@ pub struct LangError {
 impl LangError {
     /// Creates an error at `line` (0 for file-level errors).
     pub fn new(line: usize, msg: impl Into<String>) -> LangError {
-        LangError { line, msg: msg.into() }
+        LangError {
+            line,
+            msg: msg.into(),
+        }
     }
 
     /// 1-based source line.
@@ -260,7 +263,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
                     let text = &source[start + 2..i];
                     let v = u64::from_str_radix(text, 16)
                         .map_err(|_| LangError::new(line, format!("bad hex literal 0x{text}")))?;
-                    out.push(SpannedTok { tok: Tok::Int(v as i64), line });
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -287,24 +293,28 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
                             }
                         }
                         let text = &source[start..i];
-                        let v: f64 = text
-                            .parse()
-                            .map_err(|_| LangError::new(line, format!("bad float literal {text}")))?;
-                        out.push(SpannedTok { tok: Tok::Float(v), line });
+                        let v: f64 = text.parse().map_err(|_| {
+                            LangError::new(line, format!("bad float literal {text}"))
+                        })?;
+                        out.push(SpannedTok {
+                            tok: Tok::Float(v),
+                            line,
+                        });
                     } else {
                         let text = &source[start..i];
                         let v: i64 = text
                             .parse()
                             .map_err(|_| LangError::new(line, format!("bad int literal {text}")))?;
-                        out.push(SpannedTok { tok: Tok::Int(v), line });
+                        out.push(SpannedTok {
+                            tok: Tok::Int(v),
+                            line,
+                        });
                     }
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];
@@ -329,7 +339,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
             b'\'' => {
                 // char literal -> Int token
                 let (v, consumed) = lex_char(&bytes[i..], line)?;
-                out.push(SpannedTok { tok: Tok::Int(v), line });
+                out.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    line,
+                });
                 i += consumed;
             }
             b'"' => {
@@ -355,7 +368,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
                         }
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Str(s), line });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
                 i = j + 1;
             }
             _ => {
@@ -417,7 +433,10 @@ fn unescape(b: u8, line: usize) -> Result<u8, LangError> {
         b'\'' => b'\'',
         b'"' => b'"',
         other => {
-            return Err(LangError::new(line, format!("unknown escape `\\{}`", other as char)));
+            return Err(LangError::new(
+                line,
+                format!("unknown escape `\\{}`", other as char),
+            ));
         }
     })
 }
@@ -426,7 +445,9 @@ fn lex_char(bytes: &[u8], line: usize) -> Result<(i64, usize), LangError> {
     // bytes[0] == '\''
     match bytes.get(1) {
         Some(b'\\') => {
-            let esc = *bytes.get(2).ok_or_else(|| LangError::new(line, "dangling escape"))?;
+            let esc = *bytes
+                .get(2)
+                .ok_or_else(|| LangError::new(line, "dangling escape"))?;
             if bytes.get(3) != Some(&b'\'') {
                 return Err(LangError::new(line, "unterminated char literal"));
             }
@@ -479,7 +500,10 @@ mod tests {
 
     #[test]
     fn char_and_string_literals() {
-        assert_eq!(toks("'a' '\\n' '\\''"), vec![Tok::Int(97), Tok::Int(10), Tok::Int(39)]);
+        assert_eq!(
+            toks("'a' '\\n' '\\''"),
+            vec![Tok::Int(97), Tok::Int(10), Tok::Int(39)]
+        );
         assert_eq!(toks("\"hi\\n\""), vec![Tok::Str("hi\n".into())]);
     }
 

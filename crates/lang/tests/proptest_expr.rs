@@ -56,7 +56,10 @@ impl E {
             E::Lit(v) => {
                 if *v < 0 {
                     // Negative literals need parens after binary operators.
-                    format!("(0 - {})", (*v as i128).unsigned_abs().min(i64::MAX as u128))
+                    format!(
+                        "(0 - {})",
+                        (*v as i128).unsigned_abs().min(i64::MAX as u128)
+                    )
                 } else {
                     v.to_string()
                 }

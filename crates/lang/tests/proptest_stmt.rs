@@ -261,7 +261,10 @@ fn reference_machinery_smoke_test() {
         St::Assign(0, Ex::Lit(5)),
         St::Loop(
             3,
-            vec![St::Assign(0, Ex::Add(Box::new(Ex::Var(0)), Box::new(Ex::Lit(2))))],
+            vec![St::Assign(
+                0,
+                Ex::Add(Box::new(Ex::Var(0)), Box::new(Ex::Lit(2))),
+            )],
         ),
         St::Store(Ex::Lit(2), Ex::Var(0)),
         St::Out(Ex::Index(Box::new(Ex::Lit(2)))),

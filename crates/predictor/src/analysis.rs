@@ -155,7 +155,12 @@ mod tests {
 
     fn load(pc: u64, value: u64) -> TraceEntry {
         let mut e = TraceEntry::simple(pc, OpKind::Load);
-        e.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value, fp: false });
+        e.mem = Some(MemAccess {
+            addr: 0x10_0000,
+            width: 8,
+            value,
+            fp: false,
+        });
         e
     }
 

@@ -70,8 +70,15 @@ impl LvpConfig {
     pub fn simple() -> LvpConfig {
         LvpConfig {
             name: "Simple",
-            lvpt: LvptConfig { entries: 1024, history_depth: 1, perfect_selection: false },
-            lct: LctConfig { entries: 256, counter_bits: 2 },
+            lvpt: LvptConfig {
+                entries: 1024,
+                history_depth: 1,
+                perfect_selection: false,
+            },
+            lct: LctConfig {
+                entries: 256,
+                counter_bits: 2,
+            },
             cvu: CvuConfig { entries: 32 },
             perfect: false,
         }
@@ -82,8 +89,15 @@ impl LvpConfig {
     pub fn constant() -> LvpConfig {
         LvpConfig {
             name: "Constant",
-            lvpt: LvptConfig { entries: 1024, history_depth: 1, perfect_selection: false },
-            lct: LctConfig { entries: 256, counter_bits: 1 },
+            lvpt: LvptConfig {
+                entries: 1024,
+                history_depth: 1,
+                perfect_selection: false,
+            },
+            lct: LctConfig {
+                entries: 256,
+                counter_bits: 1,
+            },
             cvu: CvuConfig { entries: 128 },
             perfect: false,
         }
@@ -94,8 +108,15 @@ impl LvpConfig {
     pub fn limit() -> LvpConfig {
         LvpConfig {
             name: "Limit",
-            lvpt: LvptConfig { entries: 4096, history_depth: 16, perfect_selection: true },
-            lct: LctConfig { entries: 1024, counter_bits: 2 },
+            lvpt: LvptConfig {
+                entries: 4096,
+                history_depth: 16,
+                perfect_selection: true,
+            },
+            lct: LctConfig {
+                entries: 1024,
+                counter_bits: 2,
+            },
             cvu: CvuConfig { entries: 128 },
             perfect: false,
         }
@@ -106,8 +127,15 @@ impl LvpConfig {
     pub fn perfect() -> LvpConfig {
         LvpConfig {
             name: "Perfect",
-            lvpt: LvptConfig { entries: 1, history_depth: 1, perfect_selection: false },
-            lct: LctConfig { entries: 1, counter_bits: 2 },
+            lvpt: LvptConfig {
+                entries: 1,
+                history_depth: 1,
+                perfect_selection: false,
+            },
+            lct: LctConfig {
+                entries: 1,
+                counter_bits: 2,
+            },
             cvu: CvuConfig { entries: 0 },
             perfect: true,
         }
@@ -140,7 +168,11 @@ impl fmt::Display for LvpConfig {
             self.name,
             self.lvpt.entries,
             self.lvpt.history_depth,
-            if self.lvpt.perfect_selection { "/perf" } else { "" },
+            if self.lvpt.perfect_selection {
+                "/perf"
+            } else {
+                ""
+            },
             self.lct.entries,
             self.lct.counter_bits,
             self.cvu.entries

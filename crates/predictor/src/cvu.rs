@@ -46,7 +46,12 @@ impl Cvu {
     /// Creates an empty CVU; a capacity of 0 disables it (all lookups
     /// miss, inserts are dropped).
     pub fn new(config: CvuConfig) -> Cvu {
-        Cvu { config, entries: Vec::with_capacity(config.entries), invalidations: 0, evictions: 0 }
+        Cvu {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            invalidations: 0,
+            evictions: 0,
+        }
     }
 
     /// The configuration this CVU was built with.
@@ -110,7 +115,14 @@ impl Cvu {
             self.entries.pop();
             self.evictions += 1;
         }
-        self.entries.insert(0, CvuEntry { lvpt_index, addr, width });
+        self.entries.insert(
+            0,
+            CvuEntry {
+                lvpt_index,
+                addr,
+                width,
+            },
+        );
     }
 
     /// Invalidates every entry whose byte range overlaps a store of
@@ -139,7 +151,9 @@ impl Cvu {
     /// addr+width)` — test/diagnostic helper.
     pub fn covers(&self, addr: u64, width: u8) -> bool {
         let end = addr + width as u64;
-        self.entries.iter().any(|e| addr < e.addr + e.width as u64 && e.addr < end)
+        self.entries
+            .iter()
+            .any(|e| addr < e.addr + e.width as u64 && e.addr < end)
     }
 }
 

@@ -64,7 +64,10 @@ impl Lct {
     /// Panics if `entries` is not a power of two or `counter_bits` is not
     /// in `1..=4`.
     pub fn new(config: LctConfig) -> Lct {
-        assert!(config.entries.is_power_of_two(), "LCT entry count must be a power of two");
+        assert!(
+            config.entries.is_power_of_two(),
+            "LCT entry count must be a power of two"
+        );
         assert!(
             (1..=4).contains(&config.counter_bits),
             "LCT counter width must be between 1 and 4 bits"
@@ -132,7 +135,10 @@ mod tests {
     use super::*;
 
     fn lct(bits: u8) -> Lct {
-        Lct::new(LctConfig { entries: 64, counter_bits: bits })
+        Lct::new(LctConfig {
+            entries: 64,
+            counter_bits: bits,
+        })
     }
 
     #[test]
@@ -187,7 +193,10 @@ mod tests {
 
     #[test]
     fn aliasing_shares_counters() {
-        let mut t = Lct::new(LctConfig { entries: 16, counter_bits: 2 });
+        let mut t = Lct::new(LctConfig {
+            entries: 16,
+            counter_bits: 2,
+        });
         let pc_a = 0x10000;
         let pc_b = 0x10000 + 16 * 4;
         assert_eq!(t.index(pc_a), t.index(pc_b));

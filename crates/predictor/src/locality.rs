@@ -122,9 +122,15 @@ impl LocalityMeter {
     /// Panics if `entries` is not a power of two or `depths` is empty or
     /// contains zero.
     pub fn with_depths(entries: usize, depths: &[usize]) -> LocalityMeter {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
         assert!(!depths.is_empty(), "at least one history depth is required");
-        assert!(depths.iter().all(|&d| d > 0), "history depths must be positive");
+        assert!(
+            depths.iter().all(|&d| d > 0),
+            "history depths must be positive"
+        );
         let max_depth = depths.iter().copied().max().unwrap();
         LocalityMeter {
             entries: vec![Vec::new(); entries],
@@ -183,7 +189,10 @@ impl LocalityMeter {
         let counters = self
             .per_class
             .entry(class)
-            .or_insert_with(|| ClassCounters { loads: 0, hits: vec![0; n_depths] });
+            .or_insert_with(|| ClassCounters {
+                loads: 0,
+                hits: vec![0; n_depths],
+            });
         counters.loads += 1;
 
         for (i, &d) in self.depths.iter().enumerate() {
@@ -252,7 +261,12 @@ mod tests {
 
     fn load(pc: u64, value: u64, fp: bool) -> TraceEntry {
         let mut e = TraceEntry::simple(pc, OpKind::Load);
-        e.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value, fp });
+        e.mem = Some(MemAccess {
+            addr: 0x10_0000,
+            width: 8,
+            value,
+            fp,
+        });
         e
     }
 
@@ -324,7 +338,12 @@ mod tests {
         let mut m = LocalityMeter::paper_default();
         m.observe(&TraceEntry::simple(0x10000, OpKind::IntSimple));
         let mut store = TraceEntry::simple(0x10004, OpKind::Store);
-        store.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value: 1, fp: false });
+        store.mem = Some(MemAccess {
+            addr: 0x10_0000,
+            width: 8,
+            value: 1,
+            fp: false,
+        });
         m.observe(&store);
         assert_eq!(m.loads(), 0);
     }

@@ -39,8 +39,14 @@ impl Lvpt {
     ///
     /// Panics if `entries` is not a power of two or `history_depth` is 0.
     pub fn new(config: LvptConfig) -> Lvpt {
-        assert!(config.entries.is_power_of_two(), "LVPT entry count must be a power of two");
-        assert!(config.history_depth > 0, "LVPT history depth must be at least 1");
+        assert!(
+            config.entries.is_power_of_two(),
+            "LVPT entry count must be a power of two"
+        );
+        assert!(
+            config.history_depth > 0,
+            "LVPT history depth must be at least 1"
+        );
         Lvpt {
             config,
             entries: vec![LvptEntry::default(); config.entries],
@@ -110,7 +116,11 @@ mod tests {
     use super::*;
 
     fn table(entries: usize, depth: usize, perfect: bool) -> Lvpt {
-        Lvpt::new(LvptConfig { entries, history_depth: depth, perfect_selection: perfect })
+        Lvpt::new(LvptConfig {
+            entries,
+            history_depth: depth,
+            perfect_selection: perfect,
+        })
     }
 
     #[test]
@@ -188,7 +198,10 @@ mod tests {
     fn update_reports_front_changes() {
         let mut t = table(16, 2, false);
         assert!(t.update(0x10000, 5), "first write changes the front");
-        assert!(!t.update(0x10000, 5), "same value leaves the front unchanged");
+        assert!(
+            !t.update(0x10000, 5),
+            "same value leaves the front unchanged"
+        );
         assert!(t.update(0x10000, 6), "new value changes the front");
     }
 

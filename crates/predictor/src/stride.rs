@@ -31,7 +31,11 @@ impl LastValuePredictor {
     /// Creates a last-value predictor with `entries` table slots.
     pub fn new(entries: usize) -> LastValuePredictor {
         LastValuePredictor {
-            lvpt: Lvpt::new(LvptConfig { entries, history_depth: 1, perfect_selection: false }),
+            lvpt: Lvpt::new(LvptConfig {
+                entries,
+                history_depth: 1,
+                perfect_selection: false,
+            }),
         }
     }
 }
@@ -76,8 +80,14 @@ impl StridePredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> StridePredictor {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
-        StridePredictor { entries: vec![StrideEntry::default(); entries], mask: entries - 1 }
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        StridePredictor {
+            entries: vec![StrideEntry::default(); entries],
+            mask: entries - 1,
+        }
     }
 
     #[inline]
@@ -96,7 +106,12 @@ impl ValuePredictor for StridePredictor {
         let idx = self.index(pc);
         let e = &mut self.entries[idx];
         if !e.valid {
-            *e = StrideEntry { last: actual, stride: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                last: actual,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return;
         }
         let observed = actual.wrapping_sub(e.last) as i64;
@@ -189,7 +204,12 @@ mod tests {
             .iter()
             .map(|&v| {
                 let mut e = TraceEntry::simple(0x10000, OpKind::Load);
-                e.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value: v, fp: false });
+                e.mem = Some(MemAccess {
+                    addr: 0x10_0000,
+                    width: 8,
+                    value: v,
+                    fp: false,
+                });
                 e
             })
             .collect()
@@ -201,7 +221,11 @@ mod tests {
         let t = trace_of_values(&values);
         let mut p = StridePredictor::new(64);
         let eval = evaluate_predictor(&mut p, &t);
-        assert!(eval.hit_rate() > 0.9, "stride hit rate {:.2}", eval.hit_rate());
+        assert!(
+            eval.hit_rate() > 0.9,
+            "stride hit rate {:.2}",
+            eval.hit_rate()
+        );
     }
 
     #[test]
@@ -236,7 +260,11 @@ mod tests {
 
     #[test]
     fn eval_ratios() {
-        let e = PredEval { loads: 100, predicted: 50, correct: 40 };
+        let e = PredEval {
+            loads: 100,
+            predicted: 50,
+            correct: 40,
+        };
         assert!((e.coverage() - 0.5).abs() < 1e-12);
         assert!((e.accuracy() - 0.8).abs() < 1e-12);
         assert!((e.hit_rate() - 0.4).abs() < 1e-12);

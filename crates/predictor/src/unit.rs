@@ -314,7 +314,9 @@ mod tests {
         // With depth-1 history every prediction would be wrong, so the LCT
         // must keep the load at don't-predict after the cold start.
         assert!(
-            outcomes[2..].iter().all(|&o| o == PredOutcome::NotPredicted),
+            outcomes[2..]
+                .iter()
+                .all(|&o| o == PredOutcome::NotPredicted),
             "LCT failed to suppress an unpredictable load: {outcomes:?}"
         );
         assert!(u.stats().unpredictable_hit_rate() > 0.9);
@@ -329,7 +331,10 @@ mod tests {
         }
         // Both values live in the 16-deep history and perfect selection
         // picks the right one.
-        assert!(last.usable(), "limit config should predict alternating values");
+        assert!(
+            last.usable(),
+            "limit config should predict alternating values"
+        );
     }
 
     #[test]
@@ -366,11 +371,21 @@ mod tests {
         for i in 0..10u64 {
             if i == 5 {
                 let mut s = TraceEntry::simple(PC + 4, OpKind::Store);
-                s.mem = Some(MemAccess { addr: ADDR, width: 8, value: value_at(i), fp: false });
+                s.mem = Some(MemAccess {
+                    addr: ADDR,
+                    width: 8,
+                    value: value_at(i),
+                    fp: false,
+                });
                 t.push(s);
             }
             let mut e = TraceEntry::simple(PC, OpKind::Load);
-            e.mem = Some(MemAccess { addr: ADDR, width: 8, value: value_at(i), fp: false });
+            e.mem = Some(MemAccess {
+                addr: ADDR,
+                width: 8,
+                value: value_at(i),
+                fp: false,
+            });
             t.push(e);
         }
         let mut u1 = LvpUnit::new(LvpConfig::simple());

@@ -1,9 +1,7 @@
 //! Property tests for the predictor structures, checked against simple
 //! reference models.
 
-use lvp_predictor::{
-    Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig,
-};
+use lvp_predictor::{Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
             SimError::BadFetch { pc } => write!(f, "instruction fetch from {pc:#x} failed"),
             SimError::Mem { pc, cause } => write!(f, "at pc {pc:#x}: {cause}"),
             SimError::OutOfFuel { executed } => {
-                write!(f, "instruction budget exhausted after {executed} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {executed} instructions"
+                )
             }
         }
     }
@@ -208,7 +211,9 @@ impl<'a> Machine<'a> {
         let start = self.instret;
         while !self.halted {
             if self.instret - start >= max_instrs {
-                return Err(SimError::OutOfFuel { executed: self.instret - start });
+                return Err(SimError::OutOfFuel {
+                    executed: self.instret - start,
+                });
             }
             self.step()?;
         }
@@ -225,7 +230,9 @@ impl<'a> Machine<'a> {
         let start = self.instret;
         while !self.halted {
             if self.instret - start >= max_instrs {
-                return Err(SimError::OutOfFuel { executed: self.instret - start });
+                return Err(SimError::OutOfFuel {
+                    executed: self.instret - start,
+                });
             }
             match self.step()? {
                 Some(e) => trace.push(e),
@@ -249,7 +256,9 @@ impl<'a> Machine<'a> {
         let start = self.instret;
         while !self.halted {
             if self.instret - start >= max_instrs {
-                return Err(SimError::OutOfFuel { executed: self.instret - start });
+                return Err(SimError::OutOfFuel {
+                    executed: self.instret - start,
+                });
             }
             match self.step()? {
                 Some(e) => f(&e),
@@ -318,7 +327,12 @@ impl<'a> Machine<'a> {
                 entry.kind = OpKind::Load;
                 entry.dst = Self::dst($rd);
                 entry.srcs = [Self::src($base), None];
-                entry.mem = Some(MemAccess { addr, width: $width, value, fp: false });
+                entry.mem = Some(MemAccess {
+                    addr,
+                    width: $width,
+                    value,
+                    fp: false,
+                });
             }};
         }
         macro_rules! store {
@@ -330,8 +344,17 @@ impl<'a> Machine<'a> {
                     .map_err(|cause| SimError::Mem { pc, cause })?;
                 entry.kind = OpKind::Store;
                 entry.srcs = [Self::src($base), Self::src($rs2)];
-                let stored = if $width == 8 { value } else { value & ((1u64 << ($width * 8)) - 1) };
-                entry.mem = Some(MemAccess { addr, width: $width, value: stored, fp: false });
+                let stored = if $width == 8 {
+                    value
+                } else {
+                    value & ((1u64 << ($width * 8)) - 1)
+                };
+                entry.mem = Some(MemAccess {
+                    addr,
+                    width: $width,
+                    value: stored,
+                    fp: false,
+                });
             }};
         }
         macro_rules! branch {
@@ -339,7 +362,11 @@ impl<'a> Machine<'a> {
                 let a = self.reg($rs1);
                 let b = self.reg($rs2);
                 let taken = $cond(a, b);
-                let target = if taken { pc.wrapping_add($off as i64 as u64) } else { next_pc };
+                let target = if taken {
+                    pc.wrapping_add($off as i64 as u64)
+                } else {
+                    next_pc
+                };
                 if taken {
                     next_pc = target;
                 }
@@ -355,24 +382,37 @@ impl<'a> Machine<'a> {
             Sub { rd, rs1, rs2 } => alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a
                 .wrapping_sub(b)),
             Sll { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a << (b & 63))
+                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a
+                    << (b & 63))
             }
             Slt { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| ((a as i64)
-                    < (b as i64)) as u64)
+                alu_rrr!(
+                    rd,
+                    rs1,
+                    rs2,
+                    OpKind::IntSimple,
+                    |a: u64, b: u64| ((a as i64) < (b as i64)) as u64
+                )
             }
             Sltu { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| (a < b) as u64)
+                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| (a < b)
+                    as u64)
             }
             Xor { rd, rs1, rs2 } => {
                 alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a ^ b)
             }
             Srl { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a >> (b & 63))
+                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a
+                    >> (b & 63))
             }
             Sra { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| ((a as i64)
-                    >> (b & 63)) as u64)
+                alu_rrr!(
+                    rd,
+                    rs1,
+                    rs2,
+                    OpKind::IntSimple,
+                    |a: u64, b: u64| ((a as i64) >> (b & 63)) as u64
+                )
             }
             Or { rd, rs1, rs2 } => {
                 alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a | b)
@@ -381,7 +421,8 @@ impl<'a> Machine<'a> {
                 alu_rrr!(rd, rs1, rs2, OpKind::IntSimple, |a: u64, b: u64| a & b)
             }
             Mul { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntComplex, |a: u64, b: u64| a.wrapping_mul(b))
+                alu_rrr!(rd, rs1, rs2, OpKind::IntComplex, |a: u64, b: u64| a
+                    .wrapping_mul(b))
             }
             Mulh { rd, rs1, rs2 } => {
                 alu_rrr!(rd, rs1, rs2, OpKind::IntComplex, |a: u64, b: u64| {
@@ -414,20 +455,29 @@ impl<'a> Machine<'a> {
                 })
             }
             Remu { rd, rs1, rs2 } => {
-                alu_rrr!(rd, rs1, rs2, OpKind::IntComplex, |a: u64, b: u64| if b == 0 {
-                    a
-                } else {
-                    a % b
-                })
+                alu_rrr!(
+                    rd,
+                    rs1,
+                    rs2,
+                    OpKind::IntComplex,
+                    |a: u64, b: u64| if b == 0 { a } else { a % b }
+                )
             }
             Addi { rd, rs1, imm } => {
-                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| a.wrapping_add(imm as i64 as u64))
+                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| a
+                    .wrapping_add(imm as i64 as u64))
             }
             Slti { rd, rs1, imm } => {
-                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| ((a as i64) < imm as i64) as u64)
+                alu_rri!(
+                    rd,
+                    rs1,
+                    OpKind::IntSimple,
+                    |a: u64| ((a as i64) < imm as i64) as u64
+                )
             }
             Sltiu { rd, rs1, imm } => {
-                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| (a < imm as i64 as u64) as u64)
+                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| (a < imm as i64 as u64)
+                    as u64)
             }
             Xori { rd, rs1, imm } => {
                 alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| a ^ (imm as i64 as u64))
@@ -445,33 +495,45 @@ impl<'a> Machine<'a> {
                 alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| a >> shamt)
             }
             Srai { rd, rs1, shamt } => {
-                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| ((a as i64) >> shamt) as u64)
+                alu_rri!(rd, rs1, OpKind::IntSimple, |a: u64| ((a as i64) >> shamt)
+                    as u64)
             }
             Lui { rd, imm } => {
                 self.set_reg(rd, ((imm as i64) << 12) as u64);
                 entry.dst = Self::dst(rd);
             }
             Lb { rd, base, offset } => {
-                load!(rd, base, offset, 1, |raw: u64| raw as u8 as i8 as i64 as u64)
+                load!(rd, base, offset, 1, |raw: u64| raw as u8 as i8 as i64
+                    as u64)
             }
             Lbu { rd, base, offset } => load!(rd, base, offset, 1, |raw: u64| raw),
             Lh { rd, base, offset } => {
-                load!(rd, base, offset, 2, |raw: u64| raw as u16 as i16 as i64 as u64)
+                load!(rd, base, offset, 2, |raw: u64| raw as u16 as i16 as i64
+                    as u64)
             }
             Lhu { rd, base, offset } => load!(rd, base, offset, 2, |raw: u64| raw),
             Lw { rd, base, offset } => {
-                load!(rd, base, offset, 4, |raw: u64| raw as u32 as i32 as i64 as u64)
+                load!(rd, base, offset, 4, |raw: u64| raw as u32 as i32 as i64
+                    as u64)
             }
             Lwu { rd, base, offset } => load!(rd, base, offset, 4, |raw: u64| raw),
             Ld { rd, base, offset } => load!(rd, base, offset, 8, |raw: u64| raw),
             Fld { fd, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i64 as u64);
-                let raw = self.mem.load(addr, 8).map_err(|cause| SimError::Mem { pc, cause })?;
+                let raw = self
+                    .mem
+                    .load(addr, 8)
+                    .map_err(|cause| SimError::Mem { pc, cause })?;
                 self.fregs[fd.number() as usize] = f64::from_bits(raw);
                 entry.kind = OpKind::Load;
                 entry.dst = Some(RegRef::fp(fd.number()));
                 entry.srcs = [Self::src(base), None];
-                entry.mem = Some(MemAccess { addr, width: 8, value: raw, fp: true });
+                entry.mem = Some(MemAccess {
+                    addr,
+                    width: 8,
+                    value: raw,
+                    fp: true,
+                });
             }
             Sb { rs2, base, offset } => store!(rs2, base, offset, 1),
             Sh { rs2, base, offset } => store!(rs2, base, offset, 2),
@@ -480,10 +542,17 @@ impl<'a> Machine<'a> {
             Fsd { fs2, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i64 as u64);
                 let bits = self.fregs[fs2.number() as usize].to_bits();
-                self.mem.store(addr, 8, bits).map_err(|cause| SimError::Mem { pc, cause })?;
+                self.mem
+                    .store(addr, 8, bits)
+                    .map_err(|cause| SimError::Mem { pc, cause })?;
                 entry.kind = OpKind::Store;
                 entry.srcs = [Self::src(base), Some(RegRef::fp(fs2.number()))];
-                entry.mem = Some(MemAccess { addr, width: 8, value: bits, fp: true });
+                entry.mem = Some(MemAccess {
+                    addr,
+                    width: 8,
+                    value: bits,
+                    fp: true,
+                });
             }
             FaddD { fd, fs1, fs2 } => fp_rrr!(fd, fs1, fs2, OpKind::FpSimple, |a: f64, b| a + b),
             FsubD { fd, fs1, fs2 } => fp_rrr!(fd, fs1, fs2, OpKind::FpSimple, |a: f64, b| a - b),
@@ -574,7 +643,10 @@ impl<'a> Machine<'a> {
                 next_pc = target;
                 entry.kind = OpKind::Jump;
                 entry.dst = Self::dst(rd);
-                entry.branch = Some(BranchEvent { taken: true, target });
+                entry.branch = Some(BranchEvent {
+                    taken: true,
+                    target,
+                });
             }
             Jalr { rd, rs1, offset } => {
                 let target = self.reg(rs1).wrapping_add(offset as i64 as u64) & !1;
@@ -583,7 +655,10 @@ impl<'a> Machine<'a> {
                 entry.kind = OpKind::IndirectJump;
                 entry.dst = Self::dst(rd);
                 entry.srcs = [Self::src(rs1), None];
-                entry.branch = Some(BranchEvent { taken: true, target });
+                entry.branch = Some(BranchEvent {
+                    taken: true,
+                    target,
+                });
             }
             Out { rs1 } => {
                 self.output.push(self.reg(rs1));
@@ -591,7 +666,8 @@ impl<'a> Machine<'a> {
                 entry.srcs = [Self::src(rs1), None];
             }
             OutF { fs1 } => {
-                self.output.push(self.fregs[fs1.number() as usize].to_bits());
+                self.output
+                    .push(self.fregs[fs1.number() as usize].to_bits());
                 entry.kind = OpKind::System;
                 entry.srcs = [Some(RegRef::fp(fs1.number())), None];
             }
@@ -616,7 +692,9 @@ mod tests {
 
     fn run_gp(src: &str) -> Machine<'static> {
         let program = Box::leak(Box::new(
-            Assembler::new(AsmProfile::Gp).assemble(src).expect("assembly failed"),
+            Assembler::new(AsmProfile::Gp)
+                .assemble(src)
+                .expect("assembly failed"),
         ));
         let mut m = Machine::new(program);
         m.run(1_000_000).expect("run failed");
@@ -746,8 +824,9 @@ main:
 
     #[test]
     fn fuel_exhaustion() {
-        let program =
-            Assembler::new(AsmProfile::Gp).assemble("main: j main\n").unwrap();
+        let program = Assembler::new(AsmProfile::Gp)
+            .assemble("main: j main\n")
+            .unwrap();
         let mut m = Machine::new(&program);
         let err = m.run(100).unwrap_err();
         assert_eq!(err, SimError::OutOfFuel { executed: 100 });
@@ -772,7 +851,11 @@ main:
         let trace = m.run_traced(100).unwrap();
         let load = trace.iter().find(|e| e.is_load()).unwrap();
         let mem = load.mem.unwrap();
-        assert_eq!(mem.value, u64::MAX, "trace must hold the sign-extended register value");
+        assert_eq!(
+            mem.value,
+            u64::MAX,
+            "trace must hold the sign-extended register value"
+        );
         assert_eq!(mem.width, 4);
     }
 

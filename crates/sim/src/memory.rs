@@ -16,7 +16,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfRange { addr, width } => {
-                write!(f, "memory access of {width} bytes at {addr:#x} out of range")
+                write!(
+                    f,
+                    "memory access of {width} bytes at {addr:#x} out of range"
+                )
             }
             MemError::Unaligned { addr, width } => {
                 write!(f, "unaligned {width}-byte memory access at {addr:#x}")
@@ -137,7 +140,12 @@ mod tests {
     #[test]
     fn load_store_round_trip_all_widths() {
         let mut m = Memory::new(&[]);
-        for (width, value) in [(1u8, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 5)] {
+        for (width, value) in [
+            (1u8, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, u64::MAX - 5),
+        ] {
             let addr = DATA_BASE + 64;
             m.store(addr, width, value).unwrap();
             assert_eq!(m.load(addr, width).unwrap(), value);
@@ -164,14 +172,23 @@ mod tests {
     fn null_and_text_accesses_fault() {
         let m = Memory::new(&[]);
         assert!(matches!(m.load(0, 8), Err(MemError::OutOfRange { .. })));
-        assert!(matches!(m.load(0x1_0000, 4), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(
+            m.load(0x1_0000, 4),
+            Err(MemError::OutOfRange { .. })
+        ));
     }
 
     #[test]
     fn unaligned_accesses_fault() {
         let m = Memory::new(&[]);
-        assert!(matches!(m.load(DATA_BASE + 1, 8), Err(MemError::Unaligned { .. })));
-        assert!(matches!(m.load(DATA_BASE + 2, 4), Err(MemError::Unaligned { .. })));
+        assert!(matches!(
+            m.load(DATA_BASE + 1, 8),
+            Err(MemError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            m.load(DATA_BASE + 2, 4),
+            Err(MemError::Unaligned { .. })
+        ));
         assert!(m.load(DATA_BASE + 2, 2).is_ok());
     }
 

@@ -17,9 +17,16 @@ fn arb_mem_ops() -> impl Strategy<Value = Vec<MemOp>> {
     proptest::collection::vec(
         prop_oneof![
             (0u64..512, width.clone(), any::<u64>()).prop_map(|(o, w, v)| {
-                MemOp::Store { addr: DATA_BASE + o * 8, width: w, value: v }
+                MemOp::Store {
+                    addr: DATA_BASE + o * 8,
+                    width: w,
+                    value: v,
+                }
             }),
-            (0u64..512, width).prop_map(|(o, w)| MemOp::Load { addr: DATA_BASE + o * 8, width: w }),
+            (0u64..512, width).prop_map(|(o, w)| MemOp::Load {
+                addr: DATA_BASE + o * 8,
+                width: w
+            }),
         ],
         1..200,
     )

@@ -27,13 +27,19 @@ impl RegRef {
     /// An integer register operand.
     #[inline]
     pub fn int(num: u8) -> RegRef {
-        RegRef { class: RegClass::Int, num }
+        RegRef {
+            class: RegClass::Int,
+            num,
+        }
     }
 
     /// A floating-point register operand.
     #[inline]
     pub fn fp(num: u8) -> RegRef {
-        RegRef { class: RegClass::Fp, num }
+        RegRef {
+            class: RegClass::Fp,
+            num,
+        }
     }
 
     /// Dense index 0–63 across both register files, handy for scoreboards.
@@ -103,7 +109,10 @@ impl OpKind {
     /// Whether the instruction transfers control.
     #[inline]
     pub fn is_control(self) -> bool {
-        matches!(self, OpKind::CondBranch | OpKind::Jump | OpKind::IndirectJump)
+        matches!(
+            self,
+            OpKind::CondBranch | OpKind::Jump | OpKind::IndirectJump
+        )
     }
 
     /// Whether the instruction accesses memory.
@@ -176,7 +185,14 @@ impl TraceEntry {
     /// A minimal entry with no operands; useful in tests and synthetic
     /// traces.
     pub fn simple(pc: u64, kind: OpKind) -> TraceEntry {
-        TraceEntry { pc, kind, dst: None, srcs: [None, None], mem: None, branch: None }
+        TraceEntry {
+            pc,
+            kind,
+            dst: None,
+            srcs: [None, None],
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Whether this entry is a load.

@@ -78,8 +78,15 @@ fn reg_to_u8(r: RegRef) -> u8 {
 }
 
 fn reg_from_u8(b: u8) -> RegRef {
-    let class = if b & 0x20 != 0 { RegClass::Fp } else { RegClass::Int };
-    RegRef { class, num: b & 0x1f }
+    let class = if b & 0x20 != 0 {
+        RegClass::Fp
+    } else {
+        RegClass::Int
+    };
+    RegRef {
+        class,
+        num: b & 0x1f,
+    }
 }
 
 /// Writes a trace to `writer`. A `&mut` reference works as a writer too.
@@ -180,17 +187,32 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
             }
             reader.read_exact(&mut u64buf)?;
             let value = u64::from_le_bytes(u64buf);
-            Some(MemAccess { addr, width: w[0], value, fp: flags & 32 != 0 })
+            Some(MemAccess {
+                addr,
+                width: w[0],
+                value,
+                fp: flags & 32 != 0,
+            })
         } else {
             None
         };
         let branch = if flags & 16 != 0 {
             reader.read_exact(&mut u64buf)?;
-            Some(BranchEvent { taken: flags & 64 != 0, target: u64::from_le_bytes(u64buf) })
+            Some(BranchEvent {
+                taken: flags & 64 != 0,
+                target: u64::from_le_bytes(u64buf),
+            })
         } else {
             None
         };
-        trace.push(TraceEntry { pc, kind, dst, srcs: [src0, src1], mem, branch });
+        trace.push(TraceEntry {
+            pc,
+            kind,
+            dst,
+            srcs: [src0, src1],
+            mem,
+            branch,
+        });
     }
     Ok(trace)
 }
@@ -207,7 +229,12 @@ mod tests {
             kind: OpKind::Load,
             dst: Some(RegRef::int(10)),
             srcs: [Some(RegRef::int(2)), None],
-            mem: Some(MemAccess { addr: 0x10_0008, width: 8, value: u64::MAX, fp: false }),
+            mem: Some(MemAccess {
+                addr: 0x10_0008,
+                width: 8,
+                value: u64::MAX,
+                fp: false,
+            }),
             branch: None,
         });
         t.push(TraceEntry {
@@ -215,7 +242,12 @@ mod tests {
             kind: OpKind::Store,
             dst: None,
             srcs: [Some(RegRef::int(2)), Some(RegRef::fp(4))],
-            mem: Some(MemAccess { addr: 0x10_0010, width: 8, value: 42, fp: true }),
+            mem: Some(MemAccess {
+                addr: 0x10_0010,
+                width: 8,
+                value: 42,
+                fp: true,
+            }),
             branch: None,
         });
         t.push(TraceEntry {
@@ -224,7 +256,10 @@ mod tests {
             dst: None,
             srcs: [Some(RegRef::int(5)), Some(RegRef::int(6))],
             mem: None,
-            branch: Some(BranchEvent { taken: true, target: 0x10000 }),
+            branch: Some(BranchEvent {
+                taken: true,
+                target: 0x10000,
+            }),
         });
         t
     }

@@ -127,7 +127,10 @@ impl Trace {
 
     /// Creates an empty trace with reserved capacity.
     pub fn with_capacity(n: usize) -> Trace {
-        Trace { entries: Vec::with_capacity(n), stats: TraceStats::default() }
+        Trace {
+            entries: Vec::with_capacity(n),
+            stats: TraceStats::default(),
+        }
     }
 
     /// Appends one entry, updating statistics.
@@ -234,7 +237,12 @@ mod tests {
 
     fn load_entry(pc: u64) -> TraceEntry {
         let mut e = TraceEntry::simple(pc, OpKind::Load);
-        e.mem = Some(MemAccess { addr: 0x10_0000, width: 8, value: 5, fp: false });
+        e.mem = Some(MemAccess {
+            addr: 0x10_0000,
+            width: 8,
+            value: 5,
+            fp: false,
+        });
         e
     }
 

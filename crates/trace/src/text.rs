@@ -26,7 +26,10 @@ pub struct ParseTraceError {
 
 impl ParseTraceError {
     fn new(line: usize, msg: impl Into<String>) -> ParseTraceError {
-        ParseTraceError { line, msg: msg.into() }
+        ParseTraceError {
+            line,
+            msg: msg.into(),
+        }
     }
 
     /// 1-based line number of the problem.
@@ -37,7 +40,11 @@ impl ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "text trace parse error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "text trace parse error at line {}: {}",
+            self.line, self.msg
+        )
     }
 }
 
@@ -96,7 +103,10 @@ fn parse_reg(s: &str, line: usize) -> Result<Option<RegRef>, ParseTraceError> {
         .parse()
         .map_err(|_| ParseTraceError::new(line, format!("bad register number `{s}`")))?;
     if num >= 32 {
-        return Err(ParseTraceError::new(line, format!("register out of range `{s}`")));
+        return Err(ParseTraceError::new(
+            line,
+            format!("register out of range `{s}`"),
+        ));
     }
     Ok(Some(RegRef { class, num }))
 }
@@ -231,9 +241,19 @@ pub fn parse_text(text: &str) -> Result<Trace, ParseTraceError> {
                     ));
                 }
             };
-            Some(BranchEvent { taken, target: parse_u64(target, line_no)? })
+            Some(BranchEvent {
+                taken,
+                target: parse_u64(target, line_no)?,
+            })
         };
-        trace.push(TraceEntry { pc, kind, dst, srcs, mem, branch });
+        trace.push(TraceEntry {
+            pc,
+            kind,
+            dst,
+            srcs,
+            mem,
+            branch,
+        });
     }
     Ok(trace)
 }
@@ -250,7 +270,12 @@ mod tests {
             kind: OpKind::Load,
             dst: Some(RegRef::int(10)),
             srcs: [Some(RegRef::int(2)), None],
-            mem: Some(MemAccess { addr: 0x10_0000, width: 8, value: 42, fp: false }),
+            mem: Some(MemAccess {
+                addr: 0x10_0000,
+                width: 8,
+                value: 42,
+                fp: false,
+            }),
             branch: None,
         });
         t.push(TraceEntry {
@@ -258,7 +283,12 @@ mod tests {
             kind: OpKind::Store,
             dst: None,
             srcs: [Some(RegRef::int(2)), Some(RegRef::fp(3))],
-            mem: Some(MemAccess { addr: 0x10_0008, width: 8, value: 7, fp: true }),
+            mem: Some(MemAccess {
+                addr: 0x10_0008,
+                width: 8,
+                value: 7,
+                fp: true,
+            }),
             branch: None,
         });
         t.push(TraceEntry {
@@ -267,7 +297,10 @@ mod tests {
             dst: None,
             srcs: [Some(RegRef::int(10)), None],
             mem: None,
-            branch: Some(BranchEvent { taken: false, target: 0x10010 }),
+            branch: Some(BranchEvent {
+                taken: false,
+                target: 0x10010,
+            }),
         });
         t
     }
@@ -295,9 +328,15 @@ mod tests {
         assert_eq!(err.line(), 1);
         let err = parse_text("# ok\n0x10 int _ broken - -\n").unwrap_err();
         assert_eq!(err.line(), 2);
-        assert!(parse_text("0x10 int _ _,_ m:12=3 -").is_err(), "missing width");
+        assert!(
+            parse_text("0x10 int _ _,_ m:12=3 -").is_err(),
+            "missing width"
+        );
         assert!(parse_text("0x10 int _ _,_ - b:maybe@0x10").is_err());
-        assert!(parse_text("0x10 int x99 _,_ - -").is_err(), "register range");
+        assert!(
+            parse_text("0x10 int x99 _,_ - -").is_err(),
+            "register range"
+        );
     }
 
     #[test]

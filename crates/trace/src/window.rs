@@ -63,7 +63,11 @@ impl Iterator for Windows<'_> {
         let end = (start + self.window).min(self.entries.len());
         let trace: Trace = self.entries[start..end].iter().copied().collect();
         self.next_start = start + self.stride;
-        Some(TraceWindow { start, load_offset: self.loads_seen, trace })
+        Some(TraceWindow {
+            start,
+            load_offset: self.loads_seen,
+            trace,
+        })
     }
 }
 
@@ -139,13 +143,22 @@ mod tests {
     fn load_offsets_align_with_annotations() {
         let t = mixed_trace(60);
         let outcomes: Vec<PredOutcome> = (0..t.stats().loads)
-            .map(|i| if i % 2 == 0 { PredOutcome::Correct } else { PredOutcome::NotPredicted })
+            .map(|i| {
+                if i % 2 == 0 {
+                    PredOutcome::Correct
+                } else {
+                    PredOutcome::NotPredicted
+                }
+            })
             .collect();
         let mut reconstructed = Vec::new();
         for w in t.windows(15, 15) {
             reconstructed.extend_from_slice(w.outcomes(&outcomes));
         }
-        assert_eq!(reconstructed, outcomes, "window slices must tile the annotation vector");
+        assert_eq!(
+            reconstructed, outcomes,
+            "window slices must tile the annotation vector"
+        );
     }
 
     #[test]
@@ -157,8 +170,7 @@ mod tests {
         assert_eq!(windows[1].start, 40);
         assert_eq!(windows[2].start, 80);
         // load_offset counts loads in the skipped regions too.
-        let loads_before_80 =
-            t.entries()[..80].iter().filter(|e| e.is_load()).count();
+        let loads_before_80 = t.entries()[..80].iter().filter(|e| e.is_load()).count();
         assert_eq!(windows[2].load_offset, loads_before_80);
     }
 

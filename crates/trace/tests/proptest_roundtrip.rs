@@ -2,8 +2,8 @@
 //! arbitrary well-formed traces exactly.
 
 use lvp_trace::{
-    dump_text, parse_text, read_trace, write_trace, BranchEvent, MemAccess, OpKind, RegRef,
-    Trace, TraceEntry,
+    dump_text, parse_text, read_trace, write_trace, BranchEvent, MemAccess, OpKind, RegRef, Trace,
+    TraceEntry,
 };
 use proptest::prelude::*;
 
@@ -43,7 +43,12 @@ fn arb_entry() -> impl Strategy<Value = TraceEntry> {
             kind,
             dst,
             srcs: [s0, s1],
-            mem: mem.map(|(addr, width, value, fp)| MemAccess { addr, width, value, fp }),
+            mem: mem.map(|(addr, width, value, fp)| MemAccess {
+                addr,
+                width,
+                value,
+                fp,
+            }),
             branch: branch.map(|(taken, target)| BranchEvent { taken, target }),
         })
 }

@@ -95,7 +95,8 @@ pub fn simulate_21164(
     let mut reg_ready = [0u64; 64];
     // Current issue-group cycle and its slot usage.
     let mut t: u64 = 0;
-    let (mut used_total, mut used_int, mut used_fp, mut used_mem) = (0usize, 0usize, 0usize, 0usize);
+    let (mut used_total, mut used_int, mut used_fp, mut used_mem) =
+        (0usize, 0usize, 0usize, 0usize);
     // No instruction may issue before this cycle (miss stalls, squashes,
     // branch redirects).
     let mut stall_until: u64 = 0;
@@ -276,7 +277,12 @@ mod tests {
             kind: OpKind::Load,
             dst: Some(RegRef::int(dst)),
             srcs: [Some(RegRef::int(2)), None],
-            mem: Some(MemAccess { addr, width: 8, value: 1, fp: false }),
+            mem: Some(MemAccess {
+                addr,
+                width: 8,
+                value: 1,
+                fp: false,
+            }),
             branch: None,
         }
     }
@@ -340,19 +346,27 @@ mod tests {
     fn constants_bypass_blocking_misses() {
         // All loads would miss; constants never touch the cache, so the
         // LVP run avoids every blocking stall.
-        let trace: Trace = (0..500u64).map(|i| load(10, 0x10_0000 + i * 4096)).collect();
+        let trace: Trace = (0..500u64)
+            .map(|i| load(10, 0x10_0000 + i * 4096))
+            .collect();
         let base = simulate_21164(&trace, None, &Alpha21164Config::base());
         let consts = vec![PredOutcome::Constant; 500];
         let lvp = simulate_21164(&trace, Some(&consts), &Alpha21164Config::base());
         assert_eq!(lvp.l1_accesses, 0);
-        assert!(lvp.speedup_over(&base) > 5.0, "speedup {:.2}", lvp.speedup_over(&base));
+        assert!(
+            lvp.speedup_over(&base) > 5.0,
+            "speedup {:.2}",
+            lvp.speedup_over(&base)
+        );
     }
 
     #[test]
     fn prediction_dropped_on_miss_without_penalty() {
         // Loads that always miss, annotated Correct: behaves exactly like
         // the unannotated baseline (prediction dropped, no penalty).
-        let trace: Trace = (0..300u64).map(|i| load(10, 0x10_0000 + i * 4096)).collect();
+        let trace: Trace = (0..300u64)
+            .map(|i| load(10, 0x10_0000 + i * 4096))
+            .collect();
         let base = simulate_21164(&trace, None, &Alpha21164Config::base());
         let correct = vec![PredOutcome::Correct; 300];
         let lvp = simulate_21164(&trace, Some(&correct), &Alpha21164Config::base());

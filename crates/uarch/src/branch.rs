@@ -34,8 +34,14 @@ impl BranchPredictor {
     ///
     /// Panics if either size is not a power of two.
     pub fn new(bht_entries: usize, btb_entries: usize) -> BranchPredictor {
-        assert!(bht_entries.is_power_of_two(), "BHT size must be a power of two");
-        assert!(btb_entries.is_power_of_two(), "BTB size must be a power of two");
+        assert!(
+            bht_entries.is_power_of_two(),
+            "BHT size must be a power of two"
+        );
+        assert!(
+            btb_entries.is_power_of_two(),
+            "BTB size must be a power of two"
+        );
         BranchPredictor {
             bht: vec![1; bht_entries], // weakly not-taken
             bht_mask: bht_entries - 1,
@@ -121,7 +127,10 @@ mod tests {
                 bp.update_taken(pc, taken);
             }
         }
-        assert!(correct >= 9 * 8, "bimodal should predict a 90% loop well: {correct}");
+        assert!(
+            correct >= 9 * 8,
+            "bimodal should predict a 90% loop well: {correct}"
+        );
     }
 
     #[test]

@@ -15,22 +15,38 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The PowerPC 620's L1 data cache: 32 KB, 8-way, 64 B lines.
     pub fn ppc620_l1d() -> CacheConfig {
-        CacheConfig { size: 32 * 1024, ways: 8, line: 64 }
+        CacheConfig {
+            size: 32 * 1024,
+            ways: 8,
+            line: 64,
+        }
     }
 
     /// The Alpha 21164's L1 data cache: 8 KB, direct-mapped, 32 B lines.
     pub fn alpha_l1d() -> CacheConfig {
-        CacheConfig { size: 8 * 1024, ways: 1, line: 32 }
+        CacheConfig {
+            size: 8 * 1024,
+            ways: 1,
+            line: 32,
+        }
     }
 
     /// A unified 512 KB 8-way L2 (620-class board cache).
     pub fn ppc620_l2() -> CacheConfig {
-        CacheConfig { size: 512 * 1024, ways: 8, line: 64 }
+        CacheConfig {
+            size: 512 * 1024,
+            ways: 8,
+            line: 64,
+        }
     }
 
     /// The 21164's on-chip 96 KB 3-way L2.
     pub fn alpha_l2() -> CacheConfig {
-        CacheConfig { size: 96 * 1024, ways: 3, line: 32 }
+        CacheConfig {
+            size: 96 * 1024,
+            ways: 3,
+            line: 32,
+        }
     }
 }
 
@@ -57,9 +73,15 @@ impl Cache {
     /// Panics if the geometry is inconsistent (size not divisible by
     /// line × ways, or non-power-of-two line/set count).
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let n_sets = config.size / (config.line * config.ways);
-        assert!(n_sets > 0 && n_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            n_sets > 0 && n_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             config,
             sets: vec![Vec::with_capacity(config.ways); n_sets],
@@ -98,7 +120,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr >> self.set_shift;
-        ((line_addr & self.set_mask) as usize, line_addr >> self.set_mask.count_ones())
+        (
+            (line_addr & self.set_mask) as usize,
+            line_addr >> self.set_mask.count_ones(),
+        )
     }
 
     /// Performs one access; returns `true` on hit. Misses allocate the
@@ -162,7 +187,12 @@ pub struct MemHierarchy {
 impl MemHierarchy {
     /// Builds a hierarchy from level configurations.
     pub fn new(l1: CacheConfig, l2: CacheConfig, latency: MemLatency) -> MemHierarchy {
-        MemHierarchy { l1: Cache::new(l1), l2: Cache::new(l2), latency, l2_accesses: 0 }
+        MemHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            latency,
+            l2_accesses: 0,
+        }
     }
 
     /// The L1 cache.
@@ -262,7 +292,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c = Cache::new(CacheConfig { size: 1024, ways: 1, line: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size: 1024,
+            ways: 1,
+            line: 64,
+        });
         // Two addresses 1024 apart map to the same set.
         assert!(!c.access(0));
         assert!(!c.access(1024));
@@ -271,7 +305,11 @@ mod tests {
 
     #[test]
     fn lru_keeps_recent_lines() {
-        let mut c = Cache::new(CacheConfig { size: 128, ways: 2, line: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size: 128,
+            ways: 2,
+            line: 64,
+        });
         // One set of 2 ways (128 = 64*2): all aligned addresses collide.
         assert!(!c.access(0));
         assert!(!c.access(128));

@@ -126,7 +126,10 @@ pub fn dataflow_limit(
         }
         critical = critical.max(finish);
     }
-    DataflowResult { critical_path: critical.max(1), instructions: n }
+    DataflowResult {
+        critical_path: critical.max(1),
+        instructions: n,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +143,12 @@ mod tests {
             kind: OpKind::Load,
             dst: Some(RegRef::int(dst)),
             srcs: [Some(RegRef::int(src)), None],
-            mem: Some(MemAccess { addr: 0x10_0000, width: 8, value: 0, fp: false }),
+            mem: Some(MemAccess {
+                addr: 0x10_0000,
+                width: 8,
+                value: 0,
+                fp: false,
+            }),
             branch: None,
         }
     }
@@ -202,7 +210,12 @@ mod tests {
                 kind: OpKind::Store,
                 dst: None,
                 srcs: [Some(RegRef::int(2)), Some(RegRef::int(5))],
-                mem: Some(MemAccess { addr: 0x10_0000, width: 8, value: 0, fp: false }),
+                mem: Some(MemAccess {
+                    addr: 0x10_0000,
+                    width: 8,
+                    value: 0,
+                    fp: false,
+                }),
                 branch: None,
             });
             entries.push(load(6, 2));

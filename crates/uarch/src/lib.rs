@@ -38,9 +38,9 @@ mod metrics;
 mod ppc620;
 
 pub use alpha::{simulate_21164, Alpha21164Config};
-pub use dataflow::{dataflow_limit, DataflowResult};
 pub use branch::BranchPredictor;
 pub use cache::{BankArbiter, Cache, CacheConfig, MemHierarchy, MemLatency};
+pub use dataflow::{dataflow_limit, DataflowResult};
 pub use latency::LatencyTable;
 pub use metrics::{OperandWaitStats, SimResult, VerifyLatencyHistogram};
 pub use ppc620::{simulate_620, Ppc620Config};

@@ -197,7 +197,16 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         let mut h = VerifyLatencyHistogram::default();
-        for (lat, expect_bucket) in [(0u64, 0usize), (3, 0), (4, 1), (5, 2), (6, 3), (7, 4), (8, 5), (100, 5)] {
+        for (lat, expect_bucket) in [
+            (0u64, 0usize),
+            (3, 0),
+            (4, 1),
+            (5, 2),
+            (6, 3),
+            (7, 4),
+            (8, 5),
+            (100, 5),
+        ] {
             let before = h.buckets[expect_bucket];
             h.record(lat);
             assert_eq!(h.buckets[expect_bucket], before + 1, "latency {lat}");
@@ -220,8 +229,16 @@ mod tests {
 
     #[test]
     fn speedup_and_rates() {
-        let base = SimResult { cycles: 1000, instructions: 800, ..SimResult::default() };
-        let fast = SimResult { cycles: 800, instructions: 800, ..SimResult::default() };
+        let base = SimResult {
+            cycles: 1000,
+            instructions: 800,
+            ..SimResult::default()
+        };
+        let fast = SimResult {
+            cycles: 800,
+            instructions: 800,
+            ..SimResult::default()
+        };
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
         assert!((base.ipc() - 0.8).abs() < 1e-12);
     }

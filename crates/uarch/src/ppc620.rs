@@ -327,8 +327,7 @@ pub fn simulate_620(
                     _ => {}
                 }
                 // Compute timing for this issue.
-                let (op_wait, spec_srcs, is_spec) =
-                    operand_wait_info(&window, head_seq, i, cycle);
+                let (op_wait, spec_srcs, is_spec) = operand_wait_info(&window, head_seq, i, cycle);
                 let (finish, verify) = {
                     let s = &window[i];
                     match s.kind {
@@ -342,9 +341,7 @@ pub fn simulate_620(
                                 // A miss needs a free MSHR; stall issue of
                                 // this load until one drains.
                                 mshr_fill.retain(|&t| t > cycle);
-                                if mshr_fill.len() >= config.mshrs
-                                    && !mem.probe_l1(s.mem_addr)
-                                {
+                                if mshr_fill.len() >= config.mshrs && !mem.probe_l1(s.mem_addr) {
                                     i += 1;
                                     continue;
                                 }
@@ -678,7 +675,12 @@ mod tests {
             kind: OpKind::Load,
             dst: Some(RegRef::int(dst)),
             srcs: [Some(RegRef::int(2)), None],
-            mem: Some(MemAccess { addr, width: 8, value: 1, fp: false }),
+            mem: Some(MemAccess {
+                addr,
+                width: 8,
+                value: 1,
+                fp: false,
+            }),
             branch: None,
         }
     }
@@ -708,10 +710,15 @@ mod tests {
 
     #[test]
     fn dependent_chain_is_serialized() {
-        let entries: Vec<_> =
-            (0..1000).map(|i| alu(0x10000 + 4 * (i % 64), 10, [Some(10), None])).collect();
+        let entries: Vec<_> = (0..1000)
+            .map(|i| alu(0x10000 + 4 * (i % 64), 10, [Some(10), None]))
+            .collect();
         let r = run(entries, None);
-        assert!(r.ipc() < 1.1, "serial chain cannot exceed 1 IPC: {:.2}", r.ipc());
+        assert!(
+            r.ipc() < 1.1,
+            "serial chain cannot exceed 1 IPC: {:.2}",
+            r.ipc()
+        );
     }
 
     #[test]
@@ -746,7 +753,11 @@ mod tests {
             lvp.cycles,
             base.cycles
         );
-        assert!(lvp.speedup_over(&base) > 1.15, "speedup {:.3}", lvp.speedup_over(&base));
+        assert!(
+            lvp.speedup_over(&base) > 1.15,
+            "speedup {:.3}",
+            lvp.speedup_over(&base)
+        );
     }
 
     #[test]
@@ -763,7 +774,10 @@ mod tests {
         // Worst case per the paper: one extra cycle per dependent, plus
         // structural effects. Overall cost must stay small.
         let slowdown = lvp.cycles as f64 / base.cycles as f64;
-        assert!(slowdown < 1.40, "mispredictions too expensive: {slowdown:.3}");
+        assert!(
+            slowdown < 1.40,
+            "mispredictions too expensive: {slowdown:.3}"
+        );
         assert_eq!(lvp.mispredicted_loads, 1000);
     }
 
@@ -793,7 +807,10 @@ mod tests {
                 dst: None,
                 srcs: [Some(RegRef::int(10)), None],
                 mem: None,
-                branch: Some(BranchEvent { taken: i % 2 == 0, target: 0x10008 }),
+                branch: Some(BranchEvent {
+                    taken: i % 2 == 0,
+                    target: 0x10008,
+                }),
             });
         }
         let alternating: Trace = entries.into_iter().collect();
@@ -806,7 +823,10 @@ mod tests {
                 dst: None,
                 srcs: [Some(RegRef::int(10)), None],
                 mem: None,
-                branch: Some(BranchEvent { taken: true, target: 0x10008 }),
+                branch: Some(BranchEvent {
+                    taken: true,
+                    target: 0x10008,
+                }),
             });
         }
         let steady: Trace = entries2.into_iter().collect();
@@ -821,8 +841,16 @@ mod tests {
         // Independent mixed ops with abundant ILP.
         let mut entries = Vec::new();
         for i in 0..3000u64 {
-            entries.push(alu(0x10000 + 4 * (i % 32), (10 + i % 4) as u8, [None, None]));
-            entries.push(load(0x10100 + 4 * (i % 32), (14 + i % 4) as u8, 0x10_0000 + (i % 64) * 8));
+            entries.push(alu(
+                0x10000 + 4 * (i % 32),
+                (10 + i % 4) as u8,
+                [None, None],
+            ));
+            entries.push(load(
+                0x10100 + 4 * (i % 32),
+                (14 + i % 4) as u8,
+                0x10_0000 + (i % 64) * 8,
+            ));
         }
         let trace: Trace = entries.into_iter().collect();
         let base = simulate_620(&trace, None, &Ppc620Config::base());
@@ -853,7 +881,9 @@ mod tests {
         let strided: Trace = (0..2000u64)
             .map(|i| load(0x10000, 10, 0x10_0000 + i * 4096))
             .collect();
-        let local: Trace = (0..2000u64).map(|i| load(0x10000, 10, 0x10_0000 + (i % 8) * 8)).collect();
+        let local: Trace = (0..2000u64)
+            .map(|i| load(0x10000, 10, 0x10_0000 + (i % 8) * 8))
+            .collect();
         let rs = simulate_620(&strided, None, &Ppc620Config::base());
         let rl = simulate_620(&local, None, &Ppc620Config::base());
         assert!(rs.l1_misses > 1900);

@@ -10,7 +10,12 @@ fn missing_load(pc: u64, dst: u8, i: u64) -> TraceEntry {
         dst: Some(RegRef::int(dst)),
         srcs: [Some(RegRef::int(2)), None],
         // Every load misses: stride far beyond the L1.
-        mem: Some(MemAccess { addr: 0x10_0000 + i * 8192, width: 8, value: 0, fp: false }),
+        mem: Some(MemAccess {
+            addr: 0x10_0000 + i * 8192,
+            width: 8,
+            value: 0,
+            fp: false,
+        }),
         branch: None,
     }
 }
@@ -22,8 +27,14 @@ fn more_mshrs_overlap_more_misses() {
     let trace: Trace = (0..300u64)
         .map(|i| missing_load(0x10000 + 4 * (i % 8), (10 + i % 4) as u8, i))
         .collect();
-    let one = Ppc620Config { mshrs: 1, ..Ppc620Config::base() };
-    let many = Ppc620Config { mshrs: 8, ..Ppc620Config::base() };
+    let one = Ppc620Config {
+        mshrs: 1,
+        ..Ppc620Config::base()
+    };
+    let many = Ppc620Config {
+        mshrs: 8,
+        ..Ppc620Config::base()
+    };
     let r1 = simulate_620(&trace, None, &one);
     let r8 = simulate_620(&trace, None, &many);
     assert_eq!(r1.instructions, r8.instructions);
@@ -34,7 +45,10 @@ fn more_mshrs_overlap_more_misses() {
         r1.cycles
     );
     // A single blocking-ish MSHR serializes: >= miss latency per load.
-    assert!(r1.cycles >= 300 * 40, "one MSHR must serialize memory latency");
+    assert!(
+        r1.cycles >= 300 * 40,
+        "one MSHR must serialize memory latency"
+    );
 }
 
 #[test]
@@ -42,8 +56,14 @@ fn hits_are_unaffected_by_mshr_count() {
     let trace: Trace = (0..300u64)
         .map(|i| missing_load(0x10000 + 4 * (i % 8), (10 + i % 4) as u8, i % 2))
         .collect();
-    let one = Ppc620Config { mshrs: 1, ..Ppc620Config::base() };
-    let many = Ppc620Config { mshrs: 8, ..Ppc620Config::base() };
+    let one = Ppc620Config {
+        mshrs: 1,
+        ..Ppc620Config::base()
+    };
+    let many = Ppc620Config {
+        mshrs: 8,
+        ..Ppc620Config::base()
+    };
     let r1 = simulate_620(&trace, None, &one);
     let r8 = simulate_620(&trace, None, &many);
     // Two lines: everything hits after the cold misses, so the MSHR count
@@ -61,10 +81,11 @@ fn hits_are_unaffected_by_mshr_count() {
 #[test]
 fn constant_loads_do_not_consume_mshrs() {
     use lvp_trace::PredOutcome;
-    let trace: Trace = (0..200u64)
-        .map(|i| missing_load(0x10000, 10, i))
-        .collect();
-    let cfg = Ppc620Config { mshrs: 1, ..Ppc620Config::base() };
+    let trace: Trace = (0..200u64).map(|i| missing_load(0x10000, 10, i)).collect();
+    let cfg = Ppc620Config {
+        mshrs: 1,
+        ..Ppc620Config::base()
+    };
     let base = simulate_620(&trace, None, &cfg);
     let consts = vec![PredOutcome::Constant; 200];
     let lvp = simulate_620(&trace, Some(&consts), &cfg);

@@ -2,9 +2,7 @@
 //! checking and whole-simulator sanity invariants on random traces.
 
 use lvp_trace::{BranchEvent, MemAccess, OpKind, PredOutcome, RegRef, Trace, TraceEntry};
-use lvp_uarch::{
-    simulate_21164, simulate_620, Alpha21164Config, Cache, CacheConfig, Ppc620Config,
-};
+use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Cache, CacheConfig, Ppc620Config};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 

@@ -20,7 +20,11 @@ fn alu(pc: u64, dst: u8) -> TraceEntry {
 fn fp(pc: u64, dst: u8, complex: bool) -> TraceEntry {
     TraceEntry {
         pc,
-        kind: if complex { OpKind::FpComplex } else { OpKind::FpSimple },
+        kind: if complex {
+            OpKind::FpComplex
+        } else {
+            OpKind::FpSimple
+        },
         dst: Some(RegRef::fp(dst)),
         srcs: [None, None],
         mem: None,
@@ -45,7 +49,12 @@ fn load(pc: u64, dst: u8, addr: u64) -> TraceEntry {
         kind: OpKind::Load,
         dst: Some(RegRef::int(dst)),
         srcs: [Some(RegRef::int(2)), None],
-        mem: Some(MemAccess { addr, width: 8, value: 0, fp: false }),
+        mem: Some(MemAccess {
+            addr,
+            width: 8,
+            value: 0,
+            fp: false,
+        }),
         branch: None,
     }
 }
@@ -54,7 +63,9 @@ fn load(pc: u64, dst: u8, addr: u64) -> TraceEntry {
 fn mcfx_is_unpipelined() {
     // Independent multiplies: the single unpipelined MCFX serializes them
     // at one per `int_complex` latency.
-    let trace: Trace = (0..100u64).map(|i| mul(0x10000 + 4 * (i % 8), (10 + i % 4) as u8)).collect();
+    let trace: Trace = (0..100u64)
+        .map(|i| mul(0x10000 + 4 * (i % 8), (10 + i % 4) as u8))
+        .collect();
     let cfg = Ppc620Config::base();
     let r = simulate_620(&trace, None, &cfg);
     assert!(
@@ -66,8 +77,12 @@ fn mcfx_is_unpipelined() {
 
 #[test]
 fn fpu_pipelines_simple_but_not_complex() {
-    let simple: Trace = (0..200u64).map(|i| fp(0x10000 + 4 * (i % 8), (i % 4) as u8, false)).collect();
-    let complex: Trace = (0..200u64).map(|i| fp(0x10000 + 4 * (i % 8), (i % 4) as u8, true)).collect();
+    let simple: Trace = (0..200u64)
+        .map(|i| fp(0x10000 + 4 * (i % 8), (i % 4) as u8, false))
+        .collect();
+    let complex: Trace = (0..200u64)
+        .map(|i| fp(0x10000 + 4 * (i % 8), (i % 4) as u8, true))
+        .collect();
     let cfg = Ppc620Config::base();
     let rs = simulate_620(&simple, None, &cfg);
     let rc = simulate_620(&complex, None, &cfg);
@@ -83,10 +98,21 @@ fn fpu_pipelines_simple_but_not_complex() {
 #[test]
 fn single_lsu_binds_load_throughput() {
     // Independent hitting loads: 1 LSU -> at most 1 load per cycle.
-    let trace: Trace =
-        (0..500u64).map(|i| load(0x10000 + 4 * (i % 8), (10 + i % 4) as u8, 0x10_0000 + (i % 8) * 8)).collect();
+    let trace: Trace = (0..500u64)
+        .map(|i| {
+            load(
+                0x10000 + 4 * (i % 8),
+                (10 + i % 4) as u8,
+                0x10_0000 + (i % 8) * 8,
+            )
+        })
+        .collect();
     let base = simulate_620(&trace, None, &Ppc620Config::base());
-    assert!(base.cycles >= 500, "one load per cycle max: {}", base.cycles);
+    assert!(
+        base.cycles >= 500,
+        "one load per cycle max: {}",
+        base.cycles
+    );
     // The 620+ has two LSUs and dispatches two mem ops per cycle.
     let plus = simulate_620(&trace, None, &Ppc620Config::plus());
     assert!(
@@ -128,7 +154,10 @@ fn indirect_jumps_pay_btb_misses() {
             dst: None,
             srcs: [Some(RegRef::int(1)), None],
             mem: None,
-            branch: Some(BranchEvent { taken: true, target }),
+            branch: Some(BranchEvent {
+                taken: true,
+                target,
+            }),
         };
         alternating.push(alu(0x10000, 10));
         alternating.push(e(if i % 2 == 0 { 0x20000 } else { 0x30000 }));
@@ -186,7 +215,12 @@ fn store_heavy_code_contends_for_banks() {
             kind: OpKind::Store,
             dst: None,
             srcs: [Some(RegRef::int(2)), Some(RegRef::int(10))],
-            mem: Some(MemAccess { addr: 0x10_0100 + (i % 4) * 256, width: 8, value: 0, fp: false }),
+            mem: Some(MemAccess {
+                addr: 0x10_0100 + (i % 4) * 256,
+                width: 8,
+                value: 0,
+                fp: false,
+            }),
             branch: None,
         });
     }

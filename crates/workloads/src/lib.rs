@@ -149,7 +149,12 @@ impl Workload {
         let output = machine.output().to_vec();
         let checksum = machine.output_checksum();
         self.self_check(&output)?;
-        Ok(WorkloadRun { trace, output, checksum, program })
+        Ok(WorkloadRun {
+            trace,
+            output,
+            checksum,
+            program,
+        })
     }
 
     /// The golden output recorded for this workload (identical under both
@@ -180,7 +185,10 @@ impl Workload {
     /// Validates the output against both structural invariants and the
     /// recorded golden values.
     fn self_check(&self, output: &[u64]) -> Result<(), WorkloadError> {
-        let fail = || WorkloadError::SelfCheck { name: self.name, output: output.to_vec() };
+        let fail = || WorkloadError::SelfCheck {
+            name: self.name,
+            output: output.to_vec(),
+        };
         // Structural invariants first (they diagnose better than a bare
         // golden mismatch).
         let ok = match self.name {
@@ -227,23 +235,125 @@ macro_rules! workload {
 /// The full 17-benchmark suite in the paper's Table 1 order.
 pub fn suite() -> Vec<Workload> {
     vec![
-        workload!("cc1-271", "cc1_271.mc", false, "GCC 2.7.1 analogue: expression compiler pass", "synthetic expression stream"),
-        workload!("cc1", "cc1.mc", false, "GCC 1.35 analogue: lexer + symbol table", "synthetic C-like source"),
-        workload!("cjpeg", "cjpeg.mc", false, "JPEG encoder core", "128x128 BW image"),
-        workload!("compress", "compress.mc", false, "LZW compressor", "24 KB synthetic text"),
-        workload!("doduc", "doduc.mc", true, "Nuclear reactor Monte Carlo", "tiny input (400 particles)"),
-        workload!("eqntott", "eqntott.mc", false, "Truth-table term sort (cmppt)", "1,200 PLA terms"),
-        workload!("gawk", "gawk.mc", false, "AWK-style field parsing", "synthetic simulator output"),
-        workload!("gperf", "gperf.mc", false, "Perfect hash generator", "64-keyword dictionary"),
-        workload!("grep", "grep.mc", false, "gnu-grep -c \"st*mo\"", "same input class as compress"),
-        workload!("hydro2d", "hydro2d.mc", true, "Galactic jet hydrodynamics", "52x52 grid, 10 steps"),
-        workload!("mpeg", "mpeg.mc", false, "MPEG decoder core", "4 frames w/ fast dithering"),
-        workload!("perl", "perl.mc", false, "Anagram search", "find \"admits\" in word list"),
-        workload!("quick", "quick.mc", false, "Recursive quicksort", "5,000 random elements"),
-        workload!("sc", "sc.mc", false, "Spreadsheet recalculation", "48x24 sheet, sparse formulas"),
-        workload!("swm256", "swm256.mc", true, "Shallow water model", "5 iterations"),
-        workload!("tomcatv", "tomcatv.mc", true, "Mesh generation", "4 iterations"),
-        workload!("xlisp", "xlisp.mc", false, "LISP interpreter analogue", "6 queens, 30 evaluations"),
+        workload!(
+            "cc1-271",
+            "cc1_271.mc",
+            false,
+            "GCC 2.7.1 analogue: expression compiler pass",
+            "synthetic expression stream"
+        ),
+        workload!(
+            "cc1",
+            "cc1.mc",
+            false,
+            "GCC 1.35 analogue: lexer + symbol table",
+            "synthetic C-like source"
+        ),
+        workload!(
+            "cjpeg",
+            "cjpeg.mc",
+            false,
+            "JPEG encoder core",
+            "128x128 BW image"
+        ),
+        workload!(
+            "compress",
+            "compress.mc",
+            false,
+            "LZW compressor",
+            "24 KB synthetic text"
+        ),
+        workload!(
+            "doduc",
+            "doduc.mc",
+            true,
+            "Nuclear reactor Monte Carlo",
+            "tiny input (400 particles)"
+        ),
+        workload!(
+            "eqntott",
+            "eqntott.mc",
+            false,
+            "Truth-table term sort (cmppt)",
+            "1,200 PLA terms"
+        ),
+        workload!(
+            "gawk",
+            "gawk.mc",
+            false,
+            "AWK-style field parsing",
+            "synthetic simulator output"
+        ),
+        workload!(
+            "gperf",
+            "gperf.mc",
+            false,
+            "Perfect hash generator",
+            "64-keyword dictionary"
+        ),
+        workload!(
+            "grep",
+            "grep.mc",
+            false,
+            "gnu-grep -c \"st*mo\"",
+            "same input class as compress"
+        ),
+        workload!(
+            "hydro2d",
+            "hydro2d.mc",
+            true,
+            "Galactic jet hydrodynamics",
+            "52x52 grid, 10 steps"
+        ),
+        workload!(
+            "mpeg",
+            "mpeg.mc",
+            false,
+            "MPEG decoder core",
+            "4 frames w/ fast dithering"
+        ),
+        workload!(
+            "perl",
+            "perl.mc",
+            false,
+            "Anagram search",
+            "find \"admits\" in word list"
+        ),
+        workload!(
+            "quick",
+            "quick.mc",
+            false,
+            "Recursive quicksort",
+            "5,000 random elements"
+        ),
+        workload!(
+            "sc",
+            "sc.mc",
+            false,
+            "Spreadsheet recalculation",
+            "48x24 sheet, sparse formulas"
+        ),
+        workload!(
+            "swm256",
+            "swm256.mc",
+            true,
+            "Shallow water model",
+            "5 iterations"
+        ),
+        workload!(
+            "tomcatv",
+            "tomcatv.mc",
+            true,
+            "Mesh generation",
+            "4 iterations"
+        ),
+        workload!(
+            "xlisp",
+            "xlisp.mc",
+            false,
+            "LISP interpreter analogue",
+            "6 queens, 30 evaluations"
+        ),
     ]
 }
 

@@ -9,9 +9,7 @@
 //! ```
 
 use lvp::isa::AsmProfile;
-use lvp::predictor::{
-    evaluate_predictor, LastValuePredictor, StridePredictor, ValuePredictor,
-};
+use lvp::predictor::{evaluate_predictor, LastValuePredictor, StridePredictor, ValuePredictor};
 use lvp::workloads::Workload;
 
 /// A two-level hybrid: per-PC chooser between last-value and stride,
@@ -42,9 +40,13 @@ impl HybridPredictor {
 impl ValuePredictor for HybridPredictor {
     fn predict(&self, pc: u64) -> Option<u64> {
         if self.chooser[self.index(pc)] >= 2 {
-            self.stride.predict(pc).or_else(|| self.last_value.predict(pc))
+            self.stride
+                .predict(pc)
+                .or_else(|| self.last_value.predict(pc))
         } else {
-            self.last_value.predict(pc).or_else(|| self.stride.predict(pc))
+            self.last_value
+                .predict(pc)
+                .or_else(|| self.stride.predict(pc))
         }
     }
 
@@ -68,7 +70,9 @@ impl ValuePredictor for HybridPredictor {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "quick".to_string());
     let workload = Workload::by_name(&name)
         .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
     let run = workload.run(AsmProfile::Toc)?;
@@ -79,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(StridePredictor::new(1024)),
         Box::new(HybridPredictor::new(1024)),
     ];
-    println!("{:12} {:>9} {:>9} {:>9}", "predictor", "coverage", "accuracy", "hit rate");
+    println!(
+        "{:12} {:>9} {:>9} {:>9}",
+        "predictor", "coverage", "accuracy", "hit rate"
+    );
     for p in predictors.iter_mut() {
         let eval = evaluate_predictor(p.as_mut(), &run.trace);
         println!(

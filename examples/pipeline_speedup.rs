@@ -13,7 +13,9 @@ use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
 use lvp::workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gawk".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gawk".to_string());
     let workload = Workload::by_name(&name)
         .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
     println!("{workload}\n");
@@ -51,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Alpha21164Config::base();
     let base = simulate_21164(&gp.trace, None, &machine);
     println!("Alpha {}: baseline {base}", machine.name);
-    for cfg in [LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()] {
+    for cfg in [
+        LvpConfig::simple(),
+        LvpConfig::limit(),
+        LvpConfig::perfect(),
+    ] {
         let mut unit = LvpUnit::new(cfg);
         let outcomes = unit.annotate(&gp.trace);
         let r = simulate_21164(&gp.trace, Some(&outcomes), &machine);

@@ -58,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * stats.accuracy(),
         100.0 * stats.constant_rate()
     );
-    println!("first ten load outcomes: {:?}", &outcomes[..10.min(outcomes.len())]);
+    println!(
+        "first ten load outcomes: {:?}",
+        &outcomes[..10.min(outcomes.len())]
+    );
     Ok(())
 }

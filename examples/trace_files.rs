@@ -15,7 +15,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "xlisp".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xlisp".to_string());
     let workload = Workload::by_name(&name)
         .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
 
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = simulate_620(&trace, None, &Ppc620Config::base());
     let lvp = simulate_620(&trace, Some(&outcomes), &Ppc620Config::base());
     println!("from file: baseline {base}");
-    println!("from file: speedup {:.3} with Simple LVP", lvp.speedup_over(&base));
+    println!(
+        "from file: speedup {:.3} with Simple LVP",
+        lvp.speedup_over(&base)
+    );
 
     std::fs::remove_file(&path)?;
     Ok(())

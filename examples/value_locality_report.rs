@@ -11,7 +11,9 @@ use lvp::predictor::{AddressRanges, LocalityMeter, ValueClass};
 use lvp::workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
     let workload = Workload::by_name(&name)
         .ok_or_else(|| format!("unknown workload `{name}`; see lvp::workloads::suite()"))?;
     println!("{workload}");
@@ -28,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for entry in run.trace.iter() {
             meter.observe(entry);
         }
-        println!("\n== profile {profile} ({} dynamic loads) ==", meter.loads());
+        println!(
+            "\n== profile {profile} ({} dynamic loads) ==",
+            meter.loads()
+        );
         println!(
             "  overall:   {:5.1}% @1   {:5.1}% @16",
             100.0 * meter.locality(1),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-781d3a8c2fec188d.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-781d3a8c2fec188d: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

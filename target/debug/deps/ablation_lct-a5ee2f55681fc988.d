@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lct-a5ee2f55681fc988.d: crates/bench/src/bin/ablation_lct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lct-a5ee2f55681fc988.rmeta: crates/bench/src/bin/ablation_lct.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

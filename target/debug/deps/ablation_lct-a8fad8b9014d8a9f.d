@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lct-a8fad8b9014d8a9f.d: crates/bench/src/bin/ablation_lct.rs
+
+/root/repo/target/debug/deps/ablation_lct-a8fad8b9014d8a9f: crates/bench/src/bin/ablation_lct.rs
+
+crates/bench/src/bin/ablation_lct.rs:

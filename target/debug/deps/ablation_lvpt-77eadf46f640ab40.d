@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lvpt-77eadf46f640ab40.d: crates/bench/src/bin/ablation_lvpt.rs
+
+/root/repo/target/debug/deps/ablation_lvpt-77eadf46f640ab40: crates/bench/src/bin/ablation_lvpt.rs
+
+crates/bench/src/bin/ablation_lvpt.rs:

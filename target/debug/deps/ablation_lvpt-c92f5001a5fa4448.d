@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lvpt-c92f5001a5fa4448.d: crates/bench/src/bin/ablation_lvpt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lvpt-c92f5001a5fa4448.rmeta: crates/bench/src/bin/ablation_lvpt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lvpt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

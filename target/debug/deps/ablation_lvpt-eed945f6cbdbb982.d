@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lvpt-eed945f6cbdbb982.d: crates/bench/src/bin/ablation_lvpt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lvpt-eed945f6cbdbb982.rmeta: crates/bench/src/bin/ablation_lvpt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lvpt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_machine-2b3d5d943f37b667.d: crates/bench/src/bin/ablation_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_machine-2b3d5d943f37b667.rmeta: crates/bench/src/bin/ablation_machine.rs Cargo.toml
+
+crates/bench/src/bin/ablation_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_machine-467a5393ebe3d018.d: crates/bench/src/bin/ablation_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_machine-467a5393ebe3d018.rmeta: crates/bench/src/bin/ablation_machine.rs Cargo.toml
+
+crates/bench/src/bin/ablation_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

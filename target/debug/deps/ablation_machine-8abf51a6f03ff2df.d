@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_machine-8abf51a6f03ff2df.d: crates/bench/src/bin/ablation_machine.rs
+
+/root/repo/target/debug/deps/ablation_machine-8abf51a6f03ff2df: crates/bench/src/bin/ablation_machine.rs
+
+crates/bench/src/bin/ablation_machine.rs:

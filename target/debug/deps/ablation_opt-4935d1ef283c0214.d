@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_opt-4935d1ef283c0214.d: crates/bench/src/bin/ablation_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_opt-4935d1ef283c0214.rmeta: crates/bench/src/bin/ablation_opt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

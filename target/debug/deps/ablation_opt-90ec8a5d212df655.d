@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-90ec8a5d212df655.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-90ec8a5d212df655: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stride-0dd90306457bd31a.d: crates/bench/src/bin/ablation_stride.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stride-0dd90306457bd31a.rmeta: crates/bench/src/bin/ablation_stride.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stride.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

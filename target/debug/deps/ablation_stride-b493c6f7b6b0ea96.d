@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stride-b493c6f7b6b0ea96.d: crates/bench/src/bin/ablation_stride.rs
+
+/root/repo/target/debug/deps/ablation_stride-b493c6f7b6b0ea96: crates/bench/src/bin/ablation_stride.rs
+
+crates/bench/src/bin/ablation_stride.rs:

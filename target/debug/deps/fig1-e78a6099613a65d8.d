@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-e78a6099613a65d8.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-e78a6099613a65d8: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-cd568d9bcf0efb17.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-cd568d9bcf0efb17: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5908f9c0ff102945.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5908f9c0ff102945: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-903bb16a0924641f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-903bb16a0924641f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0d558b01d13faf08.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0d558b01d13faf08: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b03141b5904d6276.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b03141b5904d6276: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-3517deff755ec93a.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-3517deff755ec93a: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_and_limits-73f08c8f64200889.d: tests/kernels_and_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_and_limits-73f08c8f64200889.rmeta: tests/kernels_and_limits.rs Cargo.toml
+
+tests/kernels_and_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_and_limits-f01ea3851a8531a5.d: tests/kernels_and_limits.rs
+
+/root/repo/target/debug/deps/kernels_and_limits-f01ea3851a8531a5: tests/kernels_and_limits.rs
+
+tests/kernels_and_limits.rs:

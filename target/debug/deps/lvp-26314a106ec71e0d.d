@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lvp-26314a106ec71e0d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/lvp-26314a106ec71e0d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lvp-69347fe8a54fd5ca.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblvp-69347fe8a54fd5ca.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblvp-69347fe8a54fd5ca.rmeta: src/lib.rs
+
+src/lib.rs:

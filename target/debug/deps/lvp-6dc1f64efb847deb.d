@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lvp-6dc1f64efb847deb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp-6dc1f64efb847deb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

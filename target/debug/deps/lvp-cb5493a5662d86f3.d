@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lvp-cb5493a5662d86f3.d: src/lib.rs
+
+/root/repo/target/debug/deps/lvp-cb5493a5662d86f3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_analyze-81970a3f045ac5ac.d: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_analyze-81970a3f045ac5ac.rmeta: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/cfg.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/loads.rs:
+crates/analyze/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

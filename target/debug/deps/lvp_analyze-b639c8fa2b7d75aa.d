@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lvp_analyze-b639c8fa2b7d75aa.d: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+/root/repo/target/debug/deps/liblvp_analyze-b639c8fa2b7d75aa.rlib: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+/root/repo/target/debug/deps/liblvp_analyze-b639c8fa2b7d75aa.rmeta: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/cfg.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/loads.rs:
+crates/analyze/src/verify.rs:

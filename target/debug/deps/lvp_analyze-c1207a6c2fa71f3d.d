@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lvp_analyze-c1207a6c2fa71f3d.d: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+/root/repo/target/debug/deps/lvp_analyze-c1207a6c2fa71f3d: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/cfg.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/loads.rs:
+crates/analyze/src/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lvp_bench-21caf65eb2232190.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblvp_bench-21caf65eb2232190.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblvp_bench-21caf65eb2232190.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lvp_bench-21d07687c87fe19c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lvp_bench-21d07687c87fe19c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

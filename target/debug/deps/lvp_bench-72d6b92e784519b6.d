@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lvp_bench-72d6b92e784519b6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_bench-72d6b92e784519b6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

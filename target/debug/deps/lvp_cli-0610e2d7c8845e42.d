@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lvp_cli-0610e2d7c8845e42.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_cli-0610e2d7c8845e42.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lvp_cli-6070fa97ca0f8197.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/lvp_cli-6070fa97ca0f8197: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

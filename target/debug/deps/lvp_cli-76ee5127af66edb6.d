@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lvp_cli-76ee5127af66edb6.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/liblvp_cli-76ee5127af66edb6.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/liblvp_cli-76ee5127af66edb6.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_isa-db056d3f7d4089ae.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_isa-db056d3f7d4089ae.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_isa-eb8f742e98a155ac.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_isa-eb8f742e98a155ac.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

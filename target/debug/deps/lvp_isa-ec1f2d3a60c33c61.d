@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lvp_isa-ec1f2d3a60c33c61.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/lvp_isa-ec1f2d3a60c33c61: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lvp_lang-4d6087f748d4be46.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/lvp_lang-4d6087f748d4be46: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen.rs:
+crates/lang/src/optimize.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/token.rs:

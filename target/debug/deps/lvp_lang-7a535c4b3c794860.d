@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_lang-7a535c4b3c794860.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_lang-7a535c4b3c794860.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen.rs:
+crates/lang/src/optimize.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

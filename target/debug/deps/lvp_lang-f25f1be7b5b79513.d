@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lvp_lang-f25f1be7b5b79513.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/liblvp_lang-f25f1be7b5b79513.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/liblvp_lang-f25f1be7b5b79513.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen.rs:
+crates/lang/src/optimize.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/token.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lvp_predictor-2474e473a968e92f.d: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_predictor-2474e473a968e92f.rmeta: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/analysis.rs:
+crates/predictor/src/config.rs:
+crates/predictor/src/context.rs:
+crates/predictor/src/cvu.rs:
+crates/predictor/src/lct.rs:
+crates/predictor/src/locality.rs:
+crates/predictor/src/lvpt.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

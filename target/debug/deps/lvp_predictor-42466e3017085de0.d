@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_predictor-42466e3017085de0.d: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+/root/repo/target/debug/deps/lvp_predictor-42466e3017085de0: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/analysis.rs:
+crates/predictor/src/config.rs:
+crates/predictor/src/context.rs:
+crates/predictor/src/cvu.rs:
+crates/predictor/src/lct.rs:
+crates/predictor/src/locality.rs:
+crates/predictor/src/lvpt.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/unit.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lvp_predictor-f90ecfe078d4ca8a.d: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+/root/repo/target/debug/deps/liblvp_predictor-f90ecfe078d4ca8a.rlib: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+/root/repo/target/debug/deps/liblvp_predictor-f90ecfe078d4ca8a.rmeta: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/analysis.rs:
+crates/predictor/src/config.rs:
+crates/predictor/src/context.rs:
+crates/predictor/src/cvu.rs:
+crates/predictor/src/lct.rs:
+crates/predictor/src/locality.rs:
+crates/predictor/src/lvpt.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/unit.rs:

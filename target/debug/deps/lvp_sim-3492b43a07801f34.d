@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lvp_sim-3492b43a07801f34.d: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+/root/repo/target/debug/deps/lvp_sim-3492b43a07801f34: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:

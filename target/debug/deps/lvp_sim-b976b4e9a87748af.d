@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lvp_sim-b976b4e9a87748af.d: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_sim-b976b4e9a87748af.rmeta: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

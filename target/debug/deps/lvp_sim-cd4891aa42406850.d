@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lvp_sim-cd4891aa42406850.d: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+/root/repo/target/debug/deps/liblvp_sim-cd4891aa42406850.rlib: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+/root/repo/target/debug/deps/liblvp_sim-cd4891aa42406850.rmeta: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lvp_trace-652b02d3da38d254.d: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_trace-652b02d3da38d254.rmeta: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/entry.rs:
+crates/trace/src/io.rs:
+crates/trace/src/text.rs:
+crates/trace/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lvp_trace-7d4c3e5e7c66459a.d: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+/root/repo/target/debug/deps/lvp_trace-7d4c3e5e7c66459a: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/entry.rs:
+crates/trace/src/io.rs:
+crates/trace/src/text.rs:
+crates/trace/src/window.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lvp_trace-ab612e92ad4e13ed.d: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+/root/repo/target/debug/deps/liblvp_trace-ab612e92ad4e13ed.rlib: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+/root/repo/target/debug/deps/liblvp_trace-ab612e92ad4e13ed.rmeta: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/entry.rs:
+crates/trace/src/io.rs:
+crates/trace/src/text.rs:
+crates/trace/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lvp_uarch-092a7d5981b16018.d: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+/root/repo/target/debug/deps/liblvp_uarch-092a7d5981b16018.rlib: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+/root/repo/target/debug/deps/liblvp_uarch-092a7d5981b16018.rmeta: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/alpha.rs:
+crates/uarch/src/branch.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/dataflow.rs:
+crates/uarch/src/latency.rs:
+crates/uarch/src/metrics.rs:
+crates/uarch/src/ppc620.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lvp_uarch-46ae008e5ed032a4.d: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+/root/repo/target/debug/deps/lvp_uarch-46ae008e5ed032a4: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/alpha.rs:
+crates/uarch/src/branch.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/dataflow.rs:
+crates/uarch/src/latency.rs:
+crates/uarch/src/metrics.rs:
+crates/uarch/src/ppc620.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lvp_uarch-a5f430b92db1d107.d: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_uarch-a5f430b92db1d107.rmeta: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs Cargo.toml
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/alpha.rs:
+crates/uarch/src/branch.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/dataflow.rs:
+crates/uarch/src/latency.rs:
+crates/uarch/src/metrics.rs:
+crates/uarch/src/ppc620.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/lvp_workloads-c526f173a8cf216c.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/../programs/cc1_271.mc crates/workloads/src/../programs/cc1.mc crates/workloads/src/../programs/cjpeg.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/doduc.mc crates/workloads/src/../programs/eqntott.mc crates/workloads/src/../programs/gawk.mc crates/workloads/src/../programs/gperf.mc crates/workloads/src/../programs/grep.mc crates/workloads/src/../programs/hydro2d.mc crates/workloads/src/../programs/mpeg.mc crates/workloads/src/../programs/perl.mc crates/workloads/src/../programs/quick.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/swm256.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/xlisp.mc Cargo.toml
+
+/root/repo/target/debug/deps/liblvp_workloads-c526f173a8cf216c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/../programs/cc1_271.mc crates/workloads/src/../programs/cc1.mc crates/workloads/src/../programs/cjpeg.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/doduc.mc crates/workloads/src/../programs/eqntott.mc crates/workloads/src/../programs/gawk.mc crates/workloads/src/../programs/gperf.mc crates/workloads/src/../programs/grep.mc crates/workloads/src/../programs/hydro2d.mc crates/workloads/src/../programs/mpeg.mc crates/workloads/src/../programs/perl.mc crates/workloads/src/../programs/quick.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/swm256.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/xlisp.mc Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/../programs/cc1_271.mc:
+crates/workloads/src/../programs/cc1.mc:
+crates/workloads/src/../programs/cjpeg.mc:
+crates/workloads/src/../programs/compress.mc:
+crates/workloads/src/../programs/doduc.mc:
+crates/workloads/src/../programs/eqntott.mc:
+crates/workloads/src/../programs/gawk.mc:
+crates/workloads/src/../programs/gperf.mc:
+crates/workloads/src/../programs/grep.mc:
+crates/workloads/src/../programs/hydro2d.mc:
+crates/workloads/src/../programs/mpeg.mc:
+crates/workloads/src/../programs/perl.mc:
+crates/workloads/src/../programs/quick.mc:
+crates/workloads/src/../programs/sc.mc:
+crates/workloads/src/../programs/swm256.mc:
+crates/workloads/src/../programs/tomcatv.mc:
+crates/workloads/src/../programs/xlisp.mc:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

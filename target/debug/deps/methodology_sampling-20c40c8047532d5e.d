@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology_sampling-20c40c8047532d5e.d: crates/bench/src/bin/methodology_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology_sampling-20c40c8047532d5e.rmeta: crates/bench/src/bin/methodology_sampling.rs Cargo.toml
+
+crates/bench/src/bin/methodology_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

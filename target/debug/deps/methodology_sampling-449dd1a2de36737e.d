@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology_sampling-449dd1a2de36737e.d: crates/bench/src/bin/methodology_sampling.rs
+
+/root/repo/target/debug/deps/methodology_sampling-449dd1a2de36737e: crates/bench/src/bin/methodology_sampling.rs
+
+crates/bench/src/bin/methodology_sampling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology_sampling-9d09bf0a4f538b51.d: crates/bench/src/bin/methodology_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology_sampling-9d09bf0a4f538b51.rmeta: crates/bench/src/bin/methodology_sampling.rs Cargo.toml
+
+crates/bench/src/bin/methodology_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mshr-3e6271fdbae8c83a.d: crates/uarch/tests/mshr.rs
+
+/root/repo/target/debug/deps/mshr-3e6271fdbae8c83a: crates/uarch/tests/mshr.rs
+
+crates/uarch/tests/mshr.rs:

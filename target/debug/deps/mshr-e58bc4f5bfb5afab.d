@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mshr-e58bc4f5bfb5afab.d: crates/uarch/tests/mshr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmshr-e58bc4f5bfb5afab.rmeta: crates/uarch/tests/mshr.rs Cargo.toml
+
+crates/uarch/tests/mshr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

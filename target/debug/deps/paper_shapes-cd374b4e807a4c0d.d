@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-cd374b4e807a4c0d.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-cd374b4e807a4c0d: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structural-67db87358d5dbf95.d: crates/uarch/tests/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructural-67db87358d5dbf95.rmeta: crates/uarch/tests/structural.rs Cargo.toml
+
+crates/uarch/tests/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structural-83f2b355920e902d.d: crates/uarch/tests/structural.rs
+
+/root/repo/target/debug/deps/structural-83f2b355920e902d: crates/uarch/tests/structural.rs
+
+crates/uarch/tests/structural.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6e6c8acb2edf11f7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6e6c8acb2edf11f7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d0161dc6bd87a3e3.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d0161dc6bd87a3e3: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

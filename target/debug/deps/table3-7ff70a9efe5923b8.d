@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7ff70a9efe5923b8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7ff70a9efe5923b8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c73e13e73e2f90e0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c73e13e73e2f90e0: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-fca12f81fb2a1998.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-fca12f81fb2a1998: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

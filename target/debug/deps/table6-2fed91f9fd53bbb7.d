@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-2fed91f9fd53bbb7.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-2fed91f9fd53bbb7: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

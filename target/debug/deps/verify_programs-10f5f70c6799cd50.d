@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_programs-10f5f70c6799cd50.d: crates/analyze/tests/verify_programs.rs
+
+/root/repo/target/debug/deps/verify_programs-10f5f70c6799cd50: crates/analyze/tests/verify_programs.rs
+
+crates/analyze/tests/verify_programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_programs-abf25daeab4db5c1.d: crates/analyze/tests/verify_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_programs-abf25daeab4db5c1.rmeta: crates/analyze/tests/verify_programs.rs Cargo.toml
+
+crates/analyze/tests/verify_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_predictor-33737b6ef50e6f35.d: examples/custom_predictor.rs
+
+/root/repo/target/debug/examples/custom_predictor-33737b6ef50e6f35: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dump_cjpeg-1a33e727fe67c492.d: crates/lang/examples/dump_cjpeg.rs
+
+/root/repo/target/debug/examples/dump_cjpeg-1a33e727fe67c492: crates/lang/examples/dump_cjpeg.rs
+
+crates/lang/examples/dump_cjpeg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_speedup-402e68944c4bdbb8.d: examples/pipeline_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_speedup-402e68944c4bdbb8.rmeta: examples/pipeline_speedup.rs Cargo.toml
+
+examples/pipeline_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

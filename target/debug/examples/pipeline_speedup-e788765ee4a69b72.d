@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_speedup-e788765ee4a69b72.d: examples/pipeline_speedup.rs
+
+/root/repo/target/debug/examples/pipeline_speedup-e788765ee4a69b72: examples/pipeline_speedup.rs
+
+examples/pipeline_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f47307cbdd442e11.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f47307cbdd442e11: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_files-521695a990e5e9c4.d: examples/trace_files.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_files-521695a990e5e9c4.rmeta: examples/trace_files.rs Cargo.toml
+
+examples/trace_files.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_files-c5371b7aa221f5f6.d: examples/trace_files.rs
+
+/root/repo/target/debug/examples/trace_files-c5371b7aa221f5f6: examples/trace_files.rs
+
+examples/trace_files.rs:

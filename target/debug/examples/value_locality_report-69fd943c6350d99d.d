@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/value_locality_report-69fd943c6350d99d.d: examples/value_locality_report.rs
+
+/root/repo/target/debug/examples/value_locality_report-69fd943c6350d99d: examples/value_locality_report.rs
+
+examples/value_locality_report.rs:

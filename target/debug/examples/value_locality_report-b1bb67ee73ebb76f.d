@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/value_locality_report-b1bb67ee73ebb76f.d: examples/value_locality_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalue_locality_report-b1bb67ee73ebb76f.rmeta: examples/value_locality_report.rs Cargo.toml
+
+examples/value_locality_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

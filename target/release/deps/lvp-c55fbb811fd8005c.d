@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lvp-c55fbb811fd8005c.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/lvp-c55fbb811fd8005c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

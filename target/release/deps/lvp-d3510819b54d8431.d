@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lvp-d3510819b54d8431.d: src/lib.rs
+
+/root/repo/target/release/deps/liblvp-d3510819b54d8431.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblvp-d3510819b54d8431.rmeta: src/lib.rs
+
+src/lib.rs:

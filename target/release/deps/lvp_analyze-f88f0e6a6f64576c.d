@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lvp_analyze-f88f0e6a6f64576c.d: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+/root/repo/target/release/deps/liblvp_analyze-f88f0e6a6f64576c.rlib: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+/root/repo/target/release/deps/liblvp_analyze-f88f0e6a6f64576c.rmeta: crates/analyze/src/lib.rs crates/analyze/src/cfg.rs crates/analyze/src/dataflow.rs crates/analyze/src/diag.rs crates/analyze/src/loads.rs crates/analyze/src/verify.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/cfg.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/loads.rs:
+crates/analyze/src/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lvp_cli-1fbea0aa32a160f9.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/liblvp_cli-1fbea0aa32a160f9.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/liblvp_cli-1fbea0aa32a160f9.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

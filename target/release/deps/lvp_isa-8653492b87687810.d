@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lvp_isa-8653492b87687810.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/liblvp_isa-8653492b87687810.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/liblvp_isa-8653492b87687810.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/encode.rs crates/isa/src/op.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/op.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lvp_lang-6ec2f4a34b4e3ce9.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/liblvp_lang-6ec2f4a34b4e3ce9.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/liblvp_lang-6ec2f4a34b4e3ce9.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/codegen.rs crates/lang/src/optimize.rs crates/lang/src/parser.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen.rs:
+crates/lang/src/optimize.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/token.rs:

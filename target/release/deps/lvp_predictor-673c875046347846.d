@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lvp_predictor-673c875046347846.d: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+/root/repo/target/release/deps/liblvp_predictor-673c875046347846.rlib: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+/root/repo/target/release/deps/liblvp_predictor-673c875046347846.rmeta: crates/predictor/src/lib.rs crates/predictor/src/analysis.rs crates/predictor/src/config.rs crates/predictor/src/context.rs crates/predictor/src/cvu.rs crates/predictor/src/lct.rs crates/predictor/src/locality.rs crates/predictor/src/lvpt.rs crates/predictor/src/stride.rs crates/predictor/src/unit.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/analysis.rs:
+crates/predictor/src/config.rs:
+crates/predictor/src/context.rs:
+crates/predictor/src/cvu.rs:
+crates/predictor/src/lct.rs:
+crates/predictor/src/locality.rs:
+crates/predictor/src/lvpt.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/unit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lvp_sim-dcde34213a215f31.d: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+/root/repo/target/release/deps/liblvp_sim-dcde34213a215f31.rlib: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+/root/repo/target/release/deps/liblvp_sim-dcde34213a215f31.rmeta: crates/sim/src/lib.rs crates/sim/src/machine.rs crates/sim/src/memory.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:

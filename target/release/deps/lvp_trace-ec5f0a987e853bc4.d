@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lvp_trace-ec5f0a987e853bc4.d: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+/root/repo/target/release/deps/liblvp_trace-ec5f0a987e853bc4.rlib: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+/root/repo/target/release/deps/liblvp_trace-ec5f0a987e853bc4.rmeta: crates/trace/src/lib.rs crates/trace/src/entry.rs crates/trace/src/io.rs crates/trace/src/text.rs crates/trace/src/window.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/entry.rs:
+crates/trace/src/io.rs:
+crates/trace/src/text.rs:
+crates/trace/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lvp_uarch-4b4b92204355e1be.d: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+/root/repo/target/release/deps/liblvp_uarch-4b4b92204355e1be.rlib: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+/root/repo/target/release/deps/liblvp_uarch-4b4b92204355e1be.rmeta: crates/uarch/src/lib.rs crates/uarch/src/alpha.rs crates/uarch/src/branch.rs crates/uarch/src/cache.rs crates/uarch/src/dataflow.rs crates/uarch/src/latency.rs crates/uarch/src/metrics.rs crates/uarch/src/ppc620.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/alpha.rs:
+crates/uarch/src/branch.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/dataflow.rs:
+crates/uarch/src/latency.rs:
+crates/uarch/src/metrics.rs:
+crates/uarch/src/ppc620.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/lvp_workloads-288a5d37e17167b1.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/../programs/cc1_271.mc crates/workloads/src/../programs/cc1.mc crates/workloads/src/../programs/cjpeg.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/doduc.mc crates/workloads/src/../programs/eqntott.mc crates/workloads/src/../programs/gawk.mc crates/workloads/src/../programs/gperf.mc crates/workloads/src/../programs/grep.mc crates/workloads/src/../programs/hydro2d.mc crates/workloads/src/../programs/mpeg.mc crates/workloads/src/../programs/perl.mc crates/workloads/src/../programs/quick.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/swm256.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/xlisp.mc
+
+/root/repo/target/release/deps/liblvp_workloads-288a5d37e17167b1.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/../programs/cc1_271.mc crates/workloads/src/../programs/cc1.mc crates/workloads/src/../programs/cjpeg.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/doduc.mc crates/workloads/src/../programs/eqntott.mc crates/workloads/src/../programs/gawk.mc crates/workloads/src/../programs/gperf.mc crates/workloads/src/../programs/grep.mc crates/workloads/src/../programs/hydro2d.mc crates/workloads/src/../programs/mpeg.mc crates/workloads/src/../programs/perl.mc crates/workloads/src/../programs/quick.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/swm256.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/xlisp.mc
+
+/root/repo/target/release/deps/liblvp_workloads-288a5d37e17167b1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/../programs/cc1_271.mc crates/workloads/src/../programs/cc1.mc crates/workloads/src/../programs/cjpeg.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/doduc.mc crates/workloads/src/../programs/eqntott.mc crates/workloads/src/../programs/gawk.mc crates/workloads/src/../programs/gperf.mc crates/workloads/src/../programs/grep.mc crates/workloads/src/../programs/hydro2d.mc crates/workloads/src/../programs/mpeg.mc crates/workloads/src/../programs/perl.mc crates/workloads/src/../programs/quick.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/swm256.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/xlisp.mc
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/../programs/cc1_271.mc:
+crates/workloads/src/../programs/cc1.mc:
+crates/workloads/src/../programs/cjpeg.mc:
+crates/workloads/src/../programs/compress.mc:
+crates/workloads/src/../programs/doduc.mc:
+crates/workloads/src/../programs/eqntott.mc:
+crates/workloads/src/../programs/gawk.mc:
+crates/workloads/src/../programs/gperf.mc:
+crates/workloads/src/../programs/grep.mc:
+crates/workloads/src/../programs/hydro2d.mc:
+crates/workloads/src/../programs/mpeg.mc:
+crates/workloads/src/../programs/perl.mc:
+crates/workloads/src/../programs/quick.mc:
+crates/workloads/src/../programs/sc.mc:
+crates/workloads/src/../programs/swm256.mc:
+crates/workloads/src/../programs/tomcatv.mc:
+crates/workloads/src/../programs/xlisp.mc:

@@ -125,8 +125,10 @@ fn cvu_constants_reduce_cache_traffic_end_to_end() {
     let trace = machine.run_traced(10_000_000).expect("run");
     let mut unit = LvpUnit::new(LvpConfig::constant());
     let outcomes = unit.annotate(&trace);
-    let n_constant =
-        outcomes.iter().filter(|&&o| o == PredOutcome::Constant).count() as u64;
+    let n_constant = outcomes
+        .iter()
+        .filter(|&&o| o == PredOutcome::Constant)
+        .count() as u64;
     assert!(n_constant > 0, "the TOC loads must become constants");
 
     let mcfg = Ppc620Config::base();

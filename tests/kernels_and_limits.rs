@@ -15,7 +15,12 @@ fn kernels_run_on_all_machines() {
         let r620 = simulate_620(&trace, None, &Ppc620Config::base());
         let r21164 = simulate_21164(&trace, None, &Alpha21164Config::base());
         assert_eq!(r620.instructions, trace.stats().instructions, "{}", k.name);
-        assert_eq!(r21164.instructions, trace.stats().instructions, "{}", k.name);
+        assert_eq!(
+            r21164.instructions,
+            trace.stats().instructions,
+            "{}",
+            k.name
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 //! binaries cover the full suite.
 
 use lvp::isa::AsmProfile;
-use lvp::predictor::{LocalityMeter, LvpConfig, LvpUnit, ValueClass};
 use lvp::predictor::AddressRanges;
+use lvp::predictor::{LocalityMeter, LvpConfig, LvpUnit, ValueClass};
 use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
 use lvp::workloads::Workload;
 
@@ -77,13 +77,21 @@ fn speedups_rank_simple_below_limit_below_perfect() {
     let mcfg = Ppc620Config::base();
     let base = simulate_620(&run.trace, None, &mcfg);
     let mut speedups = Vec::new();
-    for cfg in [LvpConfig::simple(), LvpConfig::limit(), LvpConfig::perfect()] {
+    for cfg in [
+        LvpConfig::simple(),
+        LvpConfig::limit(),
+        LvpConfig::perfect(),
+    ] {
         let mut unit = LvpUnit::new(cfg);
         let outcomes = unit.annotate(&run.trace);
         let r = simulate_620(&run.trace, Some(&outcomes), &mcfg);
         speedups.push(r.speedup_over(&base));
     }
-    assert!(speedups[0] > 1.0, "Simple must speed up gawk: {:.3}", speedups[0]);
+    assert!(
+        speedups[0] > 1.0,
+        "Simple must speed up gawk: {:.3}",
+        speedups[0]
+    );
     assert!(
         speedups[2] >= speedups[0] - 0.01,
         "Perfect must not lose to Simple: {speedups:?}"
