@@ -12,4 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Smoke-run the whole experiment registry through the harness on the
+# fast workload subset; prints per-experiment wall time and the engine's
+# cache counters, and fails if any experiment errors.
+echo "==> lvp bench --all --fast --threads 2"
+bench_out="$(cargo run --release -q -p lvp-cli -- bench --all --fast --threads 2)"
+printf '%s\n' "$bench_out" | grep -E '^\[|^engine:'
+
 echo "ci: all checks passed"

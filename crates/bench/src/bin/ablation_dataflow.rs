@@ -1,51 +1,9 @@
-//! Ablation — distance to the dataflow limit, and how LVP moves it.
+//! Ablation — dataflow limits and the effect of value prediction.
 //!
-//! The dataflow limit (true dependencies + latencies only) is the bound a
-//! conventional machine can never beat; value prediction is the rare
-//! technique that can, because a correct prediction removes a true
-//! dependence edge. For each benchmark we report the 620's fraction of
-//! the dataflow-limit IPC, and the limit itself without LVP, with the
-//! Simple unit, and with perfect prediction.
-
-use lvp_bench::{annotate, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{dataflow_limit, simulate_620, LatencyTable, Ppc620Config};
-use lvp_workloads::suite;
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Ablation: dataflow limits and the effect of value prediction (620 latencies)\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "620 IPC",
-        "dataflow IPC",
-        "620/limit",
-        "limit+Simple",
-        "limit+Perfect",
-    ]);
-    let lat = LatencyTable::ppc620();
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let machine = simulate_620(&run.trace, None, &Ppc620Config::base());
-        let base = dataflow_limit(&run.trace, None, &lat);
-        let (o_simple, _) = annotate(&run.trace, LvpConfig::simple());
-        let simple = dataflow_limit(&run.trace, Some(&o_simple), &lat);
-        let (o_perfect, _) = annotate(&run.trace, LvpConfig::perfect());
-        let perfect = dataflow_limit(&run.trace, Some(&o_perfect), &lat);
-        t.row(vec![
-            w.name.to_string(),
-            format!("{:.2}", machine.ipc()),
-            format!("{:.1}", base.ipc()),
-            format!("{:.0}%", 100.0 * machine.ipc() / base.ipc()),
-            format!("{:.1}", simple.ipc()),
-            format!("{:.1}", perfect.ipc()),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected: real machines capture a small fraction of the dataflow\n\
-         limit; LVP raises the limit itself — dramatically under perfect\n\
-         prediction — because correct predictions delete true dependence\n\
-         edges (the paper's core argument)."
-    );
+    lvp_harness::experiments::bin_main("ablation_dataflow");
 }

@@ -1,66 +1,9 @@
-//! Ablation — LCT counter width sweep (1 to 4 bits): classification
-//! quality (Table 3's two hit rates) and the resulting prediction
-//! accuracy, aggregated over the suite. The paper's design choice is the
-//! 2-bit counter; this quantifies what 1 bit loses and 3+ bits buy.
-
-use lvp_bench::{annotate, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
-use lvp_workloads::suite;
-
-fn with_bits(bits: u8) -> LvpConfig {
-    LvpConfig {
-        name: "sweep",
-        lvpt: LvptConfig {
-            entries: 1024,
-            history_depth: 1,
-            perfect_selection: false,
-        },
-        lct: LctConfig {
-            entries: 256,
-            counter_bits: bits,
-        },
-        cvu: CvuConfig { entries: 32 },
-        perfect: false,
-    }
-}
+//! Ablation — LCT saturating-counter width sweep.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Ablation: LCT saturating-counter width sweep (LVPT 1024x1, CVU 32)\n");
-    let mut t = TablePrinter::new(vec![
-        "counter bits",
-        "unpred identified",
-        "pred identified",
-        "accuracy",
-        "mispredictions/1k loads",
-    ]);
-    for bits in 1..=4u8 {
-        let (mut unpred_n, mut unpred_d) = (0u64, 0u64);
-        let (mut pred_n, mut pred_d) = (0u64, 0u64);
-        let (mut correct, mut predictions, mut incorrect, mut loads) = (0u64, 0u64, 0u64, 0u64);
-        for w in suite() {
-            let run = workload_trace(&w, AsmProfile::Toc);
-            let (_, s) = annotate(&run.trace, with_bits(bits));
-            unpred_n += s.unpredictable_identified;
-            unpred_d += s.unpredictable();
-            pred_n += s.predictable_identified;
-            pred_d += s.predictable;
-            correct += s.correct;
-            predictions += s.predictions;
-            incorrect += s.incorrect;
-            loads += s.loads;
-        }
-        t.row(vec![
-            bits.to_string(),
-            pct1(unpred_n as f64 / unpred_d.max(1) as f64),
-            pct1(pred_n as f64 / pred_d.max(1) as f64),
-            pct1(correct as f64 / predictions.max(1) as f64),
-            format!("{:.1}", 1000.0 * incorrect as f64 / loads.max(1) as f64),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected: wider counters suppress more mispredictions (higher accuracy)\n\
-         but identify fewer predictable loads (slower to warm up)."
-    );
+    lvp_harness::experiments::bin_main("ablation_lct");
 }

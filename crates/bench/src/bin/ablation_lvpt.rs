@@ -1,56 +1,9 @@
-//! Ablation — LVPT size sweep: prediction accuracy and coverage of the
-//! Simple configuration as the value table grows from 64 to 8192
-//! entries (untagged aliasing shrinks with table size), aggregated over
-//! the suite.
-
-use lvp_bench::{annotate, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
-use lvp_workloads::suite;
-
-fn sized(entries: usize) -> LvpConfig {
-    LvpConfig {
-        name: "sweep",
-        lvpt: LvptConfig {
-            entries,
-            history_depth: 1,
-            perfect_selection: false,
-        },
-        lct: LctConfig {
-            entries: 256,
-            counter_bits: 2,
-        },
-        cvu: CvuConfig { entries: 32 },
-        perfect: false,
-    }
-}
+//! Ablation — LVPT size sweep.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Ablation: LVPT size sweep (LCT 256x2b, CVU 32 fixed)\n");
-    let sizes = [64usize, 256, 1024, 4096, 8192];
-    let mut t = TablePrinter::new(vec![
-        "LVPT entries",
-        "accuracy",
-        "correct/loads",
-        "constants/loads",
-    ]);
-    for &n in &sizes {
-        let (mut correct, mut predictions, mut loads, mut constants) = (0u64, 0u64, 0u64, 0u64);
-        for w in suite() {
-            let run = workload_trace(&w, AsmProfile::Toc);
-            let (_, stats) = annotate(&run.trace, sized(n));
-            correct += stats.correct;
-            predictions += stats.predictions;
-            loads += stats.loads;
-            constants += stats.constants_verified;
-        }
-        t.row(vec![
-            n.to_string(),
-            pct1(correct as f64 / predictions.max(1) as f64),
-            pct1(correct as f64 / loads.max(1) as f64),
-            pct1(constants as f64 / loads.max(1) as f64),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Expected: accuracy and coverage rise with size and saturate near 1K-4K.");
+    lvp_harness::experiments::bin_main("ablation_lvpt");
 }

@@ -1,71 +1,9 @@
-//! Ablation (paper future work §7, third item) — "the microarchitectural
-//! design space should be explored more extensively, since load value
-//! prediction can dramatically alter the available program parallelism in
-//! ways that may not match current levels of machine parallelism very
-//! well." We sweep the 620's machine parallelism from half-size to
-//! double-wide and measure how much the Simple and Perfect LVP
-//! configurations buy at each point, aggregated over the suite.
-
-use lvp_bench::{annotate, geo_mean, speedup, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_620, Ppc620Config};
-use lvp_workloads::suite;
-
-fn scaled(name: &'static str, factor: f64, n_lsu: usize, mem_per_cycle: usize) -> Ppc620Config {
-    let base = Ppc620Config::base();
-    let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
-    Ppc620Config {
-        name,
-        rs_per_class: scale(base.rs_per_class),
-        gpr_renames: scale(base.gpr_renames),
-        fpr_renames: scale(base.fpr_renames),
-        completion_buffer: scale(base.completion_buffer),
-        n_lsu,
-        mem_dispatch_per_cycle: mem_per_cycle,
-        ..base
-    }
-}
+//! Ablation — machine parallelism vs. LVP benefit.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Ablation: machine parallelism vs. LVP benefit (620 family, Toc traces)\n");
-    let machines = [
-        scaled("620/2", 0.5, 1, 1),
-        scaled("620", 1.0, 1, 1),
-        scaled("620+", 2.0, 2, 2),
-        scaled("620x4", 4.0, 2, 2),
-    ];
-    let mut t = TablePrinter::new(vec![
-        "machine",
-        "GM base IPC",
-        "GM Simple speedup",
-        "GM Perfect speedup",
-    ]);
-    for m in &machines {
-        let (mut ipcs, mut s_simple, mut s_perfect) = (Vec::new(), Vec::new(), Vec::new());
-        for w in suite() {
-            let run = workload_trace(&w, AsmProfile::Toc);
-            let base = simulate_620(&run.trace, None, m);
-            ipcs.push(base.ipc());
-            let (o_simple, _) = annotate(&run.trace, LvpConfig::simple());
-            let simple = simulate_620(&run.trace, Some(&o_simple), m);
-            s_simple.push(simple.speedup_over(&base));
-            let (o_perfect, _) = annotate(&run.trace, LvpConfig::perfect());
-            let perfect = simulate_620(&run.trace, Some(&o_perfect), m);
-            s_perfect.push(perfect.speedup_over(&base));
-        }
-        t.row(vec![
-            m.name.to_string(),
-            format!("{:.3}", geo_mean(&ipcs)),
-            speedup(geo_mean(&s_simple)),
-            speedup(geo_mean(&s_perfect)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected: the narrow machine cannot exploit the parallelism LVP\n\
-         exposes; the benefit grows with machine width and saturates once\n\
-         the window exceeds what prediction uncovers — the mismatch the\n\
-         paper's future-work section predicts."
-    );
+    lvp_harness::experiments::bin_main("ablation_machine");
 }

@@ -1,64 +1,9 @@
-//! Ablation (paper Section 2) — the effect of compiler optimization on
-//! value locality. The paper notes that "loop unrolling, loop peeling,
-//! tail replication, etc." change per-static-load locality by splitting
-//! one static load into several. We compile each benchmark at O0 and O1
-//! (constant folding + dead branches + small-loop unrolling) and compare
-//! dynamic loads, static loads, and locality.
-
-use lvp_bench::{pct1, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_lang::{compile_with, OptLevel};
-use lvp_predictor::{LoadProfiler, LocalityMeter};
-use lvp_sim::Machine;
-use lvp_workloads::suite;
+//! Ablation — compiler optimization vs. value locality.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Ablation: compiler optimization vs. value locality (Toc profile)\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "instr O0",
-        "instr O1",
-        "static loads O0",
-        "static loads O1",
-        "local@1 O0",
-        "local@1 O1",
-    ]);
-    for w in suite() {
-        let mut cells = vec![w.name.to_string()];
-        let mut per_level: Vec<(u64, usize, f64)> = Vec::new();
-        for opt in [OptLevel::O0, OptLevel::O1] {
-            let program = compile_with(w.source, AsmProfile::Toc, opt)
-                .unwrap_or_else(|e| panic!("{} failed at {opt:?}: {e}", w.name));
-            let mut machine = Machine::new(&program);
-            let trace = machine
-                .run_traced(200_000_000)
-                .unwrap_or_else(|e| panic!("{} run failed at {opt:?}: {e}", w.name));
-            let mut meter = LocalityMeter::paper_default();
-            let mut profiler = LoadProfiler::new();
-            for e in trace.iter() {
-                meter.observe(e);
-                profiler.observe(e);
-            }
-            per_level.push((
-                trace.stats().instructions,
-                profiler.static_loads(),
-                meter.locality(1),
-            ));
-        }
-        let m = |v: u64| format!("{:.2}M", v as f64 / 1e6);
-        cells.push(m(per_level[0].0));
-        cells.push(m(per_level[1].0));
-        cells.push(per_level[0].1.to_string());
-        cells.push(per_level[1].1.to_string());
-        cells.push(pct1(per_level[0].2));
-        cells.push(pct1(per_level[1].2));
-        t.row(cells);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected: O1 trims dynamic instructions; where small loops unroll,\n\
-         static load counts rise (one load becomes several copies) and their\n\
-         per-copy locality shifts — the effect the paper attributes to\n\
-         unrolling-style transformations."
-    );
+    lvp_harness::experiments::bin_main("ablation_opt");
 }

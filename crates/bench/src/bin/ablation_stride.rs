@@ -1,92 +1,9 @@
-//! Ablation (paper future work) — history-based last-value prediction
-//! vs. computed stride prediction, per benchmark: coverage, accuracy,
-//! and overall hit rate of each predictor, plus a hybrid upper bound
-//! (either predictor correct).
-
-use lvp_bench::{geo_mean, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::{
-    evaluate_predictor, BhrIndexedPredictor, FcmPredictor, LastValuePredictor, StridePredictor,
-    ValuePredictor,
-};
-use lvp_trace::OpKind;
-use lvp_workloads::suite;
+//! Ablation — value predictor families (last-value, stride, FCM, BHR).
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!(
-        "Ablation: value predictor families (1024-entry L1 tables, hit rate = correct/loads)\n"
-    );
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "last-value",
-        "stride",
-        "fcm(2)",
-        "bhr-indexed",
-        "any-of-4",
-    ]);
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let mut lv = LastValuePredictor::new(1024);
-        let e_lv = evaluate_predictor(&mut lv, &run.trace);
-        let mut st = StridePredictor::new(1024);
-        let e_st = evaluate_predictor(&mut st, &run.trace);
-        let mut fcm = FcmPredictor::new(1024, 16384);
-        let e_fcm = evaluate_predictor(&mut fcm, &run.trace);
-
-        // The BHR-indexed predictor needs branch outcomes interleaved, so
-        // it is driven manually; the same pass computes the any-of-4
-        // oracle bound.
-        let mut bhr = BhrIndexedPredictor::new(4096, 4);
-        let mut lv2 = LastValuePredictor::new(1024);
-        let mut st2 = StridePredictor::new(1024);
-        let mut fcm2 = FcmPredictor::new(1024, 16384);
-        let (mut bhr_correct, mut any_correct, mut loads) = (0u64, 0u64, 0u64);
-        for e in run.trace.iter() {
-            if e.kind == OpKind::CondBranch {
-                let taken = e.branch.expect("branch outcome").taken;
-                bhr.on_branch(taken);
-                continue;
-            }
-            if !e.is_load() {
-                continue;
-            }
-            let Some(mem) = e.mem else { continue };
-            loads += 1;
-            let b = bhr.predict(e.pc) == Some(mem.value);
-            let others = lv2.predict(e.pc) == Some(mem.value)
-                || st2.predict(e.pc) == Some(mem.value)
-                || fcm2.predict(e.pc) == Some(mem.value);
-            bhr_correct += b as u64;
-            any_correct += (b || others) as u64;
-            bhr.train(e.pc, mem.value);
-            lv2.train(e.pc, mem.value);
-            st2.train(e.pc, mem.value);
-            fcm2.train(e.pc, mem.value);
-        }
-        let hits = [
-            e_lv.hit_rate(),
-            e_st.hit_rate(),
-            e_fcm.hit_rate(),
-            bhr_correct as f64 / loads.max(1) as f64,
-            any_correct as f64 / loads.max(1) as f64,
-        ];
-        let mut row = vec![w.name.to_string()];
-        for (i, h) in hits.iter().enumerate() {
-            gms[i].push(*h);
-            row.push(pct1(*h));
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string()];
-    for g in &gms {
-        gm.push(pct1(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-    println!(
-        "Expected: stride wins on induction loads, FCM on periodic sequences,\n\
-         BHR-indexing on control-dependent values; the any-of-4 oracle bound\n\
-         shows the headroom the paper's future-work section anticipates."
-    );
+    lvp_harness::experiments::bin_main("ablation_stride");
 }

@@ -1,42 +1,9 @@
-//! Figure 1 — load value locality per benchmark at history depths 1
-//! (light bars in the paper) and 16 (dark bars), measured with the
-//! paper's 1K-entry untagged direct-mapped history table, for both
-//! "architectures" (Gp ≈ Alpha panel, Toc ≈ PowerPC panel).
-
-use lvp_bench::{geo_mean, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LocalityMeter;
-use lvp_workloads::suite;
+//! Figure 1 — load value locality at history depths 1 and 16, both profiles.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 1: Load Value Locality (history depth 1 / depth 16)\n");
-    for (panel, profile) in [
-        ("Alpha-style (Gp)", AsmProfile::Gp),
-        ("PowerPC-style (Toc)", AsmProfile::Toc),
-    ] {
-        println!("== {panel} ==");
-        let mut t = TablePrinter::new(vec!["benchmark", "depth 1", "depth 16"]);
-        let (mut d1s, mut d16s) = (Vec::new(), Vec::new());
-        for w in suite() {
-            let run = workload_trace(&w, profile);
-            let mut meter = LocalityMeter::paper_default();
-            for e in run.trace.iter() {
-                meter.observe(e);
-            }
-            let (d1, d16) = (meter.locality(1), meter.locality(16));
-            d1s.push(d1);
-            d16s.push(d16);
-            t.row(vec![w.name.to_string(), pct1(d1), pct1(d16)]);
-        }
-        t.row(vec![
-            "GM".to_string(),
-            pct1(geo_mean(&d1s)),
-            pct1(geo_mean(&d16s)),
-        ]);
-        println!("{}", t.render());
-    }
-    println!(
-        "Paper shape: most integer benchmarks near 50% at depth 1 and 80%+ at\n\
-         depth 16; cjpeg, swm256 and tomcatv show poor locality."
-    );
+    lvp_harness::experiments::bin_main("fig1");
 }

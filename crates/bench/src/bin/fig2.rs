@@ -1,64 +1,9 @@
-//! Figure 2 — PowerPC value locality by data type: FP data, integer
-//! data, instruction addresses, and data addresses, at history depths 1
-//! and 16. Values are classified by where they point: into text =
-//! instruction address, into data/stack = data address.
-
-use lvp_bench::{address_ranges, geo_mean, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::{LocalityMeter, ValueClass};
-use lvp_workloads::suite;
+//! Figure 2 — PowerPC value locality by data type.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 2: PowerPC (Toc) Value Locality by Data Type (depth 1 / 16)\n");
-    let mut per_class: Vec<(ValueClass, Vec<f64>, Vec<f64>)> = ValueClass::ALL
-        .iter()
-        .map(|&c| (c, Vec::new(), Vec::new()))
-        .collect();
-
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "fp d1",
-        "fp d16",
-        "int d1",
-        "int d16",
-        "iaddr d1",
-        "iaddr d16",
-        "daddr d1",
-        "daddr d16",
-    ]);
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let ranges = address_ranges(&run.program);
-        let mut meter = LocalityMeter::paper_default().with_ranges(ranges);
-        for e in run.trace.iter() {
-            meter.observe(e);
-        }
-        let mut row = vec![w.name.to_string()];
-        for (class, d1s, d16s) in per_class.iter_mut() {
-            let loads = meter.class_loads(*class);
-            if loads == 0 {
-                row.push("-".to_string());
-                row.push("-".to_string());
-                continue;
-            }
-            let d1 = meter.class_locality(*class, 1);
-            let d16 = meter.class_locality(*class, 16);
-            d1s.push(d1);
-            d16s.push(d16);
-            row.push(pct1(d1));
-            row.push(pct1(d16));
-        }
-        t.row(row);
-    }
-    let mut gm_row = vec!["GM".to_string()];
-    for (_, d1s, d16s) in &per_class {
-        gm_row.push(pct1(geo_mean(d1s)));
-        gm_row.push(pct1(geo_mean(d16s)));
-    }
-    t.row(gm_row);
-    println!("{}", t.render());
-    println!(
-        "Paper shape: address loads (instruction > data) beat data loads;\n\
-         integer data beats floating-point data."
-    );
+    lvp_harness::experiments::bin_main("fig2");
 }

@@ -1,88 +1,9 @@
-//! Figure 6 — base machine model speedups: the PowerPC 620 with the
-//! Simple, Constant, Limit and Perfect LVP configurations, and the Alpha
-//! 21164 with Simple, Limit and Perfect (the paper omits Constant on the
-//! 21164).
-
-use lvp_bench::{annotate, geo_mean, speedup, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
-use lvp_workloads::suite;
+//! Figure 6 — base machine model speedups (620 + 21164).
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 6: Base Machine Model Speedups\n");
-
-    // ---- PowerPC 620 (Toc traces) ----
-    println!("== PowerPC 620 (Toc profile traces) ==");
-    let configs_620 = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ];
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "base IPC",
-        "Simple",
-        "Constant",
-        "Limit",
-        "Perfect",
-    ]);
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    let machine = Ppc620Config::base();
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let base = simulate_620(&run.trace, None, &machine);
-        let mut row = vec![w.name.to_string(), format!("{:.3}", base.ipc())];
-        for (i, cfg) in configs_620.iter().enumerate() {
-            let (outcomes, _) = annotate(&run.trace, *cfg);
-            let r = simulate_620(&run.trace, Some(&outcomes), &machine);
-            let s = r.speedup_over(&base);
-            gms[i].push(s);
-            row.push(speedup(s));
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string(), String::new()];
-    for g in &gms {
-        gm.push(speedup(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-
-    // ---- Alpha 21164 (Gp traces) ----
-    println!("== Alpha AXP 21164 (Gp profile traces) ==");
-    let configs_alpha = [
-        LvpConfig::simple(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ];
-    let mut t = TablePrinter::new(vec!["benchmark", "base IPC", "Simple", "Limit", "Perfect"]);
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let machine = Alpha21164Config::base();
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Gp);
-        let base = simulate_21164(&run.trace, None, &machine);
-        let mut row = vec![w.name.to_string(), format!("{:.3}", base.ipc())];
-        for (i, cfg) in configs_alpha.iter().enumerate() {
-            let (outcomes, _) = annotate(&run.trace, *cfg);
-            let r = simulate_21164(&run.trace, Some(&outcomes), &machine);
-            let s = r.speedup_over(&base);
-            gms[i].push(s);
-            row.push(speedup(s));
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string(), String::new()];
-    for g in &gms {
-        gm.push(speedup(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-
-    println!(
-        "Paper shape: 620 GM 1.03 (Simple/Constant), 1.06 (Limit), 1.16-ish (Perfect);\n\
-         21164 GM 1.06 (Simple), 1.09 (Limit), 1.16 (Perfect); the 21164 gains\n\
-         roughly twice as much as the 620; grep and gawk stand out on both."
-    );
+    lvp_harness::experiments::bin_main("fig6");
 }

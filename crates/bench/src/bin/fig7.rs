@@ -1,59 +1,9 @@
-//! Figure 7 — distribution of load verification latencies: the number of
-//! cycles between dispatch and verification of correctly-predicted
-//! loads, summed over all benchmarks, for each LVP configuration on the
-//! 620 and 620+.
-
-use lvp_bench::{annotate, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_620, Ppc620Config, VerifyLatencyHistogram};
-use lvp_workloads::suite;
+//! Figure 7 — distribution of load verification latencies.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 7: Load Verification Latency Distribution (% of correct predictions)\n");
-    let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ];
-    let machines = [Ppc620Config::base(), Ppc620Config::plus()];
-    // totals[machine][config]
-    let mut totals = vec![vec![VerifyLatencyHistogram::default(); configs.len()]; machines.len()];
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        for (ci, cfg) in configs.iter().enumerate() {
-            let (outcomes, _) = annotate(&run.trace, *cfg);
-            for (mi, machine) in machines.iter().enumerate() {
-                let r = simulate_620(&run.trace, Some(&outcomes), machine);
-                totals[mi][ci].merge(&r.verify_latency);
-            }
-        }
-    }
-    for (mi, machine) in machines.iter().enumerate() {
-        println!("== PPC {} ==", machine.name);
-        let mut t = TablePrinter::new(vec![
-            "config",
-            VerifyLatencyHistogram::LABELS[0],
-            VerifyLatencyHistogram::LABELS[1],
-            VerifyLatencyHistogram::LABELS[2],
-            VerifyLatencyHistogram::LABELS[3],
-            VerifyLatencyHistogram::LABELS[4],
-            VerifyLatencyHistogram::LABELS[5],
-        ]);
-        for (ci, cfg) in configs.iter().enumerate() {
-            let pcts = totals[mi][ci].percentages();
-            let mut row = vec![cfg.name.to_string()];
-            for p in pcts {
-                row.push(format!("{p:.1}%"));
-            }
-            t.row(row);
-        }
-        println!("{}", t.render());
-    }
-    println!(
-        "Paper shape: the four configurations look virtually identical, and the\n\
-         620+ distribution shifts right (time dilation from its higher\n\
-         performance)."
-    );
+    lvp_harness::experiments::bin_main("fig7");
 }

@@ -1,80 +1,9 @@
-//! Figure 8 — average data-dependency resolution latency: the time
-//! instructions spend in reservation stations waiting for their true
-//! dependencies, by functional-unit type, normalized to the no-LVP
-//! baseline, averaged over all benchmarks, on the 620 and 620+.
-
-use lvp_bench::{annotate, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_trace::OpKind;
-use lvp_uarch::{simulate_620, OperandWaitStats, Ppc620Config};
-use lvp_workloads::suite;
-
-/// The 620's functional units as the paper groups them in Figure 8.
-const FU_GROUPS: [(&str, &[OpKind]); 5] = [
-    (
-        "BRU",
-        &[OpKind::CondBranch, OpKind::Jump, OpKind::IndirectJump],
-    ),
-    ("MCFX", &[OpKind::IntComplex]),
-    ("FPU", &[OpKind::FpSimple, OpKind::FpComplex]),
-    ("SCFX", &[OpKind::IntSimple, OpKind::System]),
-    ("LSU", &[OpKind::Load, OpKind::Store]),
-];
+//! Figure 8 — average dependency resolution latencies by FU type.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 8: Average Dependency Resolution Latencies (normalized to no-LVP)\n");
-    let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ];
-    for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
-        println!("== PPC {} ==", machine.name);
-        // Aggregate operand-wait stats across the whole suite.
-        let mut base_waits = OperandWaitStats::default();
-        let mut cfg_waits: Vec<OperandWaitStats> = configs
-            .iter()
-            .map(|_| OperandWaitStats::default())
-            .collect();
-        for w in suite() {
-            let run = workload_trace(&w, AsmProfile::Toc);
-            let base = simulate_620(&run.trace, None, &machine);
-            base_waits.merge(&base.operand_wait);
-            for (i, cfg) in configs.iter().enumerate() {
-                let (outcomes, _) = annotate(&run.trace, *cfg);
-                let r = simulate_620(&run.trace, Some(&outcomes), &machine);
-                cfg_waits[i].merge(&r.operand_wait);
-            }
-        }
-        let mut t = TablePrinter::new(vec![
-            "FU type",
-            "base (cyc)",
-            "Simple",
-            "Constant",
-            "Limit",
-            "Perfect",
-        ]);
-        for (name, kinds) in FU_GROUPS {
-            let base_avg = base_waits.average_of(kinds);
-            let mut row = vec![name.to_string(), format!("{base_avg:.2}")];
-            for waits in &cfg_waits {
-                let avg = waits.average_of(kinds);
-                let norm = if base_avg > 0.0 {
-                    100.0 * avg / base_avg
-                } else {
-                    100.0
-                };
-                row.push(format!("{norm:.0}%"));
-            }
-            t.row(row);
-        }
-        println!("{}", t.render());
-    }
-    println!(
-        "Paper shape: BRU and MCFX barely change (their operands are not\n\
-         predicted); FPU, SCFX and especially LSU waits drop sharply — LSU by\n\
-         about half even with the Simple configuration."
-    );
+    lvp_harness::experiments::bin_main("fig8");
 }

@@ -1,51 +1,9 @@
-//! Figure 9 — the percentage of cycles with a data-cache bank conflict,
-//! per benchmark, on the 620 and 620+ without LVP and with the Simple
-//! and Constant configurations (the CVU removes constant loads from the
-//! banks entirely).
-
-use lvp_bench::{annotate, pct1, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_620, Ppc620Config};
-use lvp_workloads::suite;
+//! Figure 9 — percentage of cycles with bank conflicts.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Figure 9: Percentage of Cycles with Bank Conflicts\n");
-    for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
-        println!("== PPC {} ==", machine.name);
-        let mut t = TablePrinter::new(vec!["benchmark", "base", "Simple", "Constant"]);
-        let (mut sb, mut ss, mut sc) = (0.0f64, 0.0f64, 0.0f64);
-        let mut n = 0usize;
-        for w in suite() {
-            let run = workload_trace(&w, AsmProfile::Toc);
-            let base = simulate_620(&run.trace, None, &machine);
-            let (o1, _) = annotate(&run.trace, LvpConfig::simple());
-            let simple = simulate_620(&run.trace, Some(&o1), &machine);
-            let (o2, _) = annotate(&run.trace, LvpConfig::constant());
-            let constant = simulate_620(&run.trace, Some(&o2), &machine);
-            sb += base.bank_conflict_rate();
-            ss += simple.bank_conflict_rate();
-            sc += constant.bank_conflict_rate();
-            n += 1;
-            t.row(vec![
-                w.name.to_string(),
-                pct1(base.bank_conflict_rate()),
-                pct1(simple.bank_conflict_rate()),
-                pct1(constant.bank_conflict_rate()),
-            ]);
-        }
-        t.row(vec![
-            "Mean".to_string(),
-            pct1(sb / n as f64),
-            pct1(ss / n as f64),
-            pct1(sc / n as f64),
-        ]);
-        println!("{}", t.render());
-    }
-    println!(
-        "Paper shape: conflicts in ~2.6% of 620 cycles and ~6.9% of 620+ cycles\n\
-         (the extra LSU shares the same two banks); Simple cuts them ~5-9% and\n\
-         Constant ~14%, with occasional small relative increases from time\n\
-         dilation."
-    );
+    lvp_harness::experiments::bin_main("fig9");
 }

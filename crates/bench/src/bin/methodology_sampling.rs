@@ -1,65 +1,9 @@
 //! Methodology validation — sampled vs. full-trace simulation.
 //!
-//! The paper simulates full runs; at 100M+ instructions most trace-driven
-//! studies sample instead. This binary quantifies the error that sampling
-//! would introduce on our suite: the 620 model runs over every benchmark's
-//! full trace and over 10%-coverage periodic windows, and we compare IPC
-//! and Simple-LVP speedup. Small errors justify the scaled-down inputs
-//! used throughout this reproduction.
-
-use lvp_bench::{annotate, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_620, Ppc620Config, SimResult};
-use lvp_workloads::suite;
-
-const WINDOW: usize = 50_000;
-const STRIDE: usize = 500_000; // 10% coverage
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Methodology: full-trace vs sampled (window {WINDOW}, stride {STRIDE}) on the 620\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "IPC full",
-        "IPC sampled",
-        "err",
-        "speedup full",
-        "speedup sampled",
-    ]);
-    let machine = Ppc620Config::base();
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let (outcomes, _) = annotate(&run.trace, LvpConfig::simple());
-        let full_base = simulate_620(&run.trace, None, &machine);
-        let full_lvp = simulate_620(&run.trace, Some(&outcomes), &machine);
-
-        // Sampled: sum cycles/instructions over the windows.
-        let mut base_acc = SimResult::default();
-        let mut lvp_acc = SimResult::default();
-        for window in run.trace.windows(WINDOW, STRIDE) {
-            let b = simulate_620(&window.trace, None, &machine);
-            let l = simulate_620(&window.trace, Some(window.outcomes(&outcomes)), &machine);
-            base_acc.cycles += b.cycles;
-            base_acc.instructions += b.instructions;
-            lvp_acc.cycles += l.cycles;
-            lvp_acc.instructions += l.instructions;
-        }
-
-        let err = (base_acc.ipc() - full_base.ipc()).abs() / full_base.ipc();
-        t.row(vec![
-            w.name.to_string(),
-            format!("{:.3}", full_base.ipc()),
-            format!("{:.3}", base_acc.ipc()),
-            format!("{:.1}%", 100.0 * err),
-            format!("{:.3}", full_lvp.speedup_over(&full_base)),
-            format!("{:.3}", lvp_acc.speedup_over(&base_acc)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Sampled windows inherit warm predictor annotations but cold caches and\n\
-         branch predictors, so sampled IPC is biased slightly low; speedup\n\
-         ratios are more stable than absolute IPC, which is why the paper (and\n\
-         this reproduction) reports speedups."
-    );
+    lvp_harness::experiments::bin_main("methodology_sampling");
 }

@@ -1,54 +1,9 @@
-//! Table 1 — benchmark descriptions and dynamic instruction/load counts,
-//! for both codegen profiles (the paper's PowerPC and Alpha columns).
-
-use lvp_bench::{workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_workloads::suite;
+//! Table 1 — benchmark descriptions and dynamic instruction/load counts.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 1: Benchmark Descriptions (counts in millions)\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "description",
-        "input",
-        "instr(Toc)",
-        "loads(Toc)",
-        "instr(Gp)",
-        "loads(Gp)",
-    ]);
-    let m = |v: u64| format!("{:.2}M", v as f64 / 1e6);
-    let (mut ti, mut tl, mut gi, mut gl) = (0u64, 0u64, 0u64, 0u64);
-    for w in suite() {
-        let toc = workload_trace(&w, AsmProfile::Toc);
-        let gp = workload_trace(&w, AsmProfile::Gp);
-        let (st, sg) = (toc.trace.stats(), gp.trace.stats());
-        ti += st.instructions;
-        tl += st.loads;
-        gi += sg.instructions;
-        gl += sg.loads;
-        t.row(vec![
-            w.name.to_string(),
-            w.description.to_string(),
-            w.input.to_string(),
-            m(st.instructions),
-            m(st.loads),
-            m(sg.instructions),
-            m(sg.loads),
-        ]);
-    }
-    t.row(vec![
-        "Total".to_string(),
-        String::new(),
-        String::new(),
-        m(ti),
-        m(tl),
-        m(gi),
-        m(gl),
-    ]);
-    println!("{}", t.render());
-    println!(
-        "Note: Toc = PowerPC-style codegen (TOC address loads), Gp = Alpha-style\n\
-         (ALU address synthesis); the Toc load count is higher for the same program,\n\
-         as on the paper's PowerPC vs Alpha binaries."
-    );
+    lvp_harness::experiments::bin_main("table1");
 }

@@ -1,44 +1,9 @@
 //! Table 2 — the four LVP unit configurations.
-
-use lvp_bench::TablePrinter;
-use lvp_predictor::LvpConfig;
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 2: LVP Unit Configurations\n");
-    let mut t = TablePrinter::new(vec![
-        "config",
-        "LVPT entries",
-        "history depth",
-        "LCT entries",
-        "LCT bits",
-        "CVU entries",
-    ]);
-    for c in LvpConfig::table2() {
-        if c.perfect {
-            t.row(vec![
-                c.name.to_string(),
-                "inf".to_string(),
-                "perfect".to_string(),
-                "-".to_string(),
-                "-".to_string(),
-                "0".to_string(),
-            ]);
-        } else {
-            let depth = if c.lvpt.perfect_selection {
-                format!("{}/perf", c.lvpt.history_depth)
-            } else {
-                c.lvpt.history_depth.to_string()
-            };
-            t.row(vec![
-                c.name.to_string(),
-                c.lvpt.entries.to_string(),
-                depth,
-                c.lct.entries.to_string(),
-                c.lct.counter_bits.to_string(),
-                c.cvu.entries.to_string(),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-    println!("History depth > 1 assumes the paper's hypothetical perfect selection mechanism.");
+    lvp_harness::experiments::bin_main("table2");
 }

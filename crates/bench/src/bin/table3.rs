@@ -1,53 +1,9 @@
-//! Table 3 — LCT hit rates: the fraction of (ground-truth) unpredictable
-//! loads the LCT classifies as don't-predict, and of predictable loads it
-//! classifies as predictable/constant, for the Simple and Limit
-//! configurations under both profiles.
-
-use lvp_bench::{annotate, geo_mean, pct, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_workloads::suite;
+//! Table 3 — LCT hit rates.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 3: LCT Hit Rates\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "Gp/Simple unpred",
-        "Gp/Simple pred",
-        "Gp/Limit unpred",
-        "Gp/Limit pred",
-        "Toc/Simple unpred",
-        "Toc/Simple pred",
-        "Toc/Limit unpred",
-        "Toc/Limit pred",
-    ]);
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 8];
-    for w in suite() {
-        let mut row = vec![w.name.to_string()];
-        let mut col = 0;
-        for profile in [AsmProfile::Gp, AsmProfile::Toc] {
-            let run = workload_trace(&w, profile);
-            for config in [LvpConfig::simple(), LvpConfig::limit()] {
-                let (_, stats) = annotate(&run.trace, config);
-                let u = stats.unpredictable_hit_rate();
-                let p = stats.predictable_hit_rate();
-                gms[col].push(u);
-                gms[col + 1].push(p);
-                row.push(pct(u));
-                row.push(pct(p));
-                col += 2;
-            }
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string()];
-    for g in &gms {
-        gm.push(pct(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-    println!(
-        "Paper shape (GM row): ~85-90% of unpredictable and ~75-90% of predictable\n\
-         loads correctly classified."
-    );
+    lvp_harness::experiments::bin_main("table3");
 }

@@ -1,46 +1,9 @@
-//! Table 4 — successful constant identification rates: the fraction of
-//! all dynamic loads verified by the CVU without accessing the memory
-//! hierarchy (equivalently, the L1 bandwidth reduction), for the Simple
-//! and Limit configurations under both profiles.
-
-use lvp_bench::{annotate, geo_mean, pct, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_workloads::suite;
+//! Table 4 — successful constant identification rates.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 4: Successful Constant Identification Rates\n");
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "Gp/Simple",
-        "Gp/Limit",
-        "Toc/Simple",
-        "Toc/Limit",
-    ]);
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for w in suite() {
-        let mut row = vec![w.name.to_string()];
-        let mut col = 0;
-        for profile in [AsmProfile::Gp, AsmProfile::Toc] {
-            let run = workload_trace(&w, profile);
-            for config in [LvpConfig::simple(), LvpConfig::limit()] {
-                let (_, stats) = annotate(&run.trace, config);
-                let r = stats.constant_rate();
-                gms[col].push(r);
-                row.push(pct(r));
-                col += 1;
-            }
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string()];
-    for g in &gms {
-        gm.push(pct(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-    println!(
-        "Paper shape: roughly 6-20% of dynamic loads identified as constants;\n\
-         near 0% for quick and tomcatv, 30%+ for compress/gperf/sc."
-    );
+    lvp_harness::experiments::bin_main("table4");
 }

@@ -1,46 +1,9 @@
 //! Table 5 — instruction latencies of the two machine models.
-
-use lvp_bench::TablePrinter;
-use lvp_uarch::LatencyTable;
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 5: Instruction Latencies (result latency, cycles)\n");
-    let p = LatencyTable::ppc620();
-    let a = LatencyTable::alpha21164();
-    let mut t = TablePrinter::new(vec!["instruction class", "PPC 620", "AXP 21164"]);
-    t.row(vec![
-        "Simple Integer".to_string(),
-        p.int_simple.to_string(),
-        a.int_simple.to_string(),
-    ]);
-    t.row(vec![
-        "Complex Integer".to_string(),
-        p.int_complex.to_string(),
-        a.int_complex.to_string(),
-    ]);
-    t.row(vec![
-        "Load/Store".to_string(),
-        p.load.to_string(),
-        a.load.to_string(),
-    ]);
-    t.row(vec![
-        "Simple FP".to_string(),
-        p.fp_simple.to_string(),
-        a.fp_simple.to_string(),
-    ]);
-    t.row(vec![
-        "Complex FP".to_string(),
-        p.fp_complex.to_string(),
-        a.fp_complex.to_string(),
-    ]);
-    t.row(vec![
-        "Branch mispredict".to_string(),
-        p.mispredict_penalty.to_string(),
-        a.mispredict_penalty.to_string(),
-    ]);
-    println!("{}", t.render());
-    println!(
-        "Complex integer and complex FP use the midpoint of the paper's ranges\n\
-         (620: 1-35 and 18; 21164: 16 and 36-65)."
-    );
+    lvp_harness::experiments::bin_main("table5");
 }

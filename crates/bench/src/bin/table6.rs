@@ -1,62 +1,9 @@
-//! Table 6 — PowerPC 620+ speedups: the widened machine relative to the
-//! base 620 without LVP, and the additional speedup of each LVP
-//! configuration relative to the baseline 620+.
-
-use lvp_bench::{annotate, geo_mean, speedup, workload_trace, TablePrinter};
-use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
-use lvp_uarch::{simulate_620, Ppc620Config};
-use lvp_workloads::suite;
+//! Table 6 — PowerPC 620+ speedups.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. This binary runs it standalone on the full suite.
 
 fn main() {
-    println!("Table 6: PowerPC 620+ Speedups\n");
-    let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ];
-    let mut t = TablePrinter::new(vec![
-        "benchmark",
-        "cycles(620+)",
-        "620+/620",
-        "Simple",
-        "Constant",
-        "Limit",
-        "Perfect",
-    ]);
-    let base_machine = Ppc620Config::base();
-    let plus_machine = Ppc620Config::plus();
-    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for w in suite() {
-        let run = workload_trace(&w, AsmProfile::Toc);
-        let base_620 = simulate_620(&run.trace, None, &base_machine);
-        let base_plus = simulate_620(&run.trace, None, &plus_machine);
-        let uplift = base_plus.speedup_over(&base_620);
-        gms[0].push(uplift);
-        let mut row = vec![
-            w.name.to_string(),
-            base_plus.cycles.to_string(),
-            speedup(uplift),
-        ];
-        for (i, cfg) in configs.iter().enumerate() {
-            let (outcomes, _) = annotate(&run.trace, *cfg);
-            let r = simulate_620(&run.trace, Some(&outcomes), &plus_machine);
-            let s = r.speedup_over(&base_plus);
-            gms[i + 1].push(s);
-            row.push(speedup(s));
-        }
-        t.row(row);
-    }
-    let mut gm = vec!["GM".to_string(), String::new()];
-    for g in &gms {
-        gm.push(speedup(geo_mean(g)));
-    }
-    t.row(gm);
-    println!("{}", t.render());
-    println!(
-        "Paper shape (GM): 620+ is ~1.06x the 620; LVP adds ~1.05 (Simple),\n\
-         ~1.04 (Constant), ~1.08 (Limit), ~1.11 (Perfect) on top — the relative\n\
-         LVP gains are larger on the wider machine than on the base 620."
-    );
+    lvp_harness::experiments::bin_main("table6");
 }

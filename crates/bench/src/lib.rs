@@ -1,172 +1,61 @@
-//! # lvp-bench — the experiment harness
+//! # lvp-bench — the per-experiment binaries
 //!
-//! Shared plumbing for the per-table/per-figure binaries that regenerate
-//! the paper's evaluation (see DESIGN.md section 4 for the index):
+//! This crate hosts the standalone binaries that regenerate the paper's
+//! evaluation (`table1`, `fig6`, `ablation_lvpt`, ...). Since the
+//! experiment engine moved into [`lvp_harness`], each binary is a
+//! one-line wrapper over [`lvp_harness::experiments::bin_main`], and
+//! this library is a thin compatibility layer over the harness:
 //!
-//! | Binary    | Reproduces                                             |
-//! |-----------|--------------------------------------------------------|
-//! | `table1`  | benchmark descriptions & dynamic counts                |
-//! | `fig1`    | load value locality @ depth 1 and 16, both profiles    |
-//! | `fig2`    | PowerPC value locality by data type                    |
-//! | `table2`  | LVP unit configurations                                |
-//! | `table3`  | LCT hit rates                                          |
-//! | `table4`  | constant identification rates                          |
-//! | `table5`  | machine latencies                                      |
-//! | `fig6`    | base machine speedups (620 + 21164)                    |
-//! | `table6`  | 620+ speedups                                          |
-//! | `fig7`    | load verification latency distribution                 |
-//! | `fig8`    | operand-wait (dependency resolution) latencies         |
-//! | `fig9`    | cycles with bank conflicts                             |
-//! | `ablation_*` | beyond-paper sweeps (stride predictor, table sizes) |
+//! * experiment definitions live in [`lvp_harness::experiments`],
+//! * the parallel, trace-caching executor is [`lvp_harness::Engine`],
+//! * rendering lives in [`lvp_harness::report`].
+//!
+//! Prefer `lvp bench <name>` (one process, shared caches, parallel) over
+//! the standalone binaries when regenerating more than one experiment.
+//!
+//! The free functions here keep the original `lvp-bench` entry points
+//! alive, now returning `Result` ([`HarnessError`] names the failing
+//! workload and pipeline phase) instead of panicking.
 
-use lvp_isa::{AsmProfile, Program};
-use lvp_predictor::{AddressRanges, LvpConfig, LvpStats, LvpUnit};
+pub use lvp_harness::report::{geo_mean, pct, pct1, speedup, TablePrinter};
+pub use lvp_harness::{address_ranges, HarnessError, Phase};
+
+use lvp_isa::AsmProfile;
+use lvp_predictor::{LvpConfig, LvpStats, LvpUnit};
 use lvp_trace::{PredOutcome, Trace};
 use lvp_workloads::{Workload, WorkloadRun};
 
-/// Generates the trace for one workload under a profile, panicking with a
-/// readable message on failure (harness binaries treat workload failures
-/// as fatal).
-pub fn workload_trace(w: &Workload, profile: AsmProfile) -> WorkloadRun {
-    w.run(profile)
-        .unwrap_or_else(|e| panic!("workload {} failed under {profile}: {e}", w.name))
+/// Generates the trace for one workload under a profile (phase 1).
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] (phase [`Phase::Trace`]) naming the workload
+/// if compilation, simulation, or the output self-check fails.
+pub fn workload_trace(w: &Workload, profile: AsmProfile) -> Result<WorkloadRun, HarnessError> {
+    lvp_harness::run_workload(w, profile, lvp_lang::OptLevel::O0)
 }
 
 /// Runs the LVP unit simulation (phase 2) over a trace, returning the
 /// per-load annotations and the unit's statistics.
-pub fn annotate(trace: &Trace, config: LvpConfig) -> (Vec<PredOutcome>, LvpStats) {
-    let mut unit = LvpUnit::new(config);
+///
+/// # Errors
+///
+/// Infallible today (the LVP unit cannot fail on a well-formed trace),
+/// but returns `Result` so callers are insulated from future phases that
+/// can — and to match [`workload_trace`].
+pub fn annotate(
+    trace: &Trace,
+    config: &LvpConfig,
+) -> Result<(Vec<PredOutcome>, LvpStats), HarnessError> {
+    let mut unit = LvpUnit::new(config.clone());
     let outcomes = unit.annotate(trace);
     let stats = *unit.stats();
-    (outcomes, stats)
-}
-
-/// Builds the Figure 2 value classifier from a program's layout.
-pub fn address_ranges(program: &Program) -> AddressRanges {
-    let l = program.layout();
-    AddressRanges {
-        text: l.text_base()..l.text_end(),
-        data: l.data_base()..l.data_end(),
-        stack: l.stack_top().saturating_sub(1 << 20)..l.stack_top() + 1,
-    }
-}
-
-/// Geometric mean of a slice (the paper reports GM rows); 0 for empty
-/// input.
-pub fn geo_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
-
-/// Minimal fixed-width table printer for harness output.
-#[derive(Debug, Default)]
-pub struct TablePrinter {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl TablePrinter {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>>(headers: Vec<S>) -> TablePrinter {
-        TablePrinter {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row (must match the header count).
-    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let ncols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for i in 0..ncols {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                let cell = &cells[i];
-                // Right-align numeric-looking cells, left-align names.
-                if i == 0 {
-                    line.push_str(&format!("{:<w$}", cell, w = widths[i]));
-                } else {
-                    line.push_str(&format!("{:>w$}", cell, w = widths[i]));
-                }
-            }
-            line
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Formats a ratio as a percentage with no decimals (paper style).
-pub fn pct(x: f64) -> String {
-    format!("{:.0}%", 100.0 * x)
-}
-
-/// Formats a ratio as a percentage with one decimal.
-pub fn pct1(x: f64) -> String {
-    format!("{:.1}%", 100.0 * x)
-}
-
-/// Formats a speedup with three decimals (paper's Table 6 style).
-pub fn speedup(x: f64) -> String {
-    format!("{x:.3}")
+    Ok((outcomes, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn geo_mean_basics() {
-        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geo_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert_eq!(geo_mean(&[]), 0.0);
-    }
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = TablePrinter::new(vec!["name", "value"]);
-        t.row(vec!["alpha", "1"]);
-        t.row(vec!["b", "12345"]);
-        let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert_eq!(lines[0].len(), lines[2].len());
-        assert!(lines[3].ends_with("12345"));
-    }
-
-    #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn table_rejects_ragged_rows() {
-        let mut t = TablePrinter::new(vec!["a", "b"]);
-        t.row(vec!["only-one"]);
-    }
 
     #[test]
     fn formatting_helpers() {
@@ -176,10 +65,19 @@ mod tests {
     }
 
     #[test]
+    fn workload_trace_reports_failures_with_phase_and_name() {
+        // All real workloads succeed; the error path is covered by the
+        // harness's own tests. Here we pin the success contract.
+        let w = Workload::by_name("xlisp").unwrap();
+        let run = workload_trace(&w, AsmProfile::Gp).unwrap();
+        assert!(run.trace.stats().loads > 0);
+    }
+
+    #[test]
     fn annotate_produces_one_outcome_per_load() {
         let w = Workload::by_name("xlisp").unwrap();
-        let run = workload_trace(&w, AsmProfile::Gp);
-        let (outcomes, stats) = annotate(&run.trace, LvpConfig::simple());
+        let run = workload_trace(&w, AsmProfile::Gp).unwrap();
+        let (outcomes, stats) = annotate(&run.trace, &LvpConfig::simple()).unwrap();
         assert_eq!(outcomes.len() as u64, run.trace.stats().loads);
         assert_eq!(stats.loads, run.trace.stats().loads);
     }

@@ -14,6 +14,7 @@
 //! lvp simulate <prog|workload> [opts] cycle-accurate timing
 //! lvp trace <prog|workload> [opts]    dump the text trace (--top lines)
 //! lvp check <prog|workload> [opts]    static verifier (lints LVP001-006)
+//! lvp bench [names|--all] [opts]      regenerate paper experiments
 //!
 //! options:
 //!   --profile toc|gp        codegen profile        (default toc)
@@ -22,6 +23,10 @@
 //!   --top     N             rows in `profile`      (default 10)
 //!   --lint                  run the verifier after `asm`
 //!   --compare-lct           join static load classes vs the LCT (`check`)
+//!   --threads N             bench worker threads   (default: all CPUs)
+//!   --fast                  bench on the 4-workload smoke subset
+//!   --all                   bench every registered experiment
+//!   --csv                   bench output as CSV instead of text
 //! ```
 //!
 //! `<prog|workload>` is a suite workload name (`lvp suite` lists them), a
@@ -72,6 +77,14 @@ pub struct Options {
     pub lint: bool,
     /// Join static load classes against the dynamic LCT in `check`.
     pub compare_lct: bool,
+    /// Worker threads for `bench` (`None` = one per available CPU).
+    pub threads: Option<usize>,
+    /// Run `bench` on the fast 4-workload smoke subset.
+    pub fast: bool,
+    /// Run every registered experiment in `bench`.
+    pub all: bool,
+    /// Emit `bench` reports as CSV instead of fixed-width text.
+    pub csv: bool,
 }
 
 /// Which timing model to run.
@@ -95,6 +108,10 @@ impl Default for Options {
             top: 10,
             lint: false,
             compare_lct: false,
+            threads: None,
+            fast: false,
+            all: false,
+            csv: false,
         }
     }
 }
@@ -155,8 +172,20 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
                     .parse()
                     .map_err(|_| CliError::new("--top requires a number"))?;
             }
+            "--threads" => {
+                let n: usize = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError::new("--threads requires a number"))?;
+                if n == 0 {
+                    return Err(CliError::new("--threads must be at least 1"));
+                }
+                opts.threads = Some(n);
+            }
             "--lint" => opts.lint = true,
             "--compare-lct" => opts.compare_lct = true,
+            "--fast" => opts.fast = true,
+            "--all" => opts.all = true,
+            "--csv" => opts.csv = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag `{flag}`")));
             }
@@ -319,7 +348,7 @@ pub fn cmd_check(target: &str, opts: &Options) -> Result<String, CliError> {
     );
     if opts.compare_lct {
         let (trace, _) = trace_program(&program)?;
-        let mut unit = LvpUnit::new(opts.config);
+        let mut unit = LvpUnit::new(opts.config.clone());
         let _ = unit.annotate(&trace);
         let static_loads = lvp_analyze::classify_loads(&program);
         let cmp = lvp_analyze::LctComparison::build(&static_loads, unit.lct(), &trace);
@@ -356,7 +385,7 @@ pub fn cmd_locality(target: &str, opts: &Options) -> Result<String, CliError> {
 pub fn cmd_annotate(target: &str, opts: &Options) -> Result<String, CliError> {
     let program = load_program_with(target, opts.profile, opts.opt)?;
     let (trace, _) = trace_program(&program)?;
-    let mut unit = LvpUnit::new(opts.config);
+    let mut unit = LvpUnit::new(opts.config.clone());
     let _ = unit.annotate(&trace);
     let s = unit.stats();
     Ok(format!(
@@ -451,7 +480,7 @@ pub fn cmd_trace(target: &str, opts: &Options) -> Result<String, CliError> {
 pub fn cmd_simulate(target: &str, opts: &Options) -> Result<String, CliError> {
     let program = load_program_with(target, opts.profile, opts.opt)?;
     let (trace, _) = trace_program(&program)?;
-    let mut unit = LvpUnit::new(opts.config);
+    let mut unit = LvpUnit::new(opts.config.clone());
     let outcomes = unit.annotate(&trace);
     let (name, base, lvp) = match opts.machine {
         MachineSel::Ppc620 => {
@@ -486,6 +515,92 @@ pub fn cmd_simulate(target: &str, opts: &Options) -> Result<String, CliError> {
     ))
 }
 
+/// `lvp bench` with no arguments — lists the experiment registry.
+fn bench_listing() -> String {
+    let mut out = String::from(
+        "usage: lvp bench <name>... [--all] [--fast] [--threads N] [--csv]\n\nexperiments:\n",
+    );
+    for def in lvp_harness::experiments() {
+        let _ = writeln!(out, "  {:22} {}", def.name, def.title);
+    }
+    out
+}
+
+/// `lvp bench <names...>` — regenerates paper experiments through the
+/// shared [`lvp_harness::Engine`]: one process, one set of caches, so
+/// every (workload, profile, opt) trace is generated exactly once no
+/// matter how many experiments consume it. `--fast` restricts the suite
+/// to the 4-workload smoke subset, `--threads N` bounds the worker pool,
+/// `--all` selects the whole registry, `--csv` swaps the renderer.
+///
+/// Each report is followed by a `[name: wall-time]` line and the run
+/// ends with an engine cache-counter summary, so CI logs show where the
+/// time went and that caching is effective.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown experiment names and propagates the
+/// first harness failure (which names the workload and pipeline phase).
+pub fn cmd_bench(names: &[String], opts: &Options) -> Result<String, CliError> {
+    let selected: Vec<&lvp_harness::ExperimentDef> = if opts.all {
+        lvp_harness::experiments().iter().collect()
+    } else {
+        if names.is_empty() {
+            return Ok(bench_listing());
+        }
+        names
+            .iter()
+            .map(|n| {
+                lvp_harness::experiment(n).ok_or_else(|| {
+                    CliError::new(format!(
+                        "unknown experiment `{n}` (run `lvp bench` for the list)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut engine = if opts.fast {
+        lvp_harness::Engine::fast()
+    } else {
+        lvp_harness::Engine::new()
+    };
+    if let Some(n) = opts.threads {
+        engine = engine.with_threads(n);
+    }
+
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    for def in &selected {
+        let t0 = std::time::Instant::now();
+        let report = (def.run)(&engine).map_err(|e| CliError::new(e.to_string()))?;
+        out.push_str(&if opts.csv {
+            report.render_csv()
+        } else {
+            report.render_text()
+        });
+        let _ = writeln!(out, "[{}: {:.2}s]\n", def.name, t0.elapsed().as_secs_f64());
+    }
+    let s = engine.stats();
+    let _ = writeln!(
+        out,
+        "engine: {} experiment{}, {} thread{}, {:.2}s total | traces {} computed / {} cached, \
+         annotations {} computed / {} cached, timings {} computed / {} cached",
+        selected.len(),
+        if selected.len() == 1 { "" } else { "s" },
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" },
+        started.elapsed().as_secs_f64(),
+        s.traces_computed,
+        s.trace_hits,
+        s.annotations_computed,
+        s.annotation_hits,
+        s.timings_computed,
+        s.timing_hits,
+    );
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "usage: lvp <command> [args]\n\n\
@@ -498,10 +613,12 @@ pub fn usage() -> &'static str {
      \x20 profile  <prog|workload>      hottest static loads\n\
      \x20 simulate <prog|workload>      cycle-accurate timing\n\
      \x20 trace    <prog|workload>      dump the text trace\n\
-     \x20 check    <prog|workload>      static verifier (lints LVP001-006)\n\n\
+     \x20 check    <prog|workload>      static verifier (lints LVP001-006)\n\
+     \x20 bench    [names|--all]        regenerate paper tables/figures\n\n\
      options: --profile toc|gp  --config simple|constant|limit|perfect\n\
      \x20        --machine 620|620+|21164  --opt 0|1  --top N\n\
-     \x20        --lint (verify after asm)  --compare-lct (with check)\n"
+     \x20        --lint (verify after asm)  --compare-lct (with check)\n\
+     \x20        --threads N  --fast  --all  --csv (with bench)\n"
 }
 
 /// Dispatches a full argument vector (excluding `argv[0]`).
@@ -530,6 +647,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(target()?, &opts),
         "trace" => cmd_trace(target()?, &opts),
         "check" => cmd_check(target()?, &opts),
+        "bench" => cmd_bench(&positional, &opts),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::new(format!(
             "unknown command `{other}`\n\n{}",
@@ -705,6 +823,57 @@ mod tests {
         let (o, pos) = parse_options(&args(&["quick", "--lint", "--compare-lct"])).unwrap();
         assert!(o.lint && o.compare_lct);
         assert_eq!(pos, vec!["quick"]);
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let (o, pos) =
+            parse_options(&args(&["table3", "--threads", "2", "--fast", "--csv"])).unwrap();
+        assert_eq!(o.threads, Some(2));
+        assert!(o.fast && o.csv && !o.all);
+        assert_eq!(pos, vec!["table3"]);
+        assert!(parse_options(&args(&["--threads", "0"])).is_err());
+        assert!(parse_options(&args(&["--threads", "two"])).is_err());
+    }
+
+    #[test]
+    fn bench_without_names_lists_registry() {
+        let out = cmd_bench(&[], &Options::default()).unwrap();
+        for def in lvp_harness::experiments() {
+            assert!(out.contains(def.name), "missing {} in:\n{out}", def.name);
+        }
+    }
+
+    #[test]
+    fn bench_rejects_unknown_experiment() {
+        let err = cmd_bench(&args(&["table99"]), &Options::default()).unwrap_err();
+        assert!(err.to_string().contains("table99"), "{err}");
+    }
+
+    #[test]
+    fn bench_runs_static_experiments_with_timing_and_stats() {
+        let opts = Options {
+            fast: true,
+            threads: Some(2),
+            ..Options::default()
+        };
+        // table2/table5 are static (no simulation), so this stays fast.
+        let out = cmd_bench(&args(&["table2", "table5"]), &opts).unwrap();
+        assert!(out.contains("[table2:"), "{out}");
+        assert!(out.contains("[table5:"), "{out}");
+        assert!(out.contains("engine: 2 experiments, 2 threads"), "{out}");
+        assert!(out.contains("traces 0 computed / 0 cached"), "{out}");
+
+        let csv = cmd_bench(
+            &args(&["table2"]),
+            &Options {
+                csv: true,
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        assert!(csv.starts_with("# Table 2:"), "{csv}");
+        assert!(csv.contains("config,LVPT entries"), "{csv}");
     }
 
     #[test]

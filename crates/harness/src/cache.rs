@@ -1,0 +1,243 @@
+//! Content-keyed caches shared by every experiment in a process.
+//!
+//! Three layers, one per pipeline phase:
+//!
+//! * **traces** — keyed by `(workload, profile, opt level)`; each trace
+//!   is generated exactly once per process no matter how many
+//!   experiments consume it.
+//! * **annotations** — keyed by `(trace key, config content)`. The key
+//!   uses the configuration's *content* (table geometries, counter
+//!   widths, oracle bit), never its display name, so differently-named
+//!   but identical configs share one annotation pass.
+//! * **timings** — keyed by `(trace key, config content, machine
+//!   content)`; a `(trace, outcomes, machine)` simulation shared by
+//!   e.g. `fig6`, `fig9` and `table6` runs once.
+//!
+//! Concurrent requests for the same key block on a per-key
+//! [`OnceLock`]: the first requester computes, the rest wait and share
+//! the `Arc`'d result. Hit/computed counters are exposed through
+//! [`EngineStats`].
+
+use crate::error::HarnessError;
+use lvp_isa::AsmProfile;
+use lvp_lang::OptLevel;
+use lvp_predictor::{LvpConfig, LvpStats};
+use lvp_trace::PredOutcome;
+use lvp_uarch::SimResult;
+use lvp_workloads::WorkloadRun;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key for one generated trace.
+pub(crate) type TraceKey = (&'static str, AsmProfile, OptLevel);
+
+/// Content key for an LVP configuration: everything *except* the display
+/// name.
+pub(crate) type ConfigKey = (usize, usize, bool, usize, u8, usize, bool);
+
+/// Derives the content key of a configuration.
+pub(crate) fn config_key(c: &LvpConfig) -> ConfigKey {
+    (
+        c.lvpt.entries,
+        c.lvpt.history_depth,
+        c.lvpt.perfect_selection,
+        c.lct.entries,
+        c.lct.counter_bits,
+        c.cvu.entries,
+        c.perfect,
+    )
+}
+
+/// The phase-2 result for one `(trace, config)` pair: the per-load
+/// prediction outcomes plus the LVP unit's statistics.
+#[derive(Debug)]
+pub struct Annotation {
+    /// One outcome per dynamic load, in trace order.
+    pub outcomes: Vec<PredOutcome>,
+    /// The unit's counters after the full pass.
+    pub stats: LvpStats,
+}
+
+/// Snapshot of the engine's cache counters.
+///
+/// `*_computed` counts cache misses (the work actually performed);
+/// `*_hits` counts requests served from an already-computed entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Traces generated (phase-1 runs performed).
+    pub traces_computed: u64,
+    /// Trace requests served from cache.
+    pub trace_hits: u64,
+    /// Annotation passes performed.
+    pub annotations_computed: u64,
+    /// Annotation requests served from cache.
+    pub annotation_hits: u64,
+    /// Timing simulations performed.
+    pub timings_computed: u64,
+    /// Timing requests served from cache.
+    pub timing_hits: u64,
+}
+
+/// A per-key slot; the `OnceLock` makes concurrent first requests block
+/// until the single computation finishes.
+type Slot<V> = Arc<OnceLock<Result<Arc<V>, HarnessError>>>;
+
+/// Generic keyed once-cache with hit accounting.
+pub(crate) struct KeyedCache<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    computed: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
+    pub(crate) fn new() -> KeyedCache<K, V> {
+        KeyedCache {
+            slots: Mutex::new(HashMap::new()),
+            computed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` exactly
+    /// once per process (errors are cached too, so a failing workload is
+    /// not re-run by every consumer).
+    pub(crate) fn get_or_compute(
+        &self,
+        key: K,
+        f: impl FnOnce() -> Result<V, HarnessError>,
+    ) -> Result<Arc<V>, HarnessError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache poisoned");
+            slots.entry(key).or_default().clone()
+        };
+        // Only the thread that runs the closure counts a computation;
+        // everyone else (including blocked concurrent requesters) counts
+        // a hit.
+        let mut computed_here = false;
+        let out = slot.get_or_init(|| {
+            computed_here = true;
+            f().map(Arc::new)
+        });
+        if computed_here {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out.clone()
+    }
+
+    pub(crate) fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn clear(&self) {
+        self.slots.lock().expect("cache poisoned").clear();
+    }
+}
+
+/// The engine's three cache layers.
+pub(crate) struct Cache {
+    pub(crate) traces: KeyedCache<TraceKey, WorkloadRun>,
+    pub(crate) annotations: KeyedCache<(TraceKey, ConfigKey), Annotation>,
+    pub(crate) timings: KeyedCache<(TraceKey, Option<ConfigKey>, String), SimResult>,
+}
+
+impl Cache {
+    pub(crate) fn new() -> Cache {
+        Cache {
+            traces: KeyedCache::new(),
+            annotations: KeyedCache::new(),
+            timings: KeyedCache::new(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> EngineStats {
+        EngineStats {
+            traces_computed: self.traces.computed(),
+            trace_hits: self.traces.hits(),
+            annotations_computed: self.annotations.computed(),
+            annotation_hits: self.annotations.hits(),
+            timings_computed: self.timings.computed(),
+            timing_hits: self.timings.hits(),
+        }
+    }
+
+    /// Drops every cached trace, annotation and timing result (the
+    /// counters are preserved). Useful for long-lived embedders that
+    /// want to bound resident memory between experiment batches.
+    pub(crate) fn clear(&self) {
+        self.traces.clear();
+        self.annotations.clear();
+        self.timings.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Phase;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_compute(7, || {
+                    calls += 1;
+                    Ok(41 + calls)
+                })
+                .unwrap();
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn errors_are_cached_and_shared() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::new();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let e = cache
+                .get_or_compute(1, || {
+                    calls += 1;
+                    Err(HarnessError::new(Phase::Trace, "w", "boom"))
+                })
+                .unwrap_err();
+            assert_eq!(e.message, "boom");
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_exactly_once() {
+        let cache: KeyedCache<u32, u64> = KeyedCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = cache.get_or_compute(0, || Ok(99)).unwrap();
+                    assert_eq!(*v, 99);
+                });
+            }
+        });
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn config_key_ignores_name() {
+        let a = LvpConfig::simple();
+        let b = LvpConfig::simple().named("renamed");
+        assert_eq!(config_key(&a), config_key(&b));
+        let c = LvpConfig::simple().with_lvpt_entries(4096);
+        assert_ne!(config_key(&a), config_key(&c));
+    }
+}

@@ -1,0 +1,337 @@
+//! The experiment engine: a parallel, cache-backed plan executor.
+
+use crate::cache::{config_key, Annotation, Cache, EngineStats, TraceKey};
+use crate::error::{HarnessError, Phase};
+use crate::plan::{JobSpec, MachineModel, Plan};
+use lvp_isa::AsmProfile;
+use lvp_lang::OptLevel;
+use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_sim::Machine;
+use lvp_uarch::SimResult;
+use lvp_workloads::{Workload, WorkloadRun, DEFAULT_FUEL};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The workload subset used by `--fast` smoke runs: the smallest suite
+/// members (all under 2.5M dynamic instructions), mixing integer and
+/// floating-point benchmarks. Per-workload result rows are identical to
+/// a full run because every measurement is per-workload.
+pub const FAST_WORKLOADS: [&str; 4] = ["sc", "xlisp", "grep", "doduc"];
+
+/// Runs one workload end to end (phase 1): compile under `(profile,
+/// opt)`, simulate to completion, collect the trace, and validate the
+/// output against the workload's golden values.
+///
+/// This is the non-panicking replacement for the old `lvp-bench`
+/// `workload_trace` free function.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] (phase [`Phase::Trace`]) if compilation
+/// fails, simulation faults or exhausts its fuel, or the self-check
+/// fails.
+pub fn run_workload(
+    w: &Workload,
+    profile: AsmProfile,
+    opt: OptLevel,
+) -> Result<WorkloadRun, HarnessError> {
+    let err = |e: &dyn std::fmt::Display| {
+        HarnessError::new(
+            Phase::Trace,
+            w.name,
+            format!("under {profile}/{opt:?}: {e}"),
+        )
+    };
+    if opt == OptLevel::O0 {
+        return w.run(profile).map_err(|e| err(&e));
+    }
+    // Optimized builds go through the compiler directly; the output is
+    // still golden-checked so a miscompiling optimizer fails loudly.
+    let program = lvp_lang::compile_with(w.source, profile, opt).map_err(|e| err(&e))?;
+    let mut machine = Machine::new(&program);
+    let trace = machine.run_traced(DEFAULT_FUEL).map_err(|e| err(&e))?;
+    let output = machine.output().to_vec();
+    if output != w.expected_output() {
+        return Err(err(&format!("self-check failed; output {output:?}")));
+    }
+    Ok(WorkloadRun {
+        trace,
+        output,
+        checksum: machine.output_checksum(),
+        program,
+    })
+}
+
+/// The experiment engine: owns the worker budget, the workload suite
+/// under evaluation, and the process-wide caches.
+///
+/// One engine should be shared by every experiment a process runs — the
+/// caches are what make `lvp bench --all` amortize trace generation
+/// across the whole evaluation.
+pub struct Engine {
+    threads: usize,
+    suite: Vec<Workload>,
+    cache: Cache,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine over the full 17-workload suite with one worker per
+    /// available CPU.
+    pub fn new() -> Engine {
+        Engine {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            suite: lvp_workloads::suite(),
+            cache: Cache::new(),
+        }
+    }
+
+    /// Engine over the [`FAST_WORKLOADS`] smoke subset.
+    pub fn fast() -> Engine {
+        Engine::new()
+            .with_workload_names(&FAST_WORKLOADS)
+            .expect("fast subset names are valid")
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_threads(mut self, n: usize) -> Engine {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Restricts the engine to a named workload subset, in suite order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] (phase [`Phase::Plan`]) for unknown
+    /// names.
+    pub fn with_workload_names(mut self, names: &[&str]) -> Result<Engine, HarnessError> {
+        for n in names {
+            if Workload::by_name(n).is_none() {
+                return Err(HarnessError::new(
+                    Phase::Plan,
+                    *n,
+                    "unknown workload (see `lvp suite`)",
+                ));
+            }
+        }
+        self.suite = lvp_workloads::suite()
+            .into_iter()
+            .filter(|w| names.contains(&w.name))
+            .collect();
+        Ok(self)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The workload suite experiments should plan over.
+    pub fn suite(&self) -> &[Workload] {
+        &self.suite
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> EngineStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached traces/annotations/timings to release memory;
+    /// counters are preserved.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// A pipeline context for ad-hoc (non-plan) use of the caches.
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx { engine: self }
+    }
+
+    /// Executes a plan's job matrix and merges the per-job results.
+    ///
+    /// Jobs are distributed over `threads` scoped workers; results are
+    /// merged **in plan order**, never completion order, so the output
+    /// is identical at any worker count. On failure the error of the
+    /// lowest-indexed failing job is returned (also deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by job index) [`HarnessError`] any job
+    /// produced.
+    pub fn run<T: Send>(&self, plan: Plan<T>) -> Result<Vec<T>, HarnessError> {
+        let n = plan.jobs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let ctx = self.ctx();
+        let slots: Vec<Mutex<Option<Result<T, HarnessError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = (plan.run)(&plan.jobs[i], &ctx);
+                    if out.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        let mut first_error: Option<HarnessError> = None;
+        for slot in slots {
+            match slot.into_inner().expect("result slot poisoned") {
+                Some(Ok(v)) => results.push(v),
+                // Slots are visited in job-index order, so the error
+                // kept is the lowest-indexed one — deterministic at any
+                // worker count. `None` slots were skipped because the
+                // run aborted after that error.
+                Some(Err(e)) if first_error.is_none() => first_error = Some(e),
+                _ => {}
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+}
+
+/// Cached access to the three pipeline phases; handed to every plan job
+/// and available directly via [`Engine::ctx`].
+pub struct Ctx<'e> {
+    engine: &'e Engine,
+}
+
+impl Ctx<'_> {
+    fn trace_key(w: &Workload, profile: AsmProfile, opt: OptLevel) -> TraceKey {
+        (w.name, profile, opt)
+    }
+
+    /// Phase 1, cached: the full workload run (trace + program +
+    /// output) for `(workload, profile, opt)`. Computed exactly once
+    /// per process and shared across all consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run_workload`] failures.
+    pub fn workload_run(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+    ) -> Result<Arc<WorkloadRun>, HarnessError> {
+        let w = *w;
+        self.engine
+            .cache
+            .traces
+            .get_or_compute(Self::trace_key(&w, profile, opt), move || {
+                run_workload(&w, profile, opt)
+            })
+    }
+
+    /// Phase 2, cached: the LVP-unit annotation of a trace under a
+    /// configuration. Keyed by config *content*, not name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn annotation(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+        config: &LvpConfig,
+    ) -> Result<Arc<Annotation>, HarnessError> {
+        let run = self.workload_run(w, profile, opt)?;
+        let key = (Self::trace_key(w, profile, opt), config_key(config));
+        self.engine.cache.annotations.get_or_compute(key, || {
+            let mut unit = LvpUnit::new(config.clone());
+            let outcomes = unit.annotate(&run.trace);
+            Ok(Annotation {
+                outcomes,
+                stats: *unit.stats(),
+            })
+        })
+    }
+
+    /// Phase 3, cached: the timing simulation of a trace on a machine
+    /// model, with (`Some`) or without (`None`) LVP annotations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn timing(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+        config: Option<&LvpConfig>,
+        machine: &MachineModel,
+    ) -> Result<Arc<SimResult>, HarnessError> {
+        let run = self.workload_run(w, profile, opt)?;
+        let annotation = config
+            .map(|c| self.annotation(w, profile, opt, c))
+            .transpose()?;
+        let key = (
+            Self::trace_key(w, profile, opt),
+            config.map(config_key),
+            machine.cache_key(),
+        );
+        self.engine.cache.timings.get_or_compute(key, || {
+            let outcomes = annotation.as_ref().map(|a| a.outcomes.as_slice());
+            Ok(machine.simulate(&run.trace, outcomes))
+        })
+    }
+
+    /// [`Ctx::workload_run`] for a job's own axes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn job_run(&self, job: &JobSpec) -> Result<Arc<WorkloadRun>, HarnessError> {
+        self.workload_run(&job.workload, job.profile, job.opt)
+    }
+
+    /// [`Ctx::annotation`] for a job's own axes (requires a config
+    /// axis).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn job_annotation(&self, job: &JobSpec) -> Result<Arc<Annotation>, HarnessError> {
+        self.annotation(&job.workload, job.profile, job.opt, job.config())
+    }
+
+    /// [`Ctx::timing`] for a job's own axes (requires a machine axis;
+    /// `with_lvp` selects whether the job's config axis is applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn job_timing(
+        &self,
+        job: &JobSpec,
+        with_lvp: bool,
+    ) -> Result<Arc<SimResult>, HarnessError> {
+        let config = if with_lvp { Some(job.config()) } else { None };
+        self.timing(&job.workload, job.profile, job.opt, config, job.machine())
+    }
+}

@@ -1,0 +1,89 @@
+//! The harness error type.
+//!
+//! Every engine entry point returns [`HarnessError`] instead of
+//! panicking, carrying the failing target (workload or experiment name)
+//! and the pipeline [`Phase`] so that harness binaries can exit nonzero
+//! with a message that pinpoints the failure.
+
+use std::fmt;
+
+/// The pipeline phase in which a harness job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Building or resolving an experiment plan.
+    Plan,
+    /// Phase 1: compiling and functionally simulating a workload.
+    Trace,
+    /// Phase 2: running the LVP unit over a trace.
+    Annotate,
+    /// Phase 3: cycle-accurate timing simulation.
+    Timing,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Plan => "plan",
+            Phase::Trace => "trace",
+            Phase::Annotate => "annotate",
+            Phase::Timing => "timing",
+        })
+    }
+}
+
+/// Error from the experiment engine.
+///
+/// Cloneable (errors are fanned out to every consumer of a failed cache
+/// entry) and self-describing: the message names the target and phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessError {
+    /// Which pipeline phase failed.
+    pub phase: Phase,
+    /// The workload (or experiment) that failed.
+    pub target: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl HarnessError {
+    /// Creates an error for `target` failing in `phase`.
+    pub fn new(phase: Phase, target: impl Into<String>, message: impl ToString) -> HarnessError {
+        HarnessError {
+            phase,
+            target: target.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` failed in {} phase: {}",
+            self.target, self.phase, self.message
+        )
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_target_and_phase() {
+        let e = HarnessError::new(Phase::Trace, "xlisp", "fuel exhausted");
+        let s = e.to_string();
+        assert!(s.contains("xlisp"), "{s}");
+        assert!(s.contains("trace"), "{s}");
+        assert!(s.contains("fuel exhausted"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = HarnessError::new(Phase::Annotate, "quick", "boom");
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,413 @@
+//! Beyond-paper ablations as harness plans.
+
+use crate::engine::Engine;
+use crate::error::HarnessError;
+use crate::plan::{ExperimentPlan, MachineModel};
+use crate::report::{geo_mean, Cell, ExperimentTable, Report};
+use lvp_lang::OptLevel;
+use lvp_predictor::{
+    evaluate_predictor, BhrIndexedPredictor, FcmPredictor, LastValuePredictor, LoadProfiler,
+    LocalityMeter, LvpConfig, StridePredictor, ValuePredictor,
+};
+use lvp_trace::OpKind;
+use lvp_uarch::{dataflow_limit, LatencyTable, Ppc620Config};
+
+/// Ablation — LVPT size sweep: accuracy and coverage of the Simple
+/// configuration as the value table grows from 64 to 8192 entries.
+pub(super) fn ablation_lvpt(engine: &Engine) -> Result<Report, HarnessError> {
+    let sizes = [64usize, 256, 1024, 4096, 8192];
+    let configs: Vec<LvpConfig> = sizes
+        .iter()
+        .map(|&n| {
+            LvpConfig::simple()
+                .with_lvpt_entries(n)
+                .named(format!("LVPT{n}"))
+        })
+        .collect();
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .configs(configs)
+        .map(|job, ctx| Ok(ctx.job_annotation(job)?.stats));
+    let stats = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_lvpt",
+        "Ablation: LVPT size sweep (LCT 256x2b, CVU 32 fixed)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "LVPT entries",
+        "accuracy",
+        "correct/loads",
+        "constants/loads",
+    ]);
+    for (si, &n) in sizes.iter().enumerate() {
+        let (mut correct, mut predictions, mut loads, mut constants) = (0u64, 0u64, 0u64, 0u64);
+        for wi in 0..engine.suite().len() {
+            let s = &stats[wi * sizes.len() + si];
+            correct += s.correct;
+            predictions += s.predictions;
+            loads += s.loads;
+            constants += s.constants_verified;
+        }
+        t.row(vec![
+            Cell::Count(n as u64),
+            Cell::Pct1(correct as f64 / predictions.max(1) as f64),
+            Cell::Pct1(correct as f64 / loads.max(1) as f64),
+            Cell::Pct1(constants as f64 / loads.max(1) as f64),
+        ]);
+    }
+    report.section(None, t);
+    report.note("Expected: accuracy and coverage rise with size and saturate near 1K-4K.");
+    Ok(report)
+}
+
+/// Ablation — LCT saturating-counter width sweep (1 to 4 bits).
+pub(super) fn ablation_lct(engine: &Engine) -> Result<Report, HarnessError> {
+    let bits: Vec<u8> = (1..=4).collect();
+    let configs: Vec<LvpConfig> = bits
+        .iter()
+        .map(|&b| {
+            LvpConfig::simple()
+                .with_lct_bits(b)
+                .named(format!("LCT{b}b"))
+        })
+        .collect();
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .configs(configs)
+        .map(|job, ctx| Ok(ctx.job_annotation(job)?.stats));
+    let stats = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_lct",
+        "Ablation: LCT saturating-counter width sweep (LVPT 1024x1, CVU 32)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "counter bits",
+        "unpred identified",
+        "pred identified",
+        "accuracy",
+        "mispredictions/1k loads",
+    ]);
+    for (bi, &b) in bits.iter().enumerate() {
+        let (mut unpred_n, mut unpred_d) = (0u64, 0u64);
+        let (mut pred_n, mut pred_d) = (0u64, 0u64);
+        let (mut correct, mut predictions, mut incorrect, mut loads) = (0u64, 0u64, 0u64, 0u64);
+        for wi in 0..engine.suite().len() {
+            let s = &stats[wi * bits.len() + bi];
+            unpred_n += s.unpredictable_identified;
+            unpred_d += s.unpredictable();
+            pred_n += s.predictable_identified;
+            pred_d += s.predictable;
+            correct += s.correct;
+            predictions += s.predictions;
+            incorrect += s.incorrect;
+            loads += s.loads;
+        }
+        t.row(vec![
+            Cell::Count(b as u64),
+            Cell::Pct1(unpred_n as f64 / unpred_d.max(1) as f64),
+            Cell::Pct1(pred_n as f64 / pred_d.max(1) as f64),
+            Cell::Pct1(correct as f64 / predictions.max(1) as f64),
+            Cell::text(format!(
+                "{:.1}",
+                1000.0 * incorrect as f64 / loads.max(1) as f64
+            )),
+        ]);
+    }
+    report.section(None, t);
+    report.note(
+        "Expected: wider counters suppress more mispredictions (higher accuracy)\n\
+         but identify fewer predictable loads (slower to warm up).",
+    );
+    Ok(report)
+}
+
+/// Ablation — value predictor families: last-value vs stride vs FCM vs
+/// BHR-indexed, plus the any-of-4 oracle bound.
+pub(super) fn ablation_stride(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .map(|job, ctx| {
+            let run = ctx.job_run(job)?;
+            let mut lv = LastValuePredictor::new(1024);
+            let e_lv = evaluate_predictor(&mut lv, &run.trace);
+            let mut st = StridePredictor::new(1024);
+            let e_st = evaluate_predictor(&mut st, &run.trace);
+            let mut fcm = FcmPredictor::new(1024, 16384);
+            let e_fcm = evaluate_predictor(&mut fcm, &run.trace);
+
+            // The BHR-indexed predictor needs branch outcomes interleaved,
+            // so it is driven manually; the same pass computes the any-of-4
+            // oracle bound.
+            let mut bhr = BhrIndexedPredictor::new(4096, 4);
+            let mut lv2 = LastValuePredictor::new(1024);
+            let mut st2 = StridePredictor::new(1024);
+            let mut fcm2 = FcmPredictor::new(1024, 16384);
+            let (mut bhr_correct, mut any_correct, mut loads) = (0u64, 0u64, 0u64);
+            for e in run.trace.iter() {
+                if e.kind == OpKind::CondBranch {
+                    let taken = e.branch.expect("branch outcome").taken;
+                    bhr.on_branch(taken);
+                    continue;
+                }
+                if !e.is_load() {
+                    continue;
+                }
+                let Some(mem) = e.mem else { continue };
+                loads += 1;
+                let b = bhr.predict(e.pc) == Some(mem.value);
+                let others = lv2.predict(e.pc) == Some(mem.value)
+                    || st2.predict(e.pc) == Some(mem.value)
+                    || fcm2.predict(e.pc) == Some(mem.value);
+                bhr_correct += b as u64;
+                any_correct += (b || others) as u64;
+                bhr.train(e.pc, mem.value);
+                lv2.train(e.pc, mem.value);
+                st2.train(e.pc, mem.value);
+                fcm2.train(e.pc, mem.value);
+            }
+            Ok([
+                e_lv.hit_rate(),
+                e_st.hit_rate(),
+                e_fcm.hit_rate(),
+                bhr_correct as f64 / loads.max(1) as f64,
+                any_correct as f64 / loads.max(1) as f64,
+            ])
+        });
+    let results = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_stride",
+        "Ablation: value predictor families (1024-entry L1 tables, hit rate = correct/loads)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "last-value",
+        "stride",
+        "fcm(2)",
+        "bhr-indexed",
+        "any-of-4",
+    ]);
+    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for (w, hits) in engine.suite().iter().zip(&results) {
+        let mut row = vec![Cell::text(w.name)];
+        for (i, &h) in hits.iter().enumerate() {
+            gms[i].push(h);
+            row.push(Cell::Pct1(h));
+        }
+        t.row(row);
+    }
+    let mut gm = vec![Cell::text("GM")];
+    for g in &gms {
+        gm.push(Cell::Pct1(geo_mean(g)));
+    }
+    t.row(gm);
+    report.section(None, t);
+    report.note(
+        "Expected: stride wins on induction loads, FCM on periodic sequences,\n\
+         BHR-indexing on control-dependent values; the any-of-4 oracle bound\n\
+         shows the headroom the paper's future-work section anticipates.",
+    );
+    Ok(report)
+}
+
+/// Ablation — the effect of compiler optimization on value locality
+/// (O0 vs O1 under the Toc profile).
+pub(super) fn ablation_opt(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .opt_levels([OptLevel::O0, OptLevel::O1])
+        .map(|job, ctx| {
+            let run = ctx.job_run(job)?;
+            let mut meter = LocalityMeter::paper_default();
+            let mut profiler = LoadProfiler::new();
+            for e in run.trace.iter() {
+                meter.observe(e);
+                profiler.observe(e);
+            }
+            Ok((
+                run.trace.stats().instructions,
+                profiler.static_loads(),
+                meter.locality(1),
+            ))
+        });
+    let results = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_opt",
+        "Ablation: compiler optimization vs. value locality (Toc profile)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "instr O0",
+        "instr O1",
+        "static loads O0",
+        "static loads O1",
+        "local@1 O0",
+        "local@1 O1",
+    ]);
+    for (i, w) in engine.suite().iter().enumerate() {
+        let (i0, s0, l0) = results[2 * i];
+        let (i1, s1, l1) = results[2 * i + 1];
+        t.row(vec![
+            Cell::text(w.name),
+            Cell::Millions(i0),
+            Cell::Millions(i1),
+            Cell::Count(s0 as u64),
+            Cell::Count(s1 as u64),
+            Cell::Pct1(l0),
+            Cell::Pct1(l1),
+        ]);
+    }
+    report.section(None, t);
+    report.note(
+        "Expected: O1 trims dynamic instructions; where small loops unroll,\n\
+         static load counts rise (one load becomes several copies) and their\n\
+         per-copy locality shifts — the effect the paper attributes to\n\
+         unrolling-style transformations.",
+    );
+    Ok(report)
+}
+
+/// Scales the 620's machine parallelism (reservation stations, renames,
+/// completion buffer) by `factor`.
+fn scaled(name: &'static str, factor: f64, n_lsu: usize, mem_per_cycle: usize) -> Ppc620Config {
+    let base = Ppc620Config::base();
+    let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+    Ppc620Config {
+        name,
+        rs_per_class: scale(base.rs_per_class),
+        gpr_renames: scale(base.gpr_renames),
+        fpr_renames: scale(base.fpr_renames),
+        completion_buffer: scale(base.completion_buffer),
+        n_lsu,
+        mem_dispatch_per_cycle: mem_per_cycle,
+        ..base
+    }
+}
+
+/// Ablation — machine parallelism vs. LVP benefit: the 620 family from
+/// half-size to double-wide, Simple and Perfect speedups at each point.
+pub(super) fn ablation_machine(engine: &Engine) -> Result<Report, HarnessError> {
+    let machines = [
+        scaled("620/2", 0.5, 1, 1),
+        scaled("620", 1.0, 1, 1),
+        scaled("620+", 2.0, 2, 2),
+        scaled("620x4", 4.0, 2, 2),
+    ];
+    let models: Vec<MachineModel> = machines.iter().cloned().map(MachineModel::Ppc620).collect();
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .machines(models)
+        .map(|job, ctx| {
+            let w = &job.workload;
+            let base = ctx.job_timing(job, false)?;
+            let simple = ctx.timing(
+                w,
+                job.profile,
+                job.opt,
+                Some(&LvpConfig::simple()),
+                job.machine(),
+            )?;
+            let perfect = ctx.timing(
+                w,
+                job.profile,
+                job.opt,
+                Some(&LvpConfig::perfect()),
+                job.machine(),
+            )?;
+            Ok((
+                base.ipc(),
+                simple.speedup_over(&base),
+                perfect.speedup_over(&base),
+            ))
+        });
+    let results = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_machine",
+        "Ablation: machine parallelism vs. LVP benefit (620 family, Toc traces)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "machine",
+        "GM base IPC",
+        "GM Simple speedup",
+        "GM Perfect speedup",
+    ]);
+    for (mi, m) in machines.iter().enumerate() {
+        let (mut ipcs, mut s_simple, mut s_perfect) = (Vec::new(), Vec::new(), Vec::new());
+        for wi in 0..engine.suite().len() {
+            let (ipc, s, p) = results[wi * machines.len() + mi];
+            ipcs.push(ipc);
+            s_simple.push(s);
+            s_perfect.push(p);
+        }
+        t.row(vec![
+            Cell::text(m.name),
+            Cell::Fixed(geo_mean(&ipcs), 3),
+            Cell::Fixed(geo_mean(&s_simple), 3),
+            Cell::Fixed(geo_mean(&s_perfect), 3),
+        ]);
+    }
+    report.section(None, t);
+    report.note(
+        "Expected: the narrow machine cannot exploit the parallelism LVP\n\
+         exposes; the benefit grows with machine width and saturates once\n\
+         the window exceeds what prediction uncovers — the mismatch the\n\
+         paper's future-work section predicts.",
+    );
+    Ok(report)
+}
+
+/// Ablation — distance to the dataflow limit, and how LVP moves it.
+pub(super) fn ablation_dataflow(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .map(|job, ctx| {
+            let w = &job.workload;
+            let run = ctx.job_run(job)?;
+            let machine = ctx.timing(w, job.profile, job.opt, None, &MachineModel::ppc620())?;
+            let lat = LatencyTable::ppc620();
+            let base = dataflow_limit(&run.trace, None, &lat);
+            let o_simple = ctx.annotation(w, job.profile, job.opt, &LvpConfig::simple())?;
+            let simple = dataflow_limit(&run.trace, Some(&o_simple.outcomes), &lat);
+            let o_perfect = ctx.annotation(w, job.profile, job.opt, &LvpConfig::perfect())?;
+            let perfect = dataflow_limit(&run.trace, Some(&o_perfect.outcomes), &lat);
+            Ok((machine.ipc(), base.ipc(), simple.ipc(), perfect.ipc()))
+        });
+    let results = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "ablation_dataflow",
+        "Ablation: dataflow limits and the effect of value prediction (620 latencies)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "620 IPC",
+        "dataflow IPC",
+        "620/limit",
+        "limit+Simple",
+        "limit+Perfect",
+    ]);
+    for (w, &(machine_ipc, base_ipc, simple_ipc, perfect_ipc)) in
+        engine.suite().iter().zip(&results)
+    {
+        t.row(vec![
+            Cell::text(w.name),
+            Cell::text(format!("{machine_ipc:.2}")),
+            Cell::text(format!("{base_ipc:.1}")),
+            Cell::text(format!("{:.0}%", 100.0 * machine_ipc / base_ipc)),
+            Cell::text(format!("{simple_ipc:.1}")),
+            Cell::text(format!("{perfect_ipc:.1}")),
+        ]);
+    }
+    report.section(None, t);
+    report.note(
+        "Expected: real machines capture a small fraction of the dataflow\n\
+         limit; LVP raises the limit itself — dramatically under perfect\n\
+         prediction — because correct predictions delete true dependence\n\
+         edges (the paper's core argument).",
+    );
+    Ok(report)
+}

@@ -1,0 +1,305 @@
+//! The paper's tables (1–6) as harness plans.
+//!
+//! Output is byte-compatible with the original standalone binaries (and
+//! the committed `results/*.txt`): same titles, headers, cell formats
+//! and trailing notes.
+
+use crate::engine::Engine;
+use crate::error::HarnessError;
+use crate::plan::{ExperimentPlan, MachineModel};
+use crate::report::{geo_mean, Cell, ExperimentTable, Report};
+use lvp_isa::AsmProfile;
+use lvp_predictor::LvpConfig;
+use lvp_uarch::LatencyTable;
+
+/// Table 1 — benchmark descriptions and dynamic instruction/load counts,
+/// for both codegen profiles (the paper's PowerPC and Alpha columns).
+pub(super) fn table1(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .profiles([AsmProfile::Toc, AsmProfile::Gp])
+        .map(|job, ctx| {
+            let run = ctx.job_run(job)?;
+            let s = run.trace.stats();
+            Ok((s.instructions, s.loads))
+        });
+    let counts = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "table1",
+        "Table 1: Benchmark Descriptions (counts in millions)",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "description",
+        "input",
+        "instr(Toc)",
+        "loads(Toc)",
+        "instr(Gp)",
+        "loads(Gp)",
+    ]);
+    let (mut ti, mut tl, mut gi, mut gl) = (0u64, 0u64, 0u64, 0u64);
+    for (i, w) in engine.suite().iter().enumerate() {
+        let (toc_i, toc_l) = counts[2 * i];
+        let (gp_i, gp_l) = counts[2 * i + 1];
+        ti += toc_i;
+        tl += toc_l;
+        gi += gp_i;
+        gl += gp_l;
+        t.row(vec![
+            Cell::text(w.name),
+            Cell::text(w.description),
+            Cell::text(w.input),
+            Cell::Millions(toc_i),
+            Cell::Millions(toc_l),
+            Cell::Millions(gp_i),
+            Cell::Millions(gp_l),
+        ]);
+    }
+    t.row(vec![
+        Cell::text("Total"),
+        Cell::Empty,
+        Cell::Empty,
+        Cell::Millions(ti),
+        Cell::Millions(tl),
+        Cell::Millions(gi),
+        Cell::Millions(gl),
+    ]);
+    report.section(None, t);
+    report.note(
+        "Note: Toc = PowerPC-style codegen (TOC address loads), Gp = Alpha-style\n\
+         (ALU address synthesis); the Toc load count is higher for the same program,\n\
+         as on the paper's PowerPC vs Alpha binaries.",
+    );
+    Ok(report)
+}
+
+/// Table 2 — the four LVP unit configurations. Static: no jobs.
+pub(super) fn table2(_engine: &Engine) -> Result<Report, HarnessError> {
+    let mut report = Report::new("table2", "Table 2: LVP Unit Configurations");
+    let mut t = ExperimentTable::new(vec![
+        "config",
+        "LVPT entries",
+        "history depth",
+        "LCT entries",
+        "LCT bits",
+        "CVU entries",
+    ]);
+    for c in LvpConfig::table2() {
+        if c.perfect {
+            t.row(vec![
+                Cell::text(c.name.to_string()),
+                Cell::text("inf"),
+                Cell::text("perfect"),
+                Cell::Dash,
+                Cell::Dash,
+                Cell::text("0"),
+            ]);
+        } else {
+            let depth = if c.lvpt.perfect_selection {
+                format!("{}/perf", c.lvpt.history_depth)
+            } else {
+                c.lvpt.history_depth.to_string()
+            };
+            t.row(vec![
+                Cell::text(c.name.to_string()),
+                Cell::Count(c.lvpt.entries as u64),
+                Cell::text(depth),
+                Cell::Count(c.lct.entries as u64),
+                Cell::Count(c.lct.counter_bits as u64),
+                Cell::Count(c.cvu.entries as u64),
+            ]);
+        }
+    }
+    report.section(None, t);
+    report.note("History depth > 1 assumes the paper's hypothetical perfect selection mechanism.");
+    Ok(report)
+}
+
+/// Table 3 — LCT hit rates for Simple and Limit under both profiles.
+pub(super) fn table3(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .profiles([AsmProfile::Gp, AsmProfile::Toc])
+        .configs([LvpConfig::simple(), LvpConfig::limit()])
+        .map(|job, ctx| {
+            let ann = ctx.job_annotation(job)?;
+            Ok((
+                ann.stats.unpredictable_hit_rate(),
+                ann.stats.predictable_hit_rate(),
+            ))
+        });
+    let rates = engine.run(plan)?;
+
+    let mut report = Report::new("table3", "Table 3: LCT Hit Rates");
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "Gp/Simple unpred",
+        "Gp/Simple pred",
+        "Gp/Limit unpred",
+        "Gp/Limit pred",
+        "Toc/Simple unpred",
+        "Toc/Simple pred",
+        "Toc/Limit unpred",
+        "Toc/Limit pred",
+    ]);
+    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 8];
+    for (i, w) in engine.suite().iter().enumerate() {
+        let mut row = vec![Cell::text(w.name)];
+        for (j, &(u, p)) in rates[4 * i..4 * i + 4].iter().enumerate() {
+            gms[2 * j].push(u);
+            gms[2 * j + 1].push(p);
+            row.push(Cell::Pct(u));
+            row.push(Cell::Pct(p));
+        }
+        t.row(row);
+    }
+    let mut gm = vec![Cell::text("GM")];
+    for g in &gms {
+        gm.push(Cell::Pct(geo_mean(g)));
+    }
+    t.row(gm);
+    report.section(None, t);
+    report.note(
+        "Paper shape (GM row): ~85-90% of unpredictable and ~75-90% of predictable\n\
+         loads correctly classified.",
+    );
+    Ok(report)
+}
+
+/// Table 4 — successful constant identification rates.
+pub(super) fn table4(engine: &Engine) -> Result<Report, HarnessError> {
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .profiles([AsmProfile::Gp, AsmProfile::Toc])
+        .configs([LvpConfig::simple(), LvpConfig::limit()])
+        .map(|job, ctx| Ok(ctx.job_annotation(job)?.stats.constant_rate()));
+    let rates = engine.run(plan)?;
+
+    let mut report = Report::new(
+        "table4",
+        "Table 4: Successful Constant Identification Rates",
+    );
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "Gp/Simple",
+        "Gp/Limit",
+        "Toc/Simple",
+        "Toc/Limit",
+    ]);
+    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (i, w) in engine.suite().iter().enumerate() {
+        let mut row = vec![Cell::text(w.name)];
+        for (j, &r) in rates[4 * i..4 * i + 4].iter().enumerate() {
+            gms[j].push(r);
+            row.push(Cell::Pct(r));
+        }
+        t.row(row);
+    }
+    let mut gm = vec![Cell::text("GM")];
+    for g in &gms {
+        gm.push(Cell::Pct(geo_mean(g)));
+    }
+    t.row(gm);
+    report.section(None, t);
+    report.note(
+        "Paper shape: roughly 6-20% of dynamic loads identified as constants;\n\
+         near 0% for quick and tomcatv, 30%+ for compress/gperf/sc.",
+    );
+    Ok(report)
+}
+
+/// Table 5 — instruction latencies of the two machine models. Static.
+pub(super) fn table5(_engine: &Engine) -> Result<Report, HarnessError> {
+    let p = LatencyTable::ppc620();
+    let a = LatencyTable::alpha21164();
+    let mut report = Report::new(
+        "table5",
+        "Table 5: Instruction Latencies (result latency, cycles)",
+    );
+    let mut t = ExperimentTable::new(vec!["instruction class", "PPC 620", "AXP 21164"]);
+    for (label, pv, av) in [
+        ("Simple Integer", p.int_simple, a.int_simple),
+        ("Complex Integer", p.int_complex, a.int_complex),
+        ("Load/Store", p.load, a.load),
+        ("Simple FP", p.fp_simple, a.fp_simple),
+        ("Complex FP", p.fp_complex, a.fp_complex),
+        (
+            "Branch mispredict",
+            p.mispredict_penalty,
+            a.mispredict_penalty,
+        ),
+    ] {
+        t.row(vec![Cell::text(label), Cell::Count(pv), Cell::Count(av)]);
+    }
+    report.section(None, t);
+    report.note(
+        "Complex integer and complex FP use the midpoint of the paper's ranges\n\
+         (620: 1-35 and 18; 21164: 16 and 36-65).",
+    );
+    Ok(report)
+}
+
+/// Table 6 — PowerPC 620+ speedups over the base 620, and the additional
+/// speedup of each LVP configuration on the 620+.
+pub(super) fn table6(engine: &Engine) -> Result<Report, HarnessError> {
+    let configs = [
+        LvpConfig::simple(),
+        LvpConfig::constant(),
+        LvpConfig::limit(),
+        LvpConfig::perfect(),
+    ];
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .map(move |job, ctx| {
+            let w = &job.workload;
+            let base_620 = ctx.timing(w, job.profile, job.opt, None, &MachineModel::ppc620())?;
+            let plus = MachineModel::ppc620_plus();
+            let base_plus = ctx.timing(w, job.profile, job.opt, None, &plus)?;
+            let uplift = base_plus.speedup_over(&base_620);
+            let mut speedups = Vec::new();
+            for cfg in &configs {
+                let r = ctx.timing(w, job.profile, job.opt, Some(cfg), &plus)?;
+                speedups.push(r.speedup_over(&base_plus));
+            }
+            Ok((base_plus.cycles, uplift, speedups))
+        });
+    let results = engine.run(plan)?;
+
+    let mut report = Report::new("table6", "Table 6: PowerPC 620+ Speedups");
+    let mut t = ExperimentTable::new(vec![
+        "benchmark",
+        "cycles(620+)",
+        "620+/620",
+        "Simple",
+        "Constant",
+        "Limit",
+        "Perfect",
+    ]);
+    let mut gms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for (w, (cycles, uplift, speedups)) in engine.suite().iter().zip(&results) {
+        gms[0].push(*uplift);
+        let mut row = vec![
+            Cell::text(w.name),
+            Cell::Count(*cycles),
+            Cell::Fixed(*uplift, 3),
+        ];
+        for (i, &s) in speedups.iter().enumerate() {
+            gms[i + 1].push(s);
+            row.push(Cell::Fixed(s, 3));
+        }
+        t.row(row);
+    }
+    let mut gm = vec![Cell::text("GM"), Cell::Empty];
+    for g in &gms {
+        gm.push(Cell::Fixed(geo_mean(g), 3));
+    }
+    t.row(gm);
+    report.section(None, t);
+    report.note(
+        "Paper shape (GM): 620+ is ~1.06x the 620; LVP adds ~1.05 (Simple),\n\
+         ~1.04 (Constant), ~1.08 (Limit), ~1.11 (Perfect) on top — the relative\n\
+         LVP gains are larger on the wider machine than on the base 620.",
+    );
+    Ok(report)
+}

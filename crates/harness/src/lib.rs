@@ -1,0 +1,61 @@
+//! # lvp-harness — the experiment engine
+//!
+//! A typed, parallel, trace-caching harness for the paper's evaluation.
+//! It replaces the ad-hoc per-binary plumbing that `lvp-bench` grew up
+//! with:
+//!
+//! * [`ExperimentPlan`] — a builder describing a job matrix over
+//!   (workload × [`AsmProfile`](lvp_isa::AsmProfile) ×
+//!   [`OptLevel`](lvp_lang::OptLevel) ×
+//!   [`LvpConfig`](lvp_predictor::LvpConfig) × [`MachineModel`]).
+//! * [`Engine`] — a parallel executor over scoped threads with a
+//!   configurable worker count and deterministic (plan-order) result
+//!   merging, backed by content-keyed caches so each trace, annotation
+//!   and timing simulation is computed exactly once per process.
+//! * [`Report`] / [`ExperimentRow`] / [`Cell`] — structured results
+//!   separated from rendering; the classic fixed-width text output is
+//!   one renderer ([`Report::render_text`]), CSV another.
+//! * [`experiments`] — the registry of all paper experiments (tables,
+//!   figures, ablations), each a thin declarative plan. The `lvp bench`
+//!   subcommand and the per-experiment binaries both dispatch through
+//!   it.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!   plan (job matrix) ──► engine (parallel, cached) ──► rows ──► renderer
+//!        ExperimentPlan        Engine::run                Report   text/CSV
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use lvp_harness::{Engine, ExperimentPlan};
+//!
+//! let engine = Engine::fast().with_threads(2);
+//! let plan = ExperimentPlan::new()
+//!     .workloads(engine.suite().to_vec())
+//!     .configs([lvp_predictor::LvpConfig::simple()])
+//!     .map(|job, ctx| {
+//!         let ann = ctx.job_annotation(job)?;
+//!         Ok((job.workload.name, ann.stats.accuracy()))
+//!     });
+//! # let _ = plan; // executing would trace real workloads; see `lvp bench`
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod experiments;
+pub mod plan;
+pub mod report;
+
+pub use cache::{Annotation, EngineStats};
+pub use engine::{run_workload, Ctx, Engine, FAST_WORKLOADS};
+pub use error::{HarnessError, Phase};
+pub use experiments::{address_ranges, experiment, experiments, ExperimentDef};
+pub use plan::{ExperimentPlan, JobSpec, MachineModel, Plan};
+pub use report::{
+    geo_mean, pct, pct1, speedup, Cell, ExperimentRow, ExperimentTable, Report, Section,
+    TablePrinter,
+};

@@ -1,0 +1,326 @@
+//! Experiment plans: typed job matrices over the evaluation axes.
+//!
+//! An [`ExperimentPlan`] describes a cartesian product of (workload ×
+//! [`AsmProfile`] × [`OptLevel`] × [`LvpConfig`] × [`MachineModel`]);
+//! [`ExperimentPlan::map`] attaches the per-job computation, producing a
+//! [`Plan`] the engine can execute in parallel. Jobs are enumerated in a
+//! fixed order (workload-major, then profile, opt, config, machine), and
+//! the engine merges results in that order — never by completion — so a
+//! plan's output is byte-identical at any worker count.
+
+use crate::engine::Ctx;
+use crate::error::HarnessError;
+use lvp_isa::AsmProfile;
+use lvp_lang::OptLevel;
+use lvp_predictor::LvpConfig;
+use lvp_trace::{PredOutcome, Trace};
+use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config, SimResult};
+use lvp_workloads::Workload;
+
+/// A timing machine model usable as a plan axis.
+#[derive(Debug, Clone)]
+pub enum MachineModel {
+    /// PowerPC 620-class out-of-order core (base or custom-scaled).
+    Ppc620(Ppc620Config),
+    /// Alpha 21164-class in-order core.
+    Alpha21164(Alpha21164Config),
+}
+
+impl MachineModel {
+    /// The paper's base PowerPC 620.
+    pub fn ppc620() -> MachineModel {
+        MachineModel::Ppc620(Ppc620Config::base())
+    }
+
+    /// The widened PowerPC 620+.
+    pub fn ppc620_plus() -> MachineModel {
+        MachineModel::Ppc620(Ppc620Config::plus())
+    }
+
+    /// The Alpha AXP 21164.
+    pub fn alpha21164() -> MachineModel {
+        MachineModel::Alpha21164(Alpha21164Config::base())
+    }
+
+    /// The model's display name ("620", "620+", "21164", or a custom
+    /// scaled-config name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MachineModel::Ppc620(c) => c.name,
+            MachineModel::Alpha21164(c) => c.name,
+        }
+    }
+
+    /// Runs the cycle-accurate simulation (phase 3) over a trace.
+    pub fn simulate(&self, trace: &Trace, outcomes: Option<&[PredOutcome]>) -> SimResult {
+        match self {
+            MachineModel::Ppc620(c) => simulate_620(trace, outcomes, c),
+            MachineModel::Alpha21164(c) => simulate_21164(trace, outcomes, c),
+        }
+    }
+
+    /// Content key for the timing cache: the full configuration, not
+    /// just the name, so custom-scaled models never collide.
+    pub(crate) fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// One cell of a job matrix.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Position in plan order (the deterministic merge key).
+    pub index: usize,
+    /// The workload axis value.
+    pub workload: Workload,
+    /// The codegen-profile axis value.
+    pub profile: AsmProfile,
+    /// The optimization-level axis value.
+    pub opt: OptLevel,
+    /// The LVP-configuration axis value, if the plan has that axis.
+    pub config: Option<LvpConfig>,
+    /// The machine-model axis value, if the plan has that axis.
+    pub machine: Option<MachineModel>,
+}
+
+impl JobSpec {
+    /// Human-readable job key, e.g. `xlisp/toc/O0/Simple/620`.
+    pub fn key(&self) -> String {
+        let mut k = format!("{}/{}/{:?}", self.workload.name, self.profile, self.opt);
+        if let Some(c) = &self.config {
+            k.push('/');
+            k.push_str(&c.name);
+        }
+        if let Some(m) = &self.machine {
+            k.push('/');
+            k.push_str(m.name());
+        }
+        k
+    }
+
+    /// The job's LVP configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no config axis — that is a bug in the
+    /// experiment definition, not a runtime condition.
+    pub fn config(&self) -> &LvpConfig {
+        self.config
+            .as_ref()
+            .expect("plan has no LvpConfig axis but the job asked for one")
+    }
+
+    /// The job's machine model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no machine axis.
+    pub fn machine(&self) -> &MachineModel {
+        self.machine
+            .as_ref()
+            .expect("plan has no machine axis but the job asked for one")
+    }
+}
+
+/// Builder for a job matrix.
+///
+/// Unset axes default to a single value: profile [`AsmProfile::Toc`],
+/// opt level [`OptLevel::O0`], and *no* config / machine (jobs carry
+/// `None`). The workload axis has no default — a plan without workloads
+/// has zero jobs.
+///
+/// # Examples
+///
+/// ```
+/// use lvp_harness::{ExperimentPlan, MachineModel};
+/// use lvp_isa::AsmProfile;
+/// use lvp_predictor::LvpConfig;
+///
+/// let plan = ExperimentPlan::new()
+///     .workloads(lvp_workloads::suite())
+///     .profiles([AsmProfile::Gp, AsmProfile::Toc])
+///     .configs([LvpConfig::simple(), LvpConfig::limit()]);
+/// assert_eq!(plan.jobs().len(), 17 * 2 * 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentPlan {
+    workloads: Vec<Workload>,
+    profiles: Vec<AsmProfile>,
+    opts: Vec<OptLevel>,
+    configs: Vec<LvpConfig>,
+    machines: Vec<MachineModel>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan; add axes with the builder methods.
+    pub fn new() -> ExperimentPlan {
+        ExperimentPlan::default()
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads(mut self, ws: impl IntoIterator<Item = Workload>) -> ExperimentPlan {
+        self.workloads = ws.into_iter().collect();
+        self
+    }
+
+    /// Sets the codegen-profile axis (default: `[Toc]`).
+    pub fn profiles(mut self, ps: impl IntoIterator<Item = AsmProfile>) -> ExperimentPlan {
+        self.profiles = ps.into_iter().collect();
+        self
+    }
+
+    /// Sets the optimization-level axis (default: `[O0]`).
+    pub fn opt_levels(mut self, os: impl IntoIterator<Item = OptLevel>) -> ExperimentPlan {
+        self.opts = os.into_iter().collect();
+        self
+    }
+
+    /// Sets the LVP-configuration axis (default: none).
+    pub fn configs(mut self, cs: impl IntoIterator<Item = LvpConfig>) -> ExperimentPlan {
+        self.configs = cs.into_iter().collect();
+        self
+    }
+
+    /// Sets the machine-model axis (default: none).
+    pub fn machines(mut self, ms: impl IntoIterator<Item = MachineModel>) -> ExperimentPlan {
+        self.machines = ms.into_iter().collect();
+        self
+    }
+
+    /// Enumerates the job matrix in plan order: workload-major, then
+    /// profile, opt level, config, machine.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let profiles: &[AsmProfile] = if self.profiles.is_empty() {
+            &[AsmProfile::Toc]
+        } else {
+            &self.profiles
+        };
+        let opts: &[OptLevel] = if self.opts.is_empty() {
+            &[OptLevel::O0]
+        } else {
+            &self.opts
+        };
+        let configs: Vec<Option<LvpConfig>> = if self.configs.is_empty() {
+            vec![None]
+        } else {
+            self.configs.iter().cloned().map(Some).collect()
+        };
+        let machines: Vec<Option<MachineModel>> = if self.machines.is_empty() {
+            vec![None]
+        } else {
+            self.machines.iter().cloned().map(Some).collect()
+        };
+        let mut jobs = Vec::new();
+        for w in &self.workloads {
+            for p in profiles {
+                for o in opts {
+                    for c in &configs {
+                        for m in &machines {
+                            jobs.push(JobSpec {
+                                index: jobs.len(),
+                                workload: *w,
+                                profile: *p,
+                                opt: *o,
+                                config: c.clone(),
+                                machine: m.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Attaches the per-job computation, producing an executable
+    /// [`Plan`]. The closure runs on worker threads; anything it needs
+    /// beyond the job spec must be captured (cheaply cloned) into it.
+    pub fn map<T, F>(self, f: F) -> Plan<T>
+    where
+        F: Fn(&JobSpec, &Ctx<'_>) -> Result<T, HarnessError> + Send + Sync + 'static,
+    {
+        Plan {
+            jobs: self.jobs(),
+            run: Box::new(f),
+        }
+    }
+}
+
+/// A fully-specified plan: the job matrix plus the per-job computation.
+pub struct Plan<T> {
+    pub(crate) jobs: Vec<JobSpec>,
+    #[allow(clippy::type_complexity)]
+    pub(crate) run: Box<dyn Fn(&JobSpec, &Ctx<'_>) -> Result<T, HarnessError> + Send + Sync>,
+}
+
+impl<T> Plan<T> {
+    /// Number of jobs in the matrix.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_order_is_workload_major() {
+        let ws: Vec<Workload> = lvp_workloads::suite().into_iter().take(2).collect();
+        let jobs = ExperimentPlan::new()
+            .workloads(ws.clone())
+            .profiles([AsmProfile::Gp, AsmProfile::Toc])
+            .configs([LvpConfig::simple(), LvpConfig::limit()])
+            .jobs();
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        // First four jobs all belong to the first workload.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert_eq!(j.workload.name, ws[i / 4].name);
+        }
+        // Profile is the next-outer axis, config the inner one.
+        assert_eq!(jobs[0].profile, AsmProfile::Gp);
+        assert_eq!(jobs[0].config().name, "Simple");
+        assert_eq!(jobs[1].config().name, "Limit");
+        assert_eq!(jobs[2].profile, AsmProfile::Toc);
+    }
+
+    #[test]
+    fn unset_axes_default_to_single_none() {
+        let jobs = ExperimentPlan::new()
+            .workloads(lvp_workloads::suite().into_iter().take(1))
+            .jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].profile, AsmProfile::Toc);
+        assert_eq!(jobs[0].opt, OptLevel::O0);
+        assert!(jobs[0].config.is_none());
+        assert!(jobs[0].machine.is_none());
+    }
+
+    #[test]
+    fn job_keys_are_informative() {
+        let jobs = ExperimentPlan::new()
+            .workloads(lvp_workloads::suite().into_iter().take(1))
+            .configs([LvpConfig::simple()])
+            .machines([MachineModel::ppc620_plus()])
+            .jobs();
+        assert_eq!(jobs[0].key(), "cc1-271/toc/O0/Simple/620+");
+    }
+
+    #[test]
+    fn machine_model_names() {
+        assert_eq!(MachineModel::ppc620().name(), "620");
+        assert_eq!(MachineModel::ppc620_plus().name(), "620+");
+        assert_eq!(MachineModel::alpha21164().name(), "21164");
+        // Content keys distinguish models that share nothing but a name.
+        assert_ne!(
+            MachineModel::ppc620().cache_key(),
+            MachineModel::ppc620_plus().cache_key()
+        );
+    }
+}

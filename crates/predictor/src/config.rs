@@ -1,5 +1,6 @@
 //! LVP unit configurations (the paper's Table 2).
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Configuration of the Load Value Prediction Table.
@@ -41,6 +42,9 @@ pub struct CvuConfig {
 /// | Limit    | 4096 × 16/perf  | 1024 × 2bit| 128 |
 /// | Perfect  | ∞ / perfect     | —          | 0   |
 ///
+/// Derived configurations for sweeps are built with the `with_*`
+/// methods and labeled with [`LvpConfig::named`]:
+///
 /// # Examples
 ///
 /// ```
@@ -48,11 +52,20 @@ pub struct CvuConfig {
 /// let simple = LvpConfig::simple();
 /// assert_eq!(simple.lvpt.entries, 1024);
 /// assert_eq!(simple.lct.counter_bits, 2);
+///
+/// // An ablation point: Simple with a 4K-entry LVPT.
+/// let big = LvpConfig::simple()
+///     .with_lvpt_entries(4096)
+///     .named(format!("Simple/{}", 4096));
+/// assert_eq!(big.lvpt.entries, 4096);
+/// assert_eq!(big.name, "Simple/4096");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LvpConfig {
-    /// Display name ("Simple", "Constant", "Limit", "Perfect", or custom).
-    pub name: &'static str,
+    /// Display name ("Simple", "Constant", "Limit", "Perfect", or a
+    /// custom label set with [`LvpConfig::named`]). Borrowed for the
+    /// presets, owned for generated sweep points.
+    pub name: Cow<'static, str>,
     /// Value table configuration.
     pub lvpt: LvptConfig,
     /// Classification table configuration.
@@ -69,7 +82,7 @@ impl LvpConfig {
     /// processor generations.
     pub fn simple() -> LvpConfig {
         LvpConfig {
-            name: "Simple",
+            name: Cow::Borrowed("Simple"),
             lvpt: LvptConfig {
                 entries: 1024,
                 history_depth: 1,
@@ -88,7 +101,7 @@ impl LvpConfig {
     /// constant identification, with a larger CVU.
     pub fn constant() -> LvpConfig {
         LvpConfig {
-            name: "Constant",
+            name: Cow::Borrowed("Constant"),
             lvpt: LvptConfig {
                 entries: 1024,
                 history_depth: 1,
@@ -107,7 +120,7 @@ impl LvpConfig {
     /// and a hypothetical perfect selection mechanism.
     pub fn limit() -> LvpConfig {
         LvpConfig {
-            name: "Limit",
+            name: Cow::Borrowed("Limit"),
             lvpt: LvptConfig {
                 entries: 4096,
                 history_depth: 16,
@@ -126,7 +139,7 @@ impl LvpConfig {
     /// correctly, no constant classification.
     pub fn perfect() -> LvpConfig {
         LvpConfig {
-            name: "Perfect",
+            name: Cow::Borrowed("Perfect"),
             lvpt: LvptConfig {
                 entries: 1,
                 history_depth: 1,
@@ -139,6 +152,52 @@ impl LvpConfig {
             cvu: CvuConfig { entries: 0 },
             perfect: true,
         }
+    }
+
+    /// Relabels the configuration (for generated sweep points, e.g.
+    /// `LvpConfig::simple().with_lvpt_entries(n).named(format!("{n}"))`).
+    /// The label is display-only: caches and comparisons of predictor
+    /// *behavior* key on the content fields.
+    pub fn named(mut self, name: impl Into<Cow<'static, str>>) -> LvpConfig {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the LVPT entry count.
+    pub fn with_lvpt_entries(mut self, entries: usize) -> LvpConfig {
+        self.lvpt.entries = entries;
+        self
+    }
+
+    /// Sets the LVPT per-entry history depth.
+    pub fn with_history_depth(mut self, depth: usize) -> LvpConfig {
+        self.lvpt.history_depth = depth;
+        self
+    }
+
+    /// Enables/disables the hypothetical perfect history-selection
+    /// mechanism (meaningful with `history_depth > 1`).
+    pub fn with_perfect_selection(mut self, on: bool) -> LvpConfig {
+        self.lvpt.perfect_selection = on;
+        self
+    }
+
+    /// Sets the LCT entry count.
+    pub fn with_lct_entries(mut self, entries: usize) -> LvpConfig {
+        self.lct.entries = entries;
+        self
+    }
+
+    /// Sets the LCT saturating-counter width in bits.
+    pub fn with_lct_bits(mut self, bits: u8) -> LvpConfig {
+        self.lct.counter_bits = bits;
+        self
+    }
+
+    /// Sets the CVU entry count (0 disables the CVU).
+    pub fn with_cvu_entries(mut self, entries: usize) -> LvpConfig {
+        self.cvu.entries = entries;
+        self
     }
 
     /// The realistic configurations (buildable hardware).
@@ -200,6 +259,35 @@ mod tests {
 
         assert!(perfect.perfect);
         assert_eq!(perfect.cvu.entries, 0);
+    }
+
+    #[test]
+    fn builder_tweaks_one_field_at_a_time() {
+        let c = LvpConfig::simple()
+            .with_lvpt_entries(4096)
+            .with_history_depth(4)
+            .with_perfect_selection(true)
+            .with_lct_entries(512)
+            .with_lct_bits(1)
+            .with_cvu_entries(64)
+            .named("Custom");
+        assert_eq!(c.name, "Custom");
+        assert_eq!(c.lvpt.entries, 4096);
+        assert_eq!(c.lvpt.history_depth, 4);
+        assert!(c.lvpt.perfect_selection);
+        assert_eq!(c.lct.entries, 512);
+        assert_eq!(c.lct.counter_bits, 1);
+        assert_eq!(c.cvu.entries, 64);
+        assert!(!c.perfect);
+    }
+
+    #[test]
+    fn named_accepts_both_static_and_owned_labels() {
+        let s = LvpConfig::simple().named("static-label");
+        assert!(matches!(s.name, Cow::Borrowed(_)));
+        let o = LvpConfig::simple().named(format!("lvpt-{}", 256));
+        assert_eq!(o.name, "lvpt-256");
+        assert!(matches!(o.name, Cow::Owned(_)));
     }
 
     #[test]

@@ -117,11 +117,11 @@ impl LvpUnit {
     /// Creates an LVP unit in its cold state.
     pub fn new(config: LvpConfig) -> LvpUnit {
         LvpUnit {
-            config,
             lvpt: Lvpt::new(config.lvpt),
             lct: Lct::new(config.lct),
             cvu: Cvu::new(config.cvu),
             stats: LvpStats::default(),
+            config,
         }
     }
 

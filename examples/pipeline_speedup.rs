@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
         let base = simulate_620(&toc.trace, None, &machine);
         println!("PPC {}: baseline {base}", machine.name);
-        for cfg in configs {
-            let mut unit = LvpUnit::new(cfg);
+        for cfg in &configs {
+            let mut unit = LvpUnit::new(cfg.clone());
             let outcomes = unit.annotate(&toc.trace);
             let r = simulate_620(&toc.trace, Some(&outcomes), &machine);
             println!(
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LvpConfig::limit(),
         LvpConfig::perfect(),
     ] {
-        let mut unit = LvpUnit::new(cfg);
+        let mut unit = LvpUnit::new(cfg.clone());
         let outcomes = unit.annotate(&gp.trace);
         let r = simulate_21164(&gp.trace, Some(&outcomes), &machine);
         println!(

@@ -12,7 +12,9 @@
 //! * [`predictor`] — the LVP unit (LVPT + LCT + CVU) and value-locality
 //!   measurement: the paper's contribution,
 //! * [`uarch`] — the PowerPC 620 / 620+ and Alpha 21164 timing models,
-//! * [`workloads`] — the 17-benchmark suite mirroring the paper's Table 1.
+//! * [`workloads`] — the 17-benchmark suite mirroring the paper's Table 1,
+//! * [`harness`] — the experiment engine: typed plans, a parallel
+//!   trace-caching executor, and the registry of all paper experiments.
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use lvp_harness as harness;
 pub use lvp_isa as isa;
 pub use lvp_lang as lang;
 pub use lvp_predictor as predictor;
