@@ -12,11 +12,37 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Binary trace format smoke: pack a workload trace to LVPT v2, print its
+# header, and stream-verify every block checksum through the CLI.
+echo "==> lvp trace pack/info/verify"
+trace_file="target/ci-smoke/quick.lvpt"
+cargo run --release -q -p lvp-cli -- trace pack quick --out "$trace_file"
+cargo run --release -q -p lvp-cli -- trace info "$trace_file"
+cargo run --release -q -p lvp-cli -- trace verify "$trace_file" | grep -F 'checksums verified'
+
 # Smoke-run the whole experiment registry through the harness on the
 # fast workload subset; prints per-experiment wall time and the engine's
-# cache counters, and fails if any experiment errors.
-echo "==> lvp bench --all --fast --threads 2"
-bench_out="$(cargo run --release -q -p lvp-cli -- bench --all --fast --threads 2)"
+# cache counters, and fails if any experiment errors. A fresh cache dir
+# makes the first run cold; the rerun in a second process must then be
+# served entirely from the persistent disk cache (zero traces computed).
+cache_dir="target/lvp-cache-ci"
+rm -rf "$cache_dir"
+
+echo "==> lvp bench --all --fast --threads 2 (cold disk cache)"
+bench_out="$(cargo run --release -q -p lvp-cli -- bench --all --fast --threads 2 --cache-dir "$cache_dir")"
 printf '%s\n' "$bench_out" | grep -E '^\[|^engine:'
+
+echo "==> lvp bench --all --fast --threads 2 (warm disk cache, second process)"
+bench_warm="$(cargo run --release -q -p lvp-cli -- bench --all --fast --threads 2 --cache-dir "$cache_dir")"
+printf '%s\n' "$bench_warm" | grep -E '^engine:'
+if ! printf '%s\n' "$bench_warm" | grep -E '^engine:' | grep -qF 'traces 0 computed'; then
+    echo "ci: warm bench rerun was not served from the disk cache" >&2
+    exit 1
+fi
+if printf '%s\n' "$bench_warm" | grep -E '^engine:' | grep -qE '/ 0 disk,'; then
+    echo "ci: warm bench rerun reported zero disk-cache hits" >&2
+    exit 1
+fi
+rm -rf "$cache_dir"
 
 echo "ci: all checks passed"

@@ -66,10 +66,14 @@ pub struct Annotation {
 /// `*_hits` counts requests served from an already-computed entry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Traces generated (phase-1 runs performed).
+    /// Traces generated (phase-1 runs performed). Requests served from
+    /// the persistent disk cache do **not** count here.
     pub traces_computed: u64,
-    /// Trace requests served from cache.
+    /// Trace requests served from the in-memory cache.
     pub trace_hits: u64,
+    /// Trace requests served from the persistent on-disk cache (no
+    /// phase-1 run performed in this process).
+    pub traces_disk_hit: u64,
     /// Annotation passes performed.
     pub annotations_computed: u64,
     /// Annotation requests served from cache.
@@ -142,10 +146,21 @@ impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
 }
 
 /// The engine's three cache layers.
+///
+/// The trace layer splits its "computed" accounting in two: the keyed
+/// cache's own `computed` counter says how many closure executions
+/// happened, but with a persistent [`DiskCache`](crate::DiskCache)
+/// attached a closure execution may be a cheap disk *load* rather than a
+/// phase-1 run. `traces_generated` / `traces_disk_hits` record which of
+/// the two actually happened, and [`EngineStats`] reports those.
 pub(crate) struct Cache {
     pub(crate) traces: KeyedCache<TraceKey, WorkloadRun>,
     pub(crate) annotations: KeyedCache<(TraceKey, ConfigKey), Annotation>,
     pub(crate) timings: KeyedCache<(TraceKey, Option<ConfigKey>, String), SimResult>,
+    /// Phase-1 runs actually performed in this process.
+    pub(crate) traces_generated: AtomicU64,
+    /// Trace requests satisfied by the persistent disk cache.
+    pub(crate) traces_disk_hits: AtomicU64,
 }
 
 impl Cache {
@@ -154,13 +169,16 @@ impl Cache {
             traces: KeyedCache::new(),
             annotations: KeyedCache::new(),
             timings: KeyedCache::new(),
+            traces_generated: AtomicU64::new(0),
+            traces_disk_hits: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn stats(&self) -> EngineStats {
         EngineStats {
-            traces_computed: self.traces.computed(),
+            traces_computed: self.traces_generated.load(Ordering::Relaxed),
             trace_hits: self.traces.hits(),
+            traces_disk_hit: self.traces_disk_hits.load(Ordering::Relaxed),
             annotations_computed: self.annotations.computed(),
             annotation_hits: self.annotations.hits(),
             timings_computed: self.timings.computed(),

@@ -1,0 +1,323 @@
+//! Persistent, content-addressed on-disk trace cache.
+//!
+//! The in-memory caches in [`crate::cache`] make traces exactly-once
+//! *per process*; this layer makes them exactly-once *per machine*. A
+//! cache entry is a single **LVPC** file holding everything a
+//! [`WorkloadRun`] needs that cannot be cheaply recomputed — the
+//! workload's output values, its output checksum, and the full dynamic
+//! trace serialized in the checksummed LVPT v2 format. The compiled
+//! [`Program`](lvp_isa::Program) is *not* stored: compilation is
+//! milliseconds (it is the simulation of tens of millions of
+//! instructions that the cache exists to skip) and the cache key hashes
+//! the exact compiler inputs, so recompiling on a hit reproduces the
+//! identical program.
+//!
+//! **Keying.** The file name embeds an FNV-1a hash of the workload's
+//! *source text*, the codegen profile, the optimization level, the LVPT
+//! format version, and the LVPC container version. Any change to the
+//! workload, the requested build, or either on-disk format therefore
+//! misses cleanly and regenerates; stale entries are simply never read
+//! again.
+//!
+//! **Atomicity.** Entries are written to a process-unique temp file in
+//! the cache directory and `rename`d into place, so concurrent
+//! processes racing on the same key each publish a complete file and
+//! readers never observe a partial write.
+//!
+//! **Robustness.** Loading is fail-soft: any I/O error, container or
+//! trace corruption (surfaced by the LVPT v2 checksums), or an output
+//! mismatch against the workload's golden values is treated as a miss,
+//! and the entry is regenerated and rewritten.
+//!
+//! ```text
+//! LVPC container (little-endian):
+//!   magic "LVPC", version u16, reserved u16
+//!   output checksum u64
+//!   output count u64, output values u64 × count
+//!   meta crc32 u32            (over checksum..outputs bytes)
+//!   LVPT v2 trace stream      (self-checksummed)
+//! ```
+
+use lvp_isa::AsmProfile;
+use lvp_lang::OptLevel;
+use lvp_trace::{read_trace, write_trace, FORMAT_VERSION};
+use lvp_workloads::{Workload, WorkloadRun};
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"LVPC";
+const CONTAINER_VERSION: u16 = 1;
+/// Sanity cap on the stored output count; every suite workload emits a
+/// handful of values, so anything huge is corruption.
+const MAX_OUTPUTS: u64 = 1 << 16;
+
+/// A content-addressed trace cache rooted at one directory.
+///
+/// Cheap to clone (it is only the root path); all state lives on disk.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+/// CRC-32 (IEEE) — mirrors `lvp_trace`'s internal implementation for
+/// the container's small metadata section.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// 64-bit FNV-1a; chosen over `DefaultHasher` because the on-disk key
+/// must be stable across processes, toolchain versions, and platforms.
+fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Chunk separator so ("ab","c") and ("a","bc") key differently.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache file path for one `(workload, profile, opt)` artifact.
+    /// Human-scannable prefix, content-addressed suffix.
+    pub fn entry_path(&self, w: &Workload, profile: AsmProfile, opt: OptLevel) -> PathBuf {
+        let profile_tag = match profile {
+            AsmProfile::Toc => "toc",
+            AsmProfile::Gp => "gp",
+        };
+        let key = fnv1a64(&[
+            w.name.as_bytes(),
+            w.source.as_bytes(),
+            profile_tag.as_bytes(),
+            format!("{opt:?}").as_bytes(),
+            &FORMAT_VERSION.to_le_bytes(),
+            &CONTAINER_VERSION.to_le_bytes(),
+        ]);
+        self.dir
+            .join(format!("{}-{profile_tag}-{opt:?}-{key:016x}.lvpc", w.name))
+    }
+
+    /// Attempts to serve a complete [`WorkloadRun`] from disk.
+    ///
+    /// Returns `None` on any miss: absent file, unreadable file, corrupt
+    /// container or trace (all typed failures in the underlying
+    /// formats), output values that no longer match the workload's
+    /// goldens, or a failed recompile. Never panics and never returns a
+    /// partially-populated run.
+    pub fn load(&self, w: &Workload, profile: AsmProfile, opt: OptLevel) -> Option<WorkloadRun> {
+        let path = self.entry_path(w, profile, opt);
+        let file = File::open(&path).ok()?;
+        let mut reader = BufReader::new(file);
+
+        let mut head = [0u8; 8];
+        reader.read_exact(&mut head).ok()?;
+        if &head[0..4] != MAGIC {
+            return None;
+        }
+        if u16::from_le_bytes([head[4], head[5]]) != CONTAINER_VERSION {
+            return None;
+        }
+        let mut meta = [0u8; 16];
+        reader.read_exact(&mut meta).ok()?;
+        let count = u64::from_le_bytes(meta[8..16].try_into().ok()?);
+        if count > MAX_OUTPUTS {
+            return None;
+        }
+        let mut meta_bytes = meta.to_vec();
+        let mut outputs = Vec::with_capacity(count as usize);
+        let mut word = [0u8; 8];
+        for _ in 0..count {
+            reader.read_exact(&mut word).ok()?;
+            meta_bytes.extend_from_slice(&word);
+            outputs.push(u64::from_le_bytes(word));
+        }
+        let mut crc_bytes = [0u8; 4];
+        reader.read_exact(&mut crc_bytes).ok()?;
+        if crc32(&meta_bytes) != u32::from_le_bytes(crc_bytes) {
+            return None;
+        }
+        let checksum = u64::from_le_bytes(meta[0..8].try_into().ok()?);
+
+        // Integrity gate: a cached run must still match the workload's
+        // golden output (guards against hash-collision-level freak
+        // accidents and hand-edited cache files alike).
+        if outputs != w.expected_output() {
+            return None;
+        }
+
+        let trace = read_trace(&mut reader).ok()?;
+
+        // Recompile (cheap, deterministic) instead of storing programs.
+        let program = lvp_lang::compile_with(w.source, profile, opt).ok()?;
+
+        Some(WorkloadRun {
+            trace,
+            output: outputs,
+            checksum,
+            program,
+        })
+    }
+
+    /// Writes a run's artifact atomically (temp file + rename).
+    ///
+    /// Best-effort by design: the caller treats a failed store as "no
+    /// cache this time", so the error is returned only for tests and
+    /// tooling that want to assert on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or the entry cannot be written or renamed into place.
+    pub fn store(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+        run: &WorkloadRun,
+    ) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(w, profile, opt);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+
+        let result = (|| {
+            let mut writer = BufWriter::new(File::create(&tmp)?);
+            writer.write_all(MAGIC)?;
+            writer.write_all(&CONTAINER_VERSION.to_le_bytes())?;
+            writer.write_all(&0u16.to_le_bytes())?;
+            let mut meta_bytes = Vec::with_capacity(16 + run.output.len() * 8);
+            meta_bytes.extend_from_slice(&run.checksum.to_le_bytes());
+            meta_bytes.extend_from_slice(&(run.output.len() as u64).to_le_bytes());
+            for &v in &run.output {
+                meta_bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            writer.write_all(&meta_bytes)?;
+            writer.write_all(&crc32(&meta_bytes).to_le_bytes())?;
+            write_trace(&mut writer, &run.trace).map_err(std::io::Error::other)?;
+            writer.flush()?;
+            drop(writer);
+            fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_trace::{OpKind, Trace, TraceEntry};
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!("lvp-disk-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskCache::new(dir)
+    }
+
+    fn tiny_run(w: &Workload) -> WorkloadRun {
+        let trace: Trace = (0..64)
+            .map(|i| TraceEntry::simple(0x1000 + 4 * i, OpKind::IntSimple))
+            .collect();
+        WorkloadRun {
+            trace,
+            output: w.expected_output().to_vec(),
+            checksum: 0xfeed_beef,
+            program: lvp_lang::compile_with(w.source, AsmProfile::Toc, OptLevel::O0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let w = Workload::by_name("quick").unwrap();
+        let run = tiny_run(&w);
+        cache
+            .store(&w, AsmProfile::Toc, OptLevel::O0, &run)
+            .unwrap();
+        let loaded = cache.load(&w, AsmProfile::Toc, OptLevel::O0).unwrap();
+        assert_eq!(loaded.trace.entries(), run.trace.entries());
+        assert_eq!(loaded.output, run.output);
+        assert_eq!(loaded.checksum, run.checksum);
+        assert_eq!(loaded.program.text().len(), run.program.text().len());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn missing_and_corrupt_entries_are_misses_not_errors() {
+        let cache = temp_cache("corrupt");
+        let w = Workload::by_name("quick").unwrap();
+        assert!(cache.load(&w, AsmProfile::Toc, OptLevel::O0).is_none());
+
+        let run = tiny_run(&w);
+        cache
+            .store(&w, AsmProfile::Toc, OptLevel::O0, &run)
+            .unwrap();
+        let path = cache.entry_path(&w, AsmProfile::Toc, OptLevel::O0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte in the trace payload: the LVPT v2 checksum makes
+        // this a silent miss instead of a wrong-data hit.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(&w, AsmProfile::Toc, OptLevel::O0).is_none());
+
+        // Truncation is also a miss.
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load(&w, AsmProfile::Toc, OptLevel::O0).is_none());
+
+        // Garbage is also a miss.
+        fs::write(&path, b"not a cache entry").unwrap();
+        assert!(cache.load(&w, AsmProfile::Toc, OptLevel::O0).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_separates_profiles_opts_and_sources() {
+        let cache = DiskCache::new("target/lvp-cache");
+        let quick = Workload::by_name("quick").unwrap();
+        let grep = Workload::by_name("grep").unwrap();
+        let paths = [
+            cache.entry_path(&quick, AsmProfile::Toc, OptLevel::O0),
+            cache.entry_path(&quick, AsmProfile::Gp, OptLevel::O0),
+            cache.entry_path(&quick, AsmProfile::Toc, OptLevel::O1),
+            cache.entry_path(&grep, AsmProfile::Toc, OptLevel::O0),
+        ];
+        for (i, a) in paths.iter().enumerate() {
+            for b in paths.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Stable across calls (content-addressed, no RandomState).
+        assert_eq!(
+            cache.entry_path(&quick, AsmProfile::Toc, OptLevel::O0),
+            cache.entry_path(&quick, AsmProfile::Toc, OptLevel::O0)
+        );
+    }
+}

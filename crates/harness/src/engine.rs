@@ -1,6 +1,7 @@
 //! The experiment engine: a parallel, cache-backed plan executor.
 
 use crate::cache::{config_key, Annotation, Cache, EngineStats, TraceKey};
+use crate::disk::DiskCache;
 use crate::error::{HarnessError, Phase};
 use crate::plan::{JobSpec, MachineModel, Plan};
 use lvp_isa::AsmProfile;
@@ -72,6 +73,7 @@ pub struct Engine {
     threads: usize,
     suite: Vec<Workload>,
     cache: Cache,
+    disk: Option<DiskCache>,
 }
 
 impl Default for Engine {
@@ -90,6 +92,7 @@ impl Engine {
                 .unwrap_or(1),
             suite: lvp_workloads::suite(),
             cache: Cache::new(),
+            disk: None,
         }
     }
 
@@ -104,6 +107,30 @@ impl Engine {
     pub fn with_threads(mut self, n: usize) -> Engine {
         self.threads = n.max(1);
         self
+    }
+
+    /// Attaches a persistent on-disk trace cache rooted at `dir`.
+    ///
+    /// With a disk cache attached, phase-1 results are served from disk
+    /// when a valid content-addressed entry exists (counted in
+    /// [`EngineStats::traces_disk_hit`], *not* in `traces_computed`) and
+    /// written back after every generation, so a rerun in a fresh
+    /// process computes zero traces. The engine defaults to **no** disk
+    /// cache — library users and tests stay hermetic unless they opt in.
+    pub fn with_disk_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Engine {
+        self.disk = Some(DiskCache::new(dir));
+        self
+    }
+
+    /// Detaches the persistent disk cache (the default state).
+    pub fn without_disk_cache(mut self) -> Engine {
+        self.disk = None;
+        self
+    }
+
+    /// The attached disk cache's root directory, if any.
+    pub fn disk_cache_dir(&self) -> Option<&std::path::Path> {
+        self.disk.as_ref().map(DiskCache::dir)
     }
 
     /// Restricts the engine to a named workload subset, in suite order.
@@ -227,11 +254,16 @@ impl Ctx<'_> {
 
     /// Phase 1, cached: the full workload run (trace + program +
     /// output) for `(workload, profile, opt)`. Computed exactly once
-    /// per process and shared across all consumers.
+    /// per process and shared across all consumers. With a disk cache
+    /// attached (see [`Engine::with_disk_cache`]) the run is served
+    /// from a valid persistent entry when one exists, and written back
+    /// after generation otherwise.
     ///
     /// # Errors
     ///
-    /// Propagates [`run_workload`] failures.
+    /// Propagates [`run_workload`] failures. Disk-cache problems are
+    /// never errors: a bad entry is a miss (regenerated and rewritten)
+    /// and a failed write-back is ignored.
     pub fn workload_run(
         &self,
         w: &Workload,
@@ -239,11 +271,23 @@ impl Ctx<'_> {
         opt: OptLevel,
     ) -> Result<Arc<WorkloadRun>, HarnessError> {
         let w = *w;
-        self.engine
-            .cache
+        let cache = &self.engine.cache;
+        let disk = self.engine.disk.as_ref();
+        cache
             .traces
             .get_or_compute(Self::trace_key(&w, profile, opt), move || {
-                run_workload(&w, profile, opt)
+                if let Some(run) = disk.and_then(|d| d.load(&w, profile, opt)) {
+                    cache.traces_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(run);
+                }
+                let run = run_workload(&w, profile, opt)?;
+                cache.traces_generated.fetch_add(1, Ordering::Relaxed);
+                if let Some(d) = disk {
+                    // Best-effort write-back: a full disk or read-only
+                    // cache dir must not fail the experiment.
+                    let _ = d.store(&w, profile, opt, &run);
+                }
+                Ok(run)
             })
     }
 
@@ -317,7 +361,7 @@ impl Ctx<'_> {
     ///
     /// Propagates trace-generation failures.
     pub fn job_annotation(&self, job: &JobSpec) -> Result<Arc<Annotation>, HarnessError> {
-        self.annotation(&job.workload, job.profile, job.opt, job.config())
+        self.annotation(&job.workload, job.profile, job.opt, job.config()?)
     }
 
     /// [`Ctx::timing`] for a job's own axes (requires a machine axis;
@@ -331,7 +375,7 @@ impl Ctx<'_> {
         job: &JobSpec,
         with_lvp: bool,
     ) -> Result<Arc<SimResult>, HarnessError> {
-        let config = if with_lvp { Some(job.config()) } else { None };
-        self.timing(&job.workload, job.profile, job.opt, config, job.machine())
+        let config = if with_lvp { Some(job.config()?) } else { None };
+        self.timing(&job.workload, job.profile, job.opt, config, job.machine()?)
     }
 }

@@ -31,10 +31,27 @@ impl fmt::Display for Phase {
     }
 }
 
+/// Machine-matchable classification of a [`HarnessError`], so callers
+/// can distinguish plan-definition bugs from runtime failures without
+/// parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A pipeline phase failed at runtime (compile, simulate, validate).
+    Failure,
+    /// A job asked for its [`LvpConfig`](lvp_predictor::LvpConfig) axis
+    /// but the plan never set one.
+    MissingConfigAxis,
+    /// A job asked for its machine axis but the plan never set one.
+    MissingMachineAxis,
+}
+
 /// Error from the experiment engine.
 ///
 /// Cloneable (errors are fanned out to every consumer of a failed cache
-/// entry) and self-describing: the message names the target and phase.
+/// entry) and self-describing: the message names the target and phase,
+/// and [`kind`](HarnessError::kind) classifies the failure for
+/// `matches!`-style handling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessError {
     /// Which pipeline phase failed.
@@ -43,15 +60,40 @@ pub struct HarnessError {
     pub target: String,
     /// Human-readable cause.
     pub message: String,
+    /// Typed classification of the failure.
+    pub kind: ErrorKind,
 }
 
 impl HarnessError {
-    /// Creates an error for `target` failing in `phase`.
+    /// Creates a runtime-failure error for `target` failing in `phase`.
     pub fn new(phase: Phase, target: impl Into<String>, message: impl ToString) -> HarnessError {
         HarnessError {
             phase,
             target: target.into(),
             message: message.to_string(),
+            kind: ErrorKind::Failure,
+        }
+    }
+
+    /// A job requested the [`LvpConfig`](lvp_predictor::LvpConfig) axis
+    /// from a plan that has none — an experiment-definition bug,
+    /// reported as a typed plan-phase error instead of a panic.
+    pub fn missing_config_axis(job: impl Into<String>) -> HarnessError {
+        HarnessError {
+            phase: Phase::Plan,
+            target: job.into(),
+            message: "plan has no LvpConfig axis but the job asked for one".into(),
+            kind: ErrorKind::MissingConfigAxis,
+        }
+    }
+
+    /// A job requested the machine axis from a plan that has none.
+    pub fn missing_machine_axis(job: impl Into<String>) -> HarnessError {
+        HarnessError {
+            phase: Phase::Plan,
+            target: job.into(),
+            message: "plan has no machine axis but the job asked for one".into(),
+            kind: ErrorKind::MissingMachineAxis,
         }
     }
 }
@@ -85,5 +127,17 @@ mod tests {
     fn errors_are_cloneable_and_comparable() {
         let e = HarnessError::new(Phase::Annotate, "quick", "boom");
         assert_eq!(e.clone(), e);
+        assert_eq!(e.kind, ErrorKind::Failure);
+    }
+
+    #[test]
+    fn missing_axis_errors_are_typed() {
+        let c = HarnessError::missing_config_axis("sc/toc/O0");
+        assert_eq!(c.kind, ErrorKind::MissingConfigAxis);
+        assert_eq!(c.phase, Phase::Plan);
+        assert!(c.to_string().contains("LvpConfig axis"), "{c}");
+        let m = HarnessError::missing_machine_axis("sc/toc/O0");
+        assert_eq!(m.kind, ErrorKind::MissingMachineAxis);
+        assert!(m.to_string().contains("machine axis"), "{m}");
     }
 }

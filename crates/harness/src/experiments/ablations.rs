@@ -308,14 +308,14 @@ pub(super) fn ablation_machine(engine: &Engine) -> Result<Report, HarnessError> 
                 job.profile,
                 job.opt,
                 Some(&LvpConfig::simple()),
-                job.machine(),
+                job.machine()?,
             )?;
             let perfect = ctx.timing(
                 w,
                 job.profile,
                 job.opt,
                 Some(&LvpConfig::perfect()),
-                job.machine(),
+                job.machine()?,
             )?;
             Ok((
                 base.ipc(),

@@ -223,7 +223,7 @@ pub(super) fn fig7(engine: &Engine) -> Result<Report, HarnessError> {
                     &job.workload,
                     job.profile,
                     job.opt,
-                    Some(job.config()),
+                    Some(job.config()?),
                     &machine,
                 )?;
                 hists.push(r.verify_latency);

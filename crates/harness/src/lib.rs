@@ -12,6 +12,10 @@
 //!   configurable worker count and deterministic (plan-order) result
 //!   merging, backed by content-keyed caches so each trace, annotation
 //!   and timing simulation is computed exactly once per process.
+//! * [`DiskCache`] — an opt-in persistent, content-addressed trace
+//!   cache ([`Engine::with_disk_cache`]) that makes phase 1 exactly-once
+//!   per *machine*: reruns in fresh processes load checksummed LVPT v2
+//!   artifacts from disk instead of re-simulating.
 //! * [`Report`] / [`ExperimentRow`] / [`Cell`] — structured results
 //!   separated from rendering; the classic fixed-width text output is
 //!   one renderer ([`Report::render_text`]), CSV another.
@@ -44,6 +48,7 @@
 //! ```
 
 pub mod cache;
+pub mod disk;
 pub mod engine;
 pub mod error;
 pub mod experiments;
@@ -51,8 +56,9 @@ pub mod plan;
 pub mod report;
 
 pub use cache::{Annotation, EngineStats};
+pub use disk::DiskCache;
 pub use engine::{run_workload, Ctx, Engine, FAST_WORKLOADS};
-pub use error::{HarnessError, Phase};
+pub use error::{ErrorKind, HarnessError, Phase};
 pub use experiments::{address_ranges, experiment, experiments, ExperimentDef};
 pub use plan::{ExperimentPlan, JobSpec, MachineModel, Plan};
 pub use report::{

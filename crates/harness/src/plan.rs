@@ -100,25 +100,29 @@ impl JobSpec {
 
     /// The job's LVP configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan has no config axis — that is a bug in the
-    /// experiment definition, not a runtime condition.
-    pub fn config(&self) -> &LvpConfig {
+    /// Returns a typed [`HarnessError`] (kind
+    /// [`ErrorKind::MissingConfigAxis`](crate::error::ErrorKind)) if the
+    /// plan has no config axis — an experiment-definition bug surfaced
+    /// as a plan-phase error naming the job, never a panic.
+    pub fn config(&self) -> Result<&LvpConfig, HarnessError> {
         self.config
             .as_ref()
-            .expect("plan has no LvpConfig axis but the job asked for one")
+            .ok_or_else(|| HarnessError::missing_config_axis(self.key()))
     }
 
     /// The job's machine model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan has no machine axis.
-    pub fn machine(&self) -> &MachineModel {
+    /// Returns a typed [`HarnessError`] (kind
+    /// [`ErrorKind::MissingMachineAxis`](crate::error::ErrorKind)) if
+    /// the plan has no machine axis.
+    pub fn machine(&self) -> Result<&MachineModel, HarnessError> {
         self.machine
             .as_ref()
-            .expect("plan has no machine axis but the job asked for one")
+            .ok_or_else(|| HarnessError::missing_machine_axis(self.key()))
     }
 }
 
@@ -285,8 +289,8 @@ mod tests {
         }
         // Profile is the next-outer axis, config the inner one.
         assert_eq!(jobs[0].profile, AsmProfile::Gp);
-        assert_eq!(jobs[0].config().name, "Simple");
-        assert_eq!(jobs[1].config().name, "Limit");
+        assert_eq!(jobs[0].config().unwrap().name, "Simple");
+        assert_eq!(jobs[1].config().unwrap().name, "Limit");
         assert_eq!(jobs[2].profile, AsmProfile::Toc);
     }
 
@@ -310,6 +314,19 @@ mod tests {
             .machines([MachineModel::ppc620_plus()])
             .jobs();
         assert_eq!(jobs[0].key(), "cc1-271/toc/O0/Simple/620+");
+    }
+
+    #[test]
+    fn missing_axis_lookups_are_typed_errors_not_panics() {
+        use crate::error::ErrorKind;
+        let jobs = ExperimentPlan::new()
+            .workloads(lvp_workloads::suite().into_iter().take(1))
+            .jobs();
+        let config_err = jobs[0].config().unwrap_err();
+        assert_eq!(config_err.kind, ErrorKind::MissingConfigAxis);
+        assert!(config_err.target.contains("cc1-271"), "{config_err}");
+        let machine_err = jobs[0].machine().unwrap_err();
+        assert_eq!(machine_err.kind, ErrorKind::MissingMachineAxis);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Integration tests for the persistent disk cache: a second engine
+//! sharing the same cache directory (standing in for a second process —
+//! the caches it would inherit in-process are fresh) must compute zero
+//! traces, serve everything from disk, and render byte-identical output.
+
+use lvp_harness::{experiment, Engine};
+use std::path::PathBuf;
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lvp-disk-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_named(engine: &Engine, name: &str) -> String {
+    let def = experiment(name).unwrap_or_else(|| panic!("unknown experiment {name}"));
+    (def.run)(engine)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+        .render_text()
+}
+
+/// Acceptance: with a shared cache dir, the second engine (fresh
+/// in-memory caches, as a second process would have) performs zero
+/// phase-1 runs and produces byte-identical experiment output.
+#[test]
+fn second_engine_is_served_entirely_from_disk() {
+    let dir = temp_cache_dir("rerun");
+
+    let cold = Engine::new()
+        .with_workload_names(&["sc", "grep"])
+        .unwrap()
+        .with_threads(4)
+        .with_disk_cache(&dir);
+    let cold_out = run_named(&cold, "table3");
+    let cold_stats = cold.stats();
+    assert!(cold_stats.traces_computed > 0, "{cold_stats:?}");
+    assert_eq!(cold_stats.traces_disk_hit, 0, "{cold_stats:?}");
+
+    let warm = Engine::new()
+        .with_workload_names(&["sc", "grep"])
+        .unwrap()
+        .with_threads(4)
+        .with_disk_cache(&dir);
+    let warm_out = run_named(&warm, "table3");
+    let warm_stats = warm.stats();
+    assert_eq!(
+        warm_stats.traces_computed, 0,
+        "warm run re-traced: {warm_stats:?}"
+    );
+    assert_eq!(
+        warm_stats.traces_disk_hit, cold_stats.traces_computed,
+        "{warm_stats:?}"
+    );
+    assert_eq!(cold_out, warm_out, "disk-cached rerun changed the output");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The disk cache only changes *where* traces come from, never what the
+/// downstream phases see: annotation work and results are unchanged.
+#[test]
+fn disk_cache_is_transparent_to_annotations() {
+    let dir = temp_cache_dir("transparent");
+
+    let hermetic = Engine::new().with_workload_names(&["xlisp"]).unwrap();
+    let baseline = run_named(&hermetic, "table4");
+
+    let cached = Engine::new()
+        .with_workload_names(&["xlisp"])
+        .unwrap()
+        .with_disk_cache(&dir);
+    run_named(&cached, "table4");
+
+    let warm = Engine::new()
+        .with_workload_names(&["xlisp"])
+        .unwrap()
+        .with_disk_cache(&dir);
+    let warm_out = run_named(&warm, "table4");
+    let warm_stats = warm.stats();
+    assert_eq!(warm_stats.traces_computed, 0, "{warm_stats:?}");
+    assert!(warm_stats.traces_disk_hit > 0, "{warm_stats:?}");
+    assert!(
+        warm_stats.annotations_computed > 0,
+        "annotations are per-process and must still run: {warm_stats:?}"
+    );
+    assert_eq!(baseline, warm_out, "cached trace altered table4 output");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Engines without an attached disk cache never touch the filesystem —
+/// the library default stays hermetic.
+#[test]
+fn engine_without_disk_cache_writes_nothing() {
+    let dir = temp_cache_dir("hermetic");
+    let engine = Engine::new().with_workload_names(&["sc"]).unwrap();
+    assert!(engine.disk_cache_dir().is_none());
+    run_named(&engine, "table3");
+    assert!(!dir.exists());
+
+    // And the builder is reversible.
+    let detached = Engine::new().with_disk_cache(&dir).without_disk_cache();
+    assert!(detached.disk_cache_dir().is_none());
+}

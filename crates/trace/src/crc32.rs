@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//!
+//! Hand-rolled so the trace format stays dependency-free; the table is
+//! built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (standard IEEE variant, as produced by zlib's
+/// `crc32()` or Python's `zlib.crc32`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"LVPT"), crc32(b"LVPT"));
+        assert_ne!(crc32(b"LVPT"), crc32(b"LVPX"));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), base, "flip at byte {i} undetected");
+            data[i] ^= 1;
+        }
+    }
+}

@@ -14,15 +14,21 @@
 //!   passes to its timing models);
 //! * [`AnnotatedTrace`] — a trace plus its per-load annotations;
 //! * a compact binary serialization ([`write_trace`]/[`read_trace`]) for
-//!   storing traces on disk.
+//!   storing traces on disk — **LVPT v2**, a block format with per-block
+//!   CRC-32 checksums and a declared payload length, plus [`TraceReader`],
+//!   a streaming iterator that yields entries without materializing the
+//!   whole trace (legacy v1 streams remain readable).
 
+mod crc32;
 mod entry;
 mod io;
+mod reader;
 mod text;
 mod window;
 
 pub use entry::{BranchEvent, MemAccess, OpKind, RegClass, RegRef, TraceEntry};
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{read_trace, write_trace, write_trace_v1, TraceIoError, FORMAT_VERSION};
+pub use reader::TraceReader;
 pub use text::{dump_text, parse_text, ParseTraceError};
 pub use window::{TraceWindow, Windows};
 

@@ -1,0 +1,283 @@
+//! Seeded, hand-rolled randomized roundtrip tests for the binary trace
+//! format (no external property-testing dependency, per the offline
+//! build rule), plus the v1 → v2 compatibility test against a committed
+//! fixture.
+//!
+//! The generator first enumerates *every* combination of `OpKind` ×
+//! operand presence × memory variant (none / int / fp) × branch variant
+//! (none / not-taken / taken), then pads to ~1k entries with
+//! LCG-generated random records, so all encoder flag paths are covered
+//! deterministically on every run.
+
+use lvp_trace::{
+    read_trace, write_trace, write_trace_v1, BranchEvent, MemAccess, OpKind, RegRef, Trace,
+    TraceEntry, TraceReader,
+};
+use std::path::PathBuf;
+
+/// Deterministic 64-bit LCG (MMIX constants); the whole suite is seeded.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const SEED: u64 = 0x5eed_1996_a5b1_05f6;
+
+fn reg(kind: u64, num: u8) -> Option<RegRef> {
+    match kind {
+        0 => None,
+        1 => Some(RegRef::int(num & 0x1f)),
+        _ => Some(RegRef::fp(num & 0x1f)),
+    }
+}
+
+fn mem(variant: u64, addr: u64, value: u64, width_sel: u64) -> Option<MemAccess> {
+    let width = [1u8, 2, 4, 8][(width_sel % 4) as usize];
+    match variant {
+        0 => None,
+        1 => Some(MemAccess {
+            addr,
+            width,
+            value,
+            fp: false,
+        }),
+        _ => Some(MemAccess {
+            addr,
+            width,
+            value,
+            fp: true,
+        }),
+    }
+}
+
+fn branch(variant: u64, target: u64) -> Option<BranchEvent> {
+    match variant {
+        0 => None,
+        1 => Some(BranchEvent {
+            taken: false,
+            target,
+        }),
+        _ => Some(BranchEvent {
+            taken: true,
+            target,
+        }),
+    }
+}
+
+/// Every (kind, dst, src0, src1, mem-variant, branch-variant)
+/// combination once, then random entries up to ~1k total.
+fn generated_trace() -> Trace {
+    let mut t = Trace::new();
+    let mut pc = 0x1_0000u64;
+    for (ki, &kind) in OpKind::ALL.iter().enumerate() {
+        for dst in 0..2 {
+            for src0 in 0..2 {
+                for src1 in 0..2 {
+                    for mv in 0..3 {
+                        for bv in 0..3 {
+                            t.push(TraceEntry {
+                                pc,
+                                kind,
+                                dst: reg(dst * (1 + (ki as u64 % 2)), ki as u8),
+                                srcs: [
+                                    reg(src0 * (1 + ((ki as u64 + 1) % 2)), 31),
+                                    reg(src1 * 2, 0),
+                                ],
+                                mem: mem(mv, 0x20_0000 + pc, pc.wrapping_mul(0x9e37), pc),
+                                branch: branch(bv, 0x1_0000),
+                            });
+                            pc += 4;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let exhaustive = t.len();
+    assert_eq!(exhaustive, 10 * 2 * 2 * 2 * 3 * 3, "combination count");
+
+    let mut rng = Lcg(SEED);
+    while t.len() < 1024 {
+        let kind = OpKind::ALL[rng.below(OpKind::ALL.len() as u64) as usize];
+        t.push(TraceEntry {
+            pc: rng.next(),
+            kind,
+            dst: reg(rng.below(3), rng.next() as u8),
+            srcs: [
+                reg(rng.below(3), rng.next() as u8),
+                reg(rng.below(3), rng.next() as u8),
+            ],
+            mem: mem(rng.below(3), rng.next(), rng.next(), rng.next()),
+            branch: branch(rng.below(3), rng.next()),
+        });
+    }
+    t
+}
+
+#[test]
+fn write_stream_write_is_byte_identical() {
+    let original = generated_trace();
+    let mut first = Vec::new();
+    write_trace(&mut first, &original).unwrap();
+
+    // Stream-read (never materializing through read_trace) and rebuild.
+    let rebuilt: Trace = TraceReader::new(first.as_slice())
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(rebuilt.entries(), original.entries());
+    assert_eq!(rebuilt.stats(), original.stats());
+
+    let mut second = Vec::new();
+    write_trace(&mut second, &rebuilt).unwrap();
+    assert_eq!(first, second, "write→stream-read→write must be stable");
+}
+
+#[test]
+fn v1_write_read_preserves_every_combination() {
+    let original = generated_trace();
+    let mut buf = Vec::new();
+    write_trace_v1(&mut buf, &original).unwrap();
+    let back = read_trace(buf.as_slice()).unwrap();
+    assert_eq!(back.entries(), original.entries());
+
+    // v1 re-encoding is stable too.
+    let mut again = Vec::new();
+    write_trace_v1(&mut again, &back).unwrap();
+    assert_eq!(buf, again);
+}
+
+#[test]
+fn random_truncations_of_random_traces_never_panic() {
+    let original = generated_trace();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &original).unwrap();
+    let mut rng = Lcg(SEED ^ 0xdead_beef);
+    for _ in 0..256 {
+        let len = rng.below(buf.len() as u64) as usize;
+        assert!(
+            read_trace(&buf[..len]).is_err(),
+            "truncation to {len} bytes accepted"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// v1 → v2 compatibility fixture
+// ---------------------------------------------------------------------
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("sample_v1.lvpt")
+}
+
+/// The exact trace committed in `tests/fixtures/sample_v1.lvpt`.
+fn fixture_trace() -> Trace {
+    let mut t = Trace::new();
+    t.push(TraceEntry::simple(0x10000, OpKind::IntSimple));
+    t.push(TraceEntry {
+        pc: 0x10004,
+        kind: OpKind::Load,
+        dst: Some(RegRef::int(10)),
+        srcs: [Some(RegRef::int(2)), None],
+        mem: Some(MemAccess {
+            addr: 0x10_0008,
+            width: 8,
+            value: u64::MAX,
+            fp: false,
+        }),
+        branch: None,
+    });
+    t.push(TraceEntry {
+        pc: 0x10008,
+        kind: OpKind::Store,
+        dst: None,
+        srcs: [Some(RegRef::int(2)), Some(RegRef::fp(4))],
+        mem: Some(MemAccess {
+            addr: 0x10_0010,
+            width: 4,
+            value: 42,
+            fp: true,
+        }),
+        branch: None,
+    });
+    t.push(TraceEntry {
+        pc: 0x1000c,
+        kind: OpKind::FpComplex,
+        dst: Some(RegRef::fp(1)),
+        srcs: [Some(RegRef::fp(2)), Some(RegRef::fp(3))],
+        mem: None,
+        branch: None,
+    });
+    t.push(TraceEntry {
+        pc: 0x10010,
+        kind: OpKind::CondBranch,
+        dst: None,
+        srcs: [Some(RegRef::int(5)), Some(RegRef::int(6))],
+        mem: None,
+        branch: Some(BranchEvent {
+            taken: true,
+            target: 0x10000,
+        }),
+    });
+    t.push(TraceEntry {
+        pc: 0x10014,
+        kind: OpKind::System,
+        dst: None,
+        srcs: [None, None],
+        mem: None,
+        branch: None,
+    });
+    t
+}
+
+/// A v2 reader must consume a committed, pre-v2 artifact byte-for-byte.
+#[test]
+fn committed_v1_fixture_reads_under_v2_reader() {
+    let bytes = std::fs::read(fixture_path())
+        .unwrap_or_else(|e| panic!("missing fixture {:?}: {e}", fixture_path()));
+
+    // The committed bytes are exactly what the v1 writer produces for
+    // the reference trace — the fixture can always be regenerated.
+    let mut expected_bytes = Vec::new();
+    write_trace_v1(&mut expected_bytes, &fixture_trace()).unwrap();
+    assert_eq!(bytes, expected_bytes, "fixture drifted from v1 writer");
+
+    // Streaming read.
+    let reader = TraceReader::new(bytes.as_slice()).unwrap();
+    assert_eq!(reader.version(), 1);
+    let streamed: Trace = reader.collect::<Result<_, _>>().unwrap();
+    assert_eq!(streamed.entries(), fixture_trace().entries());
+
+    // Materializing read, then re-encode as v2 and read back.
+    let materialized = read_trace(bytes.as_slice()).unwrap();
+    let mut v2 = Vec::new();
+    write_trace(&mut v2, &materialized).unwrap();
+    let upgraded = read_trace(v2.as_slice()).unwrap();
+    assert_eq!(upgraded.entries(), fixture_trace().entries());
+}
+
+/// Regenerates the committed fixture. Run manually after an intentional
+/// v1-layout change (which should never happen — v1 is frozen):
+/// `cargo test -p lvp-trace --test randomized_roundtrip regenerate -- --ignored`
+#[test]
+#[ignore = "writes tests/fixtures/sample_v1.lvpt"]
+fn regenerate_v1_fixture() {
+    let mut buf = Vec::new();
+    write_trace_v1(&mut buf, &fixture_trace()).unwrap();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), buf).unwrap();
+}
