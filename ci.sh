@@ -12,6 +12,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Lint baseline gate: run the verifier plus the memory provenance pass
+# over every workload x profile x opt cell and diff the machine-readable
+# diagnostics against the committed baseline. Any *new* diagnostic fails
+# CI; diagnostics that disappeared are tolerated (regenerate the
+# baseline with `lvp check --all --memory --format json` to tighten it).
+echo "==> lvp check --all --memory (lint baseline gate)"
+mkdir -p target/ci-smoke
+check_out="target/ci-smoke/lints_current.json"
+check_status=0
+cargo run --release -q -p lvp-cli -- check --all --memory --format json \
+    > "$check_out" || check_status=$?
+if [ "$check_status" -gt 1 ]; then
+    echo "ci: lvp check --all --memory failed with status $check_status" >&2
+    exit "$check_status"
+fi
+grep '^    {"cell"' results/lints_baseline.json | sort \
+    > target/ci-smoke/lints_baseline.sorted || true
+grep '^    {"cell"' "$check_out" | sort \
+    > target/ci-smoke/lints_current.sorted || true
+new_lints="$(comm -13 target/ci-smoke/lints_baseline.sorted \
+    target/ci-smoke/lints_current.sorted)"
+if [ -n "$new_lints" ]; then
+    echo "ci: new lint diagnostics not in results/lints_baseline.json:" >&2
+    printf '%s\n' "$new_lints" >&2
+    exit 1
+fi
+
 # Binary trace format smoke: pack a workload trace to LVPT v2, print its
 # header, and stream-verify every block checksum through the CLI.
 echo "==> lvp trace pack/info/verify"
@@ -41,6 +68,20 @@ if ! printf '%s\n' "$bench_warm" | grep -E '^engine:' | grep -qF 'traces 0 compu
 fi
 if printf '%s\n' "$bench_warm" | grep -E '^engine:' | grep -qE '/ 0 disk,'; then
     echo "ci: warm bench rerun reported zero disk-cache hits" >&2
+    exit 1
+fi
+
+# Static/dynamic cross-check gate: every fast-subset workload at every
+# profile x opt level is traced (reusing the bench disk cache above) and
+# the CVU oracle must hold — no statically must-constant load may ever
+# be invalidated by a store or change its value. Without --memory the
+# suite is lint-clean, so the exit code alone is the verdict.
+echo "==> lvp check --all --cross-check --fast (CVU oracle gate)"
+cc_out="$(cargo run --release -q -p lvp-cli -- check --all --cross-check \
+    --fast --threads 2 --cache-dir "$cache_dir")"
+printf '%s\n' "$cc_out" | grep -E '^cross-check:'
+if ! printf '%s\n' "$cc_out" | grep -qF 'cross-check: PASS'; then
+    echo "ci: the static/dynamic cross-check oracle was violated" >&2
     exit 1
 fi
 rm -rf "$cache_dir"

@@ -22,6 +22,22 @@ pub enum LintCode {
     BadMemOperand,
     /// `LVP006`: write to the hardwired zero register (always discarded).
     WriteToZero,
+    /// `LVP007`: store whose address may fall into the compiler-owned
+    /// constant-pool region.
+    StoreToPool,
+    /// `LVP008`: load from initialized memory that no store in the program
+    /// may ever write (a must-constant load outside the constant pool).
+    LoadNeverWritten,
+    /// `LVP009`: a stack address stored to memory outside the stack region
+    /// (the frame pointer escapes its frame).
+    StackEscape,
+    /// `LVP010`: a load the provenance analysis proves constant but the
+    /// simpler syntactic classifier does not (misclassified-constant
+    /// candidate — the LCT would have to learn what is statically known).
+    MisclassifiedConstant,
+    /// `LVP011`: a load whose address exactly matches an earlier store in
+    /// the same block (store-to-load forwarding candidate).
+    StoreToLoadForward,
 }
 
 impl LintCode {
@@ -34,6 +50,11 @@ impl LintCode {
             LintCode::BranchOutOfText => "LVP004",
             LintCode::BadMemOperand => "LVP005",
             LintCode::WriteToZero => "LVP006",
+            LintCode::StoreToPool => "LVP007",
+            LintCode::LoadNeverWritten => "LVP008",
+            LintCode::StackEscape => "LVP009",
+            LintCode::MisclassifiedConstant => "LVP010",
+            LintCode::StoreToLoadForward => "LVP011",
         }
     }
 
@@ -46,6 +67,11 @@ impl LintCode {
             LintCode::BranchOutOfText => "branch-out-of-text",
             LintCode::BadMemOperand => "bad-mem-operand",
             LintCode::WriteToZero => "write-to-zero",
+            LintCode::StoreToPool => "store-to-pool",
+            LintCode::LoadNeverWritten => "load-never-written",
+            LintCode::StackEscape => "stack-escape",
+            LintCode::MisclassifiedConstant => "misclassified-constant",
+            LintCode::StoreToLoadForward => "store-to-load-forward",
         }
     }
 }
@@ -86,6 +112,19 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Canonicalizes a diagnostic list: sorts by `(pc, code, message)` and
+/// removes exact repeats.
+///
+/// Every producer of diagnostics (the verifier, the provenance pass, the
+/// CLI aggregator) funnels through this, so `lvp check` output is
+/// byte-stable regardless of pass ordering or thread count.
+pub fn sort_and_dedupe(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| {
+        (a.pc, a.code, a.message.as_str()).cmp(&(b.pc, b.code, b.message.as_str()))
+    });
+    diags.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +137,27 @@ mod tests {
         assert_eq!(LintCode::BranchOutOfText.as_str(), "LVP004");
         assert_eq!(LintCode::BadMemOperand.as_str(), "LVP005");
         assert_eq!(LintCode::WriteToZero.as_str(), "LVP006");
+        assert_eq!(LintCode::StoreToPool.as_str(), "LVP007");
+        assert_eq!(LintCode::LoadNeverWritten.as_str(), "LVP008");
+        assert_eq!(LintCode::StackEscape.as_str(), "LVP009");
+        assert_eq!(LintCode::MisclassifiedConstant.as_str(), "LVP010");
+        assert_eq!(LintCode::StoreToLoadForward.as_str(), "LVP011");
+    }
+
+    #[test]
+    fn sort_and_dedupe_is_canonical() {
+        let a = Diagnostic::new(LintCode::DeadStore, 0x10044, "z");
+        let b = Diagnostic::new(LintCode::UninitRead, 0x10040, "b");
+        let c = Diagnostic::new(LintCode::UninitRead, 0x10040, "a");
+        let d = Diagnostic::new(LintCode::DeadStore, 0x10040, "a");
+        // Two permutations with a duplicate canonicalize identically.
+        let mut one = vec![a.clone(), b.clone(), c.clone(), b.clone(), d.clone()];
+        let mut two = vec![b.clone(), d.clone(), a.clone(), c.clone(), b.clone()];
+        sort_and_dedupe(&mut one);
+        sort_and_dedupe(&mut two);
+        assert_eq!(one, two);
+        // Sorted by (pc, code, message), duplicates gone.
+        assert_eq!(one, vec![c, b, d, a]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! correctness gate (verifier) over everything the `lvp-lang` compiler and
 //! the hand-written workload kernels emit.
 //!
-//! The crate provides four layers, each usable on its own:
+//! The crate provides five layers, each usable on its own:
 //!
 //! * [`Cfg`] — basic blocks and control-flow edges over a
 //!   [`lvp_isa::Program`], with conservative indirect-jump (`jalr`)
@@ -18,7 +18,14 @@
 //! * [`classify_loads`] / [`LctComparison`] — the paper-facing pass:
 //!   statically classify every load (constant-pool, stack reload, global,
 //!   computed) and join the classes against the dynamic LCT outcome per
-//!   pc.
+//!   pc;
+//! * [`analyze_memory`] — the provenance pass: partition the address
+//!   space into abstract [`Region`]s, run a flow-sensitive points-to
+//!   lattice ([`AliasAnalysis`]) over base registers, classify every
+//!   load as must-constant / stack-local / unknown ([`MemClass`]), and
+//!   emit the memory lints `LVP007`–`LVP011`. The must-constant set is
+//!   the static mirror of the paper's CVU and is validated dynamically
+//!   by the `lvp-harness` cross-check oracle.
 //!
 //! # Lint codes
 //!
@@ -30,11 +37,20 @@
 //! | `LVP004` | `branch-out-of-text` | A direct branch or jump target lies outside the text segment or is misaligned. |
 //! | `LVP005` | `bad-mem-operand` | A memory operand whose address is statically known (`zero`-based absolute, or `gp`-based when `gp` is never written) is misaligned for its access width or falls outside the data segment. |
 //! | `LVP006` | `write-to-zero` | An instruction writes the hardwired zero register, discarding the value. `jal`/`jalr` with a `zero` link register (the standard no-link idiom) are exempt. |
+//! | `LVP007` | `store-to-pool` | A store's address set includes the compiler-owned constant-pool region. The pool is never legitimately written; a hit breaks the provenance pass's pool-ownership assumption. |
+//! | `LVP008` | `load-never-written` | A must-constant load of a *global* (non-pool) address: the program declared the data writable but no store can ever reach it — a pool-promotion candidate. |
+//! | `LVP009` | `stack-escape` | A provably-stack address is stored to provably non-stack memory: the frame pointer escapes its frame and may dangle after return. |
+//! | `LVP010` | `misclassified-constant` | The provenance pass proves a load constant but the syntactic classifier (`classify_loads`) does not — the dynamic LCT would have to *learn* what is statically known. |
+//! | `LVP011` | `store-to-load-forward` | A load's exact `(address, width)` matches an earlier store in the same basic block: a store-to-load forwarding candidate. Stack spill/reload pairs are exempt. |
 //!
-//! All lints are *must*-style: a diagnostic is a definite defect on every
-//! execution path (or, for `LVP002`/`LVP003`, provably dead text), so
-//! correct compiler output verifies clean and the lints can gate codegen
-//! in CI.
+//! Lints `LVP001`–`LVP006` are *must*-style: a diagnostic is a definite
+//! defect on every execution path (or, for `LVP002`/`LVP003`, provably
+//! dead text), so correct compiler output verifies clean and the lints
+//! can gate codegen in CI. The memory lints `LVP007`–`LVP011` (from
+//! [`analyze_memory`], surfaced via `lvp check --memory`) are provenance
+//! facts rather than outright defects — `LVP007`/`LVP009` indicate real
+//! bugs, `LVP008`/`LVP010`/`LVP011` point at optimization headroom — and
+//! are gated in CI against a committed baseline instead of a hard zero.
 //!
 //! # Examples
 //!
@@ -55,14 +71,23 @@
 //! # Ok::<(), lvp_isa::AsmError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod alias;
 mod cfg;
 mod dataflow;
 mod diag;
 mod loads;
+mod provenance;
+mod regions;
 mod verify;
 
+pub use alias::{AbsVal, AddrRes, AliasAnalysis, RegState};
 pub use cfg::{BadBranch, BasicBlock, Cfg};
 pub use dataflow::{BitSet, DefSite, Liveness, ReachingDefs, NUM_REGS};
-pub use diag::{Diagnostic, LintCode};
+pub use diag::{sort_and_dedupe, Diagnostic, LintCode};
 pub use loads::{classify_loads, ClassAgreement, LctComparison, StaticLoad, StaticLoadClass};
+pub use provenance::{analyze_memory, MemClass, MemLoad, MemoryReport};
+pub use regions::{Region, RegionMap, RegionSet};
 pub use verify::verify;

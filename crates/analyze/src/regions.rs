@@ -1,0 +1,276 @@
+//! Abstract memory regions for the provenance analysis.
+//!
+//! The provenance pass partitions the LRISC address space into four
+//! abstract regions and reasons about *sets* of them. The partition
+//! follows the loader's layout exactly:
+//!
+//! ```text
+//!   [data_base, pool_base)   Global     program globals (absolute or
+//!                                       gp-relative addressing)
+//!   [pool_base, data_end)    ConstPool  the compiler-owned constant pool
+//!                                       (Toc-profile `la` slots, large
+//!                                       `li` immediates, `fli` literals)
+//!   [stack_top - 1 MiB,
+//!    stack_top]              Stack      per-function stack frames
+//!   everything else          Outside    not a data address
+//! ```
+//!
+//! # The pool-ownership assumption
+//!
+//! The single deliberate deviation from full conservatism: a pointer of
+//! *unknown* provenance is assumed to range over `Global | Stack |
+//! Outside` but **never** over `ConstPool` (see
+//! [`RegionSet::unknown`]). The pool is compiler-owned — no source
+//! construct takes its address — so a store through a computed pointer
+//! cannot legitimately target it. Statically visible pool writes are
+//! still caught (lint `LVP007`), and the dynamic CVU cross-check
+//! validates the assumption on every run: if any store ever hits a
+//! must-constant pool slot at run time, the oracle fails naming the
+//! store. Without this assumption every program containing one indexed
+//! store would have an empty must-constant class, and the analysis
+//! would be useless.
+
+use lvp_isa::{Layout, Program};
+use std::fmt;
+
+/// One abstract memory region of the provenance partition.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// The compiler-owned constant pool `[pool_base, data_end)`.
+    ConstPool,
+    /// Program globals `[data_base, pool_base)`.
+    Global,
+    /// The stack region (top 1 MiB below the initial stack pointer).
+    Stack,
+    /// Not a data address (text, unmapped, or a non-address value).
+    Outside,
+}
+
+impl Region {
+    /// Short stable name, used in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::ConstPool => "const-pool",
+            Region::Global => "global",
+            Region::Stack => "stack",
+            Region::Outside => "outside",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Region::ConstPool => 1 << 0,
+            Region::Global => 1 << 1,
+            Region::Stack => 1 << 2,
+            Region::Outside => 1 << 3,
+        }
+    }
+
+    /// All regions, in declaration order.
+    pub fn all() -> [Region; 4] {
+        [
+            Region::ConstPool,
+            Region::Global,
+            Region::Stack,
+            Region::Outside,
+        ]
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of [`Region`]s, the codomain of the points-to lattice.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionSet(u8);
+
+impl RegionSet {
+    /// The empty set.
+    pub fn empty() -> RegionSet {
+        RegionSet(0)
+    }
+
+    /// The singleton set `{r}`.
+    pub fn of(r: Region) -> RegionSet {
+        RegionSet(r.bit())
+    }
+
+    /// The set an unknown value may point into: every region **except**
+    /// the constant pool (the pool-ownership assumption, see the module
+    /// docs).
+    pub fn unknown() -> RegionSet {
+        RegionSet(Region::Global.bit() | Region::Stack.bit() | Region::Outside.bit())
+    }
+
+    /// Set membership.
+    pub fn contains(self, r: Region) -> bool {
+        self.0 & r.bit() != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegionSet) -> RegionSet {
+        RegionSet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is exactly the singleton `{r}`.
+    pub fn is_only(self, r: Region) -> bool {
+        self.0 == r.bit()
+    }
+
+    /// The regions in the set, in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Region> {
+        Region::all().into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Display for RegionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        f.write_str("{")?;
+        for r in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            first = false;
+            f.write_str(r.name())?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// The concrete region boundaries of one program, answering "which
+/// region does address `a` live in?".
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    data_base: u64,
+    pool_base: u64,
+    data_end: u64,
+    stack_lo: u64,
+    stack_top: u64,
+}
+
+impl RegionMap {
+    /// Derives the region partition from a program's layout and pool
+    /// base.
+    pub fn new(program: &Program) -> RegionMap {
+        let layout: &Layout = program.layout();
+        RegionMap {
+            data_base: layout.data_base(),
+            pool_base: program.pool_base(),
+            data_end: layout.data_end(),
+            stack_lo: layout.stack_top().saturating_sub(1 << 20),
+            stack_top: layout.stack_top(),
+        }
+    }
+
+    /// The region containing address `addr`.
+    pub fn classify(&self, addr: u64) -> Region {
+        if addr >= self.pool_base && addr < self.data_end {
+            Region::ConstPool
+        } else if addr >= self.data_base && addr < self.pool_base {
+            Region::Global
+        } else if addr >= self.stack_lo && addr <= self.stack_top {
+            Region::Stack
+        } else {
+            Region::Outside
+        }
+    }
+
+    /// The region of the *byte range* `[addr, addr + width)`: the range's
+    /// start region, widened to a set if the range straddles a boundary.
+    pub fn classify_range(&self, addr: u64, width: u8) -> RegionSet {
+        let lo = self.classify(addr);
+        let hi = self.classify(addr.saturating_add(width.max(1) as u64 - 1));
+        RegionSet::of(lo).union(RegionSet::of(hi))
+    }
+
+    /// First initialized-data address.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// First constant-pool address.
+    pub fn pool_base(&self) -> u64 {
+        self.pool_base
+    }
+
+    /// One past the last initialized-data (and pool) address.
+    pub fn data_end(&self) -> u64 {
+        self.data_end
+    }
+
+    /// Whether `[addr, addr + width)` lies entirely inside the
+    /// initialized data image (so its initial contents are defined by
+    /// the program).
+    pub fn in_image(&self, addr: u64, width: u8) -> bool {
+        addr >= self.data_base
+            && addr
+                .checked_add(width as u64)
+                .is_some_and(|end| end <= self.data_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{AsmProfile, Assembler};
+
+    fn program() -> Program {
+        Assembler::new(AsmProfile::Toc)
+            .assemble(
+                ".data\nv: .dword 42\n.text\nmain:\n la a0, v\n ld a1, 0(a0)\n out a1\n halt\n",
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn partition_matches_layout() {
+        let p = program();
+        let m = RegionMap::new(&p);
+        assert_eq!(m.classify(p.symbol("v").unwrap()), Region::Global);
+        assert_eq!(m.classify(p.pool_base()), Region::ConstPool);
+        assert_eq!(m.classify(p.layout().stack_top() - 8), Region::Stack);
+        assert_eq!(m.classify(p.layout().text_base()), Region::Outside);
+        assert_eq!(m.classify(0xdead_beef_0000), Region::Outside);
+    }
+
+    #[test]
+    fn range_straddling_boundary_widens() {
+        let p = program();
+        let m = RegionMap::new(&p);
+        // `v` is the last global before the pool: an 8-byte range starting
+        // 4 bytes before the pool base covers both regions.
+        let set = m.classify_range(p.pool_base() - 4, 8);
+        assert!(set.contains(Region::Global) && set.contains(Region::ConstPool));
+    }
+
+    #[test]
+    fn unknown_set_excludes_pool() {
+        let u = RegionSet::unknown();
+        assert!(!u.contains(Region::ConstPool));
+        assert!(u.contains(Region::Global));
+        assert!(u.contains(Region::Stack));
+        assert!(u.contains(Region::Outside));
+        assert!(!u.is_only(Region::Stack));
+        assert_eq!(u.to_string(), "{global|stack|outside}");
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = RegionSet::of(Region::Stack);
+        assert!(s.is_only(Region::Stack));
+        assert!(!s.is_empty());
+        assert!(RegionSet::empty().is_empty());
+        let both = s.union(RegionSet::of(Region::Global));
+        assert!(both.contains(Region::Stack) && both.contains(Region::Global));
+        assert_eq!(both.iter().count(), 2);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::cfg::Cfg;
 use crate::dataflow::{Liveness, ReachingDefs};
-use crate::diag::{Diagnostic, LintCode};
+use crate::diag::{sort_and_dedupe, Diagnostic, LintCode};
 use lvp_isa::{Instr, Program, Reg, RegId};
 
 /// Register slots that the machine initializes at program entry
@@ -16,7 +16,8 @@ use lvp_isa::{Instr, Program, Reg, RegId};
 /// reads of these are never uninitialized.
 const ENTRY_INIT: u64 = (1 << 0) | (1 << 1) | (1 << 2) | (1 << 3);
 
-/// Runs all lints over `program`, returning diagnostics sorted by pc.
+/// Runs all lints over `program`, returning diagnostics canonically
+/// sorted by `(pc, code, message)` with exact repeats removed.
 pub fn verify(program: &Program) -> Vec<Diagnostic> {
     let cfg = Cfg::build(program);
     let mut diags = Vec::new();
@@ -34,7 +35,7 @@ pub fn verify(program: &Program) -> Vec<Diagnostic> {
     lint_mem_operands(program, &mut diags);
     lint_zero_writes(program, &cfg, &mut diags);
 
-    diags.sort_by_key(|d| (d.pc, d.code));
+    sort_and_dedupe(&mut diags);
     diags
 }
 

@@ -10,8 +10,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Findings reports (exit 1) belong on stdout so `--format
+            // json` output stays machine-readable; hard errors (exit 2)
+            // go to stderr.
+            if e.to_stdout() {
+                println!("{}", format!("{e}").trim_end_matches('\n'));
+            } else {
+                eprintln!("error: {e}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -18,6 +18,7 @@
 //! the `Arc`'d result. Hit/computed counters are exposed through
 //! [`EngineStats`].
 
+use crate::crosscheck::CrossCheckReport;
 use crate::error::HarnessError;
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
@@ -82,6 +83,10 @@ pub struct EngineStats {
     pub timings_computed: u64,
     /// Timing requests served from cache.
     pub timing_hits: u64,
+    /// Static/dynamic cross-checks performed.
+    pub crosschecks_computed: u64,
+    /// Cross-check requests served from cache.
+    pub crosscheck_hits: u64,
 }
 
 /// A per-key slot; the `OnceLock` makes concurrent first requests block
@@ -157,6 +162,7 @@ pub(crate) struct Cache {
     pub(crate) traces: KeyedCache<TraceKey, WorkloadRun>,
     pub(crate) annotations: KeyedCache<(TraceKey, ConfigKey), Annotation>,
     pub(crate) timings: KeyedCache<(TraceKey, Option<ConfigKey>, String), SimResult>,
+    pub(crate) crosschecks: KeyedCache<(TraceKey, ConfigKey), CrossCheckReport>,
     /// Phase-1 runs actually performed in this process.
     pub(crate) traces_generated: AtomicU64,
     /// Trace requests satisfied by the persistent disk cache.
@@ -169,6 +175,7 @@ impl Cache {
             traces: KeyedCache::new(),
             annotations: KeyedCache::new(),
             timings: KeyedCache::new(),
+            crosschecks: KeyedCache::new(),
             traces_generated: AtomicU64::new(0),
             traces_disk_hits: AtomicU64::new(0),
         }
@@ -183,6 +190,8 @@ impl Cache {
             annotation_hits: self.annotations.hits(),
             timings_computed: self.timings.computed(),
             timing_hits: self.timings.hits(),
+            crosschecks_computed: self.crosschecks.computed(),
+            crosscheck_hits: self.crosschecks.hits(),
         }
     }
 
@@ -193,6 +202,7 @@ impl Cache {
         self.traces.clear();
         self.annotations.clear();
         self.timings.clear();
+        self.crosschecks.clear();
     }
 }
 

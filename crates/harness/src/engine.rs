@@ -1,6 +1,7 @@
 //! The experiment engine: a parallel, cache-backed plan executor.
 
 use crate::cache::{config_key, Annotation, Cache, EngineStats, TraceKey};
+use crate::crosscheck::{cross_check, CrossCheckReport};
 use crate::disk::DiskCache;
 use crate::error::{HarnessError, Phase};
 use crate::plan::{JobSpec, MachineModel, Plan};
@@ -345,6 +346,32 @@ impl Ctx<'_> {
         })
     }
 
+    /// The static/dynamic cross-check oracle for one cell, cached like
+    /// annotations (keyed by trace key + config *content*): the
+    /// provenance pass's must-constant claims are verified against the
+    /// cell's real trace and CVU event stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures (phase
+    /// [`Phase::Analyze`](crate::Phase) belongs to the report itself,
+    /// which never errors — a violated oracle is a *failing report*, not
+    /// a harness error, so callers decide how loudly to fail).
+    pub fn cross_check(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+        config: &LvpConfig,
+    ) -> Result<Arc<CrossCheckReport>, HarnessError> {
+        let run = self.workload_run(w, profile, opt)?;
+        let key = (Self::trace_key(w, profile, opt), config_key(config));
+        self.engine.cache.crosschecks.get_or_compute(key, || {
+            let cell = format!("{}/{profile}/{opt:?}", w.name);
+            Ok(cross_check(&run.program, &run.trace, config, cell))
+        })
+    }
+
     /// [`Ctx::workload_run`] for a job's own axes.
     ///
     /// # Errors
@@ -362,6 +389,16 @@ impl Ctx<'_> {
     /// Propagates trace-generation failures.
     pub fn job_annotation(&self, job: &JobSpec) -> Result<Arc<Annotation>, HarnessError> {
         self.annotation(&job.workload, job.profile, job.opt, job.config()?)
+    }
+
+    /// [`Ctx::cross_check`] for a job's own axes (requires a config
+    /// axis).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn job_cross_check(&self, job: &JobSpec) -> Result<Arc<CrossCheckReport>, HarnessError> {
+        self.cross_check(&job.workload, job.profile, job.opt, job.config()?)
     }
 
     /// [`Ctx::timing`] for a job's own axes (requires a machine axis;

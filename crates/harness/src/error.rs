@@ -18,6 +18,8 @@ pub enum Phase {
     Annotate,
     /// Phase 3: cycle-accurate timing simulation.
     Timing,
+    /// Static analysis or the static/dynamic cross-check.
+    Analyze,
 }
 
 impl fmt::Display for Phase {
@@ -27,6 +29,7 @@ impl fmt::Display for Phase {
             Phase::Trace => "trace",
             Phase::Annotate => "annotate",
             Phase::Timing => "timing",
+            Phase::Analyze => "analyze",
         })
     }
 }

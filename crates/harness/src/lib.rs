@@ -48,6 +48,7 @@
 //! ```
 
 pub mod cache;
+pub mod crosscheck;
 pub mod disk;
 pub mod engine;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod plan;
 pub mod report;
 
 pub use cache::{Annotation, EngineStats};
+pub use crosscheck::{cross_check, CrossCheckReport, CrossCheckViolation, ViolationKind};
 pub use disk::DiskCache;
 pub use engine::{run_workload, Ctx, Engine, FAST_WORKLOADS};
 pub use error::{ErrorKind, HarnessError, Phase};

@@ -1,0 +1,60 @@
+//! Integration test for the static/dynamic cross-check oracle
+//! (acceptance criterion of the provenance pass): on the fast workload
+//! subset, at every profile × opt level, no statically must-constant
+//! load is ever contradicted by a store, a CVU invalidation, or a
+//! changed value.
+
+use lvp_harness::{Engine, ExperimentPlan};
+use lvp_isa::AsmProfile;
+use lvp_lang::OptLevel;
+use lvp_predictor::LvpConfig;
+
+#[test]
+fn oracle_holds_on_fast_subset_at_every_profile_and_opt() {
+    let engine = Engine::fast().with_threads(4);
+    let plan = ExperimentPlan::new()
+        .workloads(engine.suite().to_vec())
+        .profiles([AsmProfile::Gp, AsmProfile::Toc])
+        .opt_levels([OptLevel::O0, OptLevel::O1])
+        .configs([LvpConfig::simple()])
+        .map(|job, ctx| ctx.job_cross_check(job));
+    let reports = engine.run(plan).expect("cross-check plan failed");
+    assert_eq!(reports.len(), 4 * 2 * 2);
+
+    let mut toc_must_constant = 0usize;
+    for r in &reports {
+        assert!(r.passed(), "oracle violated:\n{r}");
+        if r.cell.contains("/toc/") {
+            toc_must_constant += r.must_constant_pcs;
+        }
+    }
+    // The Toc profile materializes addresses through the constant pool,
+    // so the static pass must actually prove something there — an empty
+    // must-constant class would make the oracle vacuous.
+    assert!(
+        toc_must_constant > 0,
+        "no must-constant loads proved under the Toc profile"
+    );
+}
+
+#[test]
+fn cross_check_results_are_cached_by_config_content() {
+    let engine = Engine::fast()
+        .with_workload_names(&["sc"])
+        .expect("sc exists")
+        .with_threads(2);
+    let w = engine.suite()[0];
+    let ctx = engine.ctx();
+    let a = ctx
+        .cross_check(&w, AsmProfile::Toc, OptLevel::O0, &LvpConfig::simple())
+        .expect("first cross-check");
+    // Same content, different name: must be served from cache.
+    let renamed = LvpConfig::simple().named("renamed");
+    let b = ctx
+        .cross_check(&w, AsmProfile::Toc, OptLevel::O0, &renamed)
+        .expect("second cross-check");
+    assert_eq!(a.cell, b.cell);
+    let stats = engine.stats();
+    assert_eq!(stats.crosschecks_computed, 1, "{stats:?}");
+    assert_eq!(stats.crosscheck_hits, 1, "{stats:?}");
+}

@@ -11,6 +11,18 @@ struct CvuEntry {
     width: u8,
 }
 
+/// A CVU entry removed by a store, as reported by
+/// [`Cvu::invalidate_store_victims`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvuVictim {
+    /// The LVPT index the entry certified.
+    pub lvpt_index: usize,
+    /// The certified data address.
+    pub addr: u64,
+    /// The certified access width in bytes.
+    pub width: u8,
+}
+
 /// The Constant Verification Unit: a small fully-associative CAM keyed by
 /// (data address, LVPT index).
 ///
@@ -138,6 +150,28 @@ impl Cvu {
         removed
     }
 
+    /// Like [`Cvu::invalidate_store`], but returns the removed entries so
+    /// callers (the cross-check event log) can identify exactly which
+    /// certifications a store destroyed. The plain counter-only variant
+    /// stays the allocation-free hot path.
+    pub fn invalidate_store_victims(&mut self, addr: u64, width: u8) -> Vec<CvuVictim> {
+        let store_end = addr + width as u64;
+        let mut victims = Vec::new();
+        self.entries.retain(|e| {
+            let hit = addr < e.addr + e.width as u64 && e.addr < store_end;
+            if hit {
+                victims.push(CvuVictim {
+                    lvpt_index: e.lvpt_index,
+                    addr: e.addr,
+                    width: e.width,
+                });
+            }
+            !hit
+        });
+        self.invalidations += victims.len() as u64;
+        victims
+    }
+
     /// Invalidates every entry certifying `lvpt_index`; called when the
     /// LVPT entry's value is displaced (the certified value no longer
     /// exists in the table).
@@ -231,5 +265,25 @@ mod tests {
         c.insert(1, 0x1000, 8);
         c.insert(1, 0x1000, 8);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_store_victims_reports_removed_entries() {
+        let mut c = cvu(8);
+        c.insert(1, 0x1000, 8);
+        c.insert(2, 0x1010, 4);
+        let victims = c.invalidate_store_victims(0x1004, 1);
+        assert_eq!(
+            victims,
+            vec![CvuVictim {
+                lvpt_index: 1,
+                addr: 0x1000,
+                width: 8
+            }]
+        );
+        assert!(!c.lookup(1, 0x1000));
+        assert!(c.lookup(2, 0x1010));
+        assert_eq!(c.invalidations(), 1);
+        assert!(c.invalidate_store_victims(0x2000, 8).is_empty());
     }
 }

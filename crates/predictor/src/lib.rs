@@ -49,11 +49,11 @@ mod unit;
 pub use analysis::{LoadProfiler, StaticLoadStats};
 pub use config::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
 pub use context::{BhrIndexedPredictor, FcmPredictor};
-pub use cvu::Cvu;
+pub use cvu::{Cvu, CvuVictim};
 pub use lct::{Lct, LoadClass};
 pub use locality::{AddressRanges, LocalityMeter, ValueClass};
 pub use lvpt::Lvpt;
 pub use stride::{
     evaluate_predictor, LastValuePredictor, PredEval, StridePredictor, ValuePredictor,
 };
-pub use unit::{LvpStats, LvpUnit};
+pub use unit::{ConstantMispredict, CvuEventLog, CvuInvalidation, LvpStats, LvpUnit};

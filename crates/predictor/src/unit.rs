@@ -5,6 +5,93 @@ use crate::cvu::Cvu;
 use crate::lct::{Lct, LoadClass};
 use crate::lvpt::Lvpt;
 use lvp_trace::{PredOutcome, Trace};
+use std::collections::BTreeMap;
+
+/// One CVU certification destroyed by a store, as recorded by the
+/// [`CvuEventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvuInvalidation {
+    /// Pc of the offending store (`0` when driven via
+    /// [`LvpUnit::on_store`], which has no pc).
+    pub store_pc: u64,
+    /// The store's data address.
+    pub store_addr: u64,
+    /// The store's width in bytes.
+    pub store_width: u8,
+    /// The certified data address the store destroyed.
+    pub entry_addr: u64,
+    /// The certified access width in bytes.
+    pub entry_width: u8,
+    /// The LVPT index the entry certified.
+    pub lvpt_index: usize,
+}
+
+/// A constant-classified load whose issued prediction verified wrong, as
+/// recorded by the [`CvuEventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantMispredict {
+    /// Pc of the mispredicted load.
+    pub load_pc: u64,
+    /// The load's data address.
+    pub addr: u64,
+    /// The actual loaded value (the prediction differed).
+    pub value: u64,
+}
+
+/// An opt-in event log for the CVU: which stores destroyed which
+/// certifications, which constant-classified loads mispredicted, and how
+/// often each pc was CVU-verified.
+///
+/// The static/dynamic cross-check in `lvp-harness` uses this to assert
+/// that statically *must-constant* loads are never invalidated and never
+/// mispredict. To bound memory on long traces, the log can be restricted
+/// to a watch set of `(addr, width)` data intervals; verification counts
+/// are aggregated per pc either way.
+#[derive(Debug, Clone, Default)]
+pub struct CvuEventLog {
+    /// Watched `(addr, width)` intervals, sorted by address; `None`
+    /// records everything.
+    watch: Option<Vec<(u64, u8)>>,
+    /// Certifications destroyed by stores, in trace order.
+    pub invalidations: Vec<CvuInvalidation>,
+    /// Constant-classified loads that verified wrong, in trace order.
+    pub constant_mispredicts: Vec<ConstantMispredict>,
+    /// Per-pc count of CVU-verified (memory-bypassing) loads.
+    pub verifications: BTreeMap<u64, u64>,
+}
+
+impl CvuEventLog {
+    /// A log recording every event.
+    pub fn all() -> CvuEventLog {
+        CvuEventLog::default()
+    }
+
+    /// A log recording only events that touch one of the given
+    /// `(addr, width)` data intervals.
+    pub fn watching(mut slots: Vec<(u64, u8)>) -> CvuEventLog {
+        slots.sort_unstable();
+        slots.dedup();
+        CvuEventLog {
+            watch: Some(slots),
+            ..CvuEventLog::default()
+        }
+    }
+
+    /// Whether `[addr, addr + width)` intersects the watch set.
+    fn watched(&self, addr: u64, width: u8) -> bool {
+        let Some(watch) = &self.watch else {
+            return true;
+        };
+        // Intervals are sorted by start and at most 8 bytes wide, so only
+        // those starting in `(addr - 8, end)` can overlap.
+        let end = addr.saturating_add(width as u64);
+        let lo = watch.partition_point(|&(a, _)| a.saturating_add(8) <= addr);
+        watch[lo..]
+            .iter()
+            .take_while(|&&(a, _)| a < end)
+            .any(|&(a, w)| a < end && addr < a.saturating_add(w as u64))
+    }
+}
 
 /// Counters gathered while simulating the LVP unit over a trace; these
 /// feed the paper's Tables 3 (LCT hit rates) and 4 (constant
@@ -111,6 +198,7 @@ pub struct LvpUnit {
     lct: Lct,
     cvu: Cvu,
     stats: LvpStats,
+    events: Option<CvuEventLog>,
 }
 
 impl LvpUnit {
@@ -121,8 +209,26 @@ impl LvpUnit {
             lct: Lct::new(config.lct),
             cvu: Cvu::new(config.cvu),
             stats: LvpStats::default(),
+            events: None,
             config,
         }
+    }
+
+    /// Attaches a [`CvuEventLog`]; subsequent loads and stores record
+    /// their CVU events into it.
+    pub fn with_event_log(mut self, log: CvuEventLog) -> LvpUnit {
+        self.events = Some(log);
+        self
+    }
+
+    /// The attached event log, if any.
+    pub fn events(&self) -> Option<&CvuEventLog> {
+        self.events.as_ref()
+    }
+
+    /// Detaches and returns the event log.
+    pub fn take_events(&mut self) -> Option<CvuEventLog> {
+        self.events.take()
     }
 
     /// The configuration of this unit.
@@ -204,6 +310,11 @@ impl LvpUnit {
                     );
                     self.stats.correct += 1;
                     self.stats.constants_verified += 1;
+                    if let Some(log) = &mut self.events {
+                        if log.watched(addr, width) {
+                            *log.verifications.entry(pc).or_insert(0) += 1;
+                        }
+                    }
                     PredOutcome::Constant
                 } else if would_be_correct {
                     // Demoted to plain predictable: verified via memory;
@@ -213,6 +324,15 @@ impl LvpUnit {
                     PredOutcome::Correct
                 } else {
                     self.stats.incorrect += 1;
+                    if let Some(log) = &mut self.events {
+                        if log.watched(addr, width) {
+                            log.constant_mispredicts.push(ConstantMispredict {
+                                load_pc: pc,
+                                addr,
+                                value,
+                            });
+                        }
+                    }
                     PredOutcome::Incorrect
                 }
             }
@@ -231,8 +351,32 @@ impl LvpUnit {
     /// Processes one dynamic store: invalidate all matching CVU entries
     /// (the fully-associative store lookup of the paper's Figure 3).
     pub fn on_store(&mut self, addr: u64, width: u8) {
+        self.on_store_at(0, addr, width);
+    }
+
+    /// Like [`LvpUnit::on_store`], with the store's pc for event
+    /// attribution (used by [`LvpUnit::annotate`] and the cross-check).
+    pub fn on_store_at(&mut self, store_pc: u64, addr: u64, width: u8) {
         self.stats.stores += 1;
-        self.cvu.invalidate_store(addr, width);
+        match &mut self.events {
+            Some(log) => {
+                for v in self.cvu.invalidate_store_victims(addr, width) {
+                    if log.watched(v.addr, v.width) || log.watched(addr, width) {
+                        log.invalidations.push(CvuInvalidation {
+                            store_pc,
+                            store_addr: addr,
+                            store_width: width,
+                            entry_addr: v.addr,
+                            entry_width: v.width,
+                            lvpt_index: v.lvpt_index,
+                        });
+                    }
+                }
+            }
+            None => {
+                self.cvu.invalidate_store(addr, width);
+            }
+        }
     }
 
     /// Runs the unit over a whole trace in program order, returning one
@@ -245,7 +389,7 @@ impl LvpUnit {
                 if entry.is_load() {
                     outcomes.push(self.on_load(entry.pc, mem.addr, mem.width, mem.value));
                 } else {
-                    self.on_store(mem.addr, mem.width);
+                    self.on_store_at(entry.pc, mem.addr, mem.width);
                 }
             }
         }
@@ -411,5 +555,74 @@ mod tests {
         u.on_store(ADDR + 8, 8);
         assert_eq!(u.stats().loads, 1);
         assert_eq!(u.stats().stores, 2);
+    }
+
+    #[test]
+    fn event_log_records_invalidations_and_verifications() {
+        let mut u = LvpUnit::new(LvpConfig::simple()).with_event_log(CvuEventLog::all());
+        for _ in 0..6 {
+            u.on_load(PC, ADDR, 8, 7);
+        }
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
+        u.on_store_at(0x20000, ADDR + 4, 4);
+        let log = u.events().unwrap();
+        assert_eq!(log.invalidations.len(), 1);
+        let inv = log.invalidations[0];
+        assert_eq!(inv.store_pc, 0x20000);
+        assert_eq!(inv.store_addr, ADDR + 4);
+        assert_eq!(inv.entry_addr, ADDR);
+        assert_eq!(inv.entry_width, 8);
+        // Loads 6 and 7 were both CVU-verified.
+        assert_eq!(log.verifications.get(&PC), Some(&2));
+        // Behavior with the log attached matches the plain unit.
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Correct);
+        assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
+    }
+
+    #[test]
+    fn event_log_records_constant_mispredicts() {
+        let mut u = LvpUnit::new(LvpConfig::simple()).with_event_log(CvuEventLog::all());
+        for _ in 0..6 {
+            u.on_load(PC, ADDR, 8, 7);
+        }
+        u.on_store(ADDR, 8);
+        assert_eq!(u.on_load(PC, ADDR, 8, 99), PredOutcome::Incorrect);
+        let log = u.take_events().unwrap();
+        assert_eq!(log.constant_mispredicts.len(), 1);
+        assert_eq!(log.constant_mispredicts[0].load_pc, PC);
+        assert_eq!(log.constant_mispredicts[0].value, 99);
+        assert!(u.events().is_none());
+    }
+
+    #[test]
+    fn watched_log_filters_unrelated_addresses() {
+        let other = ADDR + 0x100;
+        let mut u = LvpUnit::new(LvpConfig::simple())
+            .with_event_log(CvuEventLog::watching(vec![(ADDR, 8)]));
+        for _ in 0..7 {
+            u.on_load(PC, ADDR, 8, 7);
+            u.on_load(PC + 4, other, 8, 9);
+        }
+        // Both pcs reach Constant/CVU-verified; only the watched one logs.
+        u.on_store_at(0x20000, ADDR, 8);
+        u.on_store_at(0x20004, other, 8);
+        let log = u.events().unwrap();
+        assert!(log.verifications.contains_key(&PC));
+        assert!(!log.verifications.contains_key(&(PC + 4)));
+        assert_eq!(log.invalidations.len(), 1);
+        assert_eq!(log.invalidations[0].entry_addr, ADDR);
+        // Stats still count every store.
+        assert_eq!(u.stats().stores, 2);
+    }
+
+    #[test]
+    fn watch_interval_overlap_detection() {
+        let log = CvuEventLog::watching(vec![(0x1000, 8), (0x1020, 4)]);
+        assert!(log.watched(0x1000, 8));
+        assert!(log.watched(0x1004, 1), "inside the first interval");
+        assert!(log.watched(0xffc, 8), "straddles the interval start");
+        assert!(!log.watched(0x1008, 8), "between the intervals");
+        assert!(log.watched(0x1022, 2));
+        assert!(!log.watched(0x1024, 4), "past the last interval");
     }
 }
