@@ -86,4 +86,14 @@ if ! printf '%s\n' "$cc_out" | grep -qF 'cross-check: PASS'; then
 fi
 rm -rf "$cache_dir"
 
+# Perf regression gate: run the fast microbenchmark subset and compare
+# medians against the committed baseline. The 40% threshold is generous
+# on purpose — wall-clock noise on shared CI machines is real — so a
+# failure here means a genuine hot-path regression, not jitter.
+# Regenerate the baseline with scripts/rebaseline.sh after intentional
+# performance changes.
+echo "==> lvp perf --fast --check --threshold 40 (perf regression gate)"
+cargo run --release -q -p lvp-cli -- perf --fast --check --threshold 40 \
+    --baseline results/perf_baseline.json
+
 echo "ci: all checks passed"

@@ -145,6 +145,22 @@ pub struct Options {
     pub cache_dir: Option<String>,
     /// Disable the `bench` persistent trace cache entirely.
     pub no_disk_cache: bool,
+    /// Microbenchmarks selected with `--bench NAME` for `perf` (empty =
+    /// whole registry, or the fast subset under `--fast`).
+    pub bench: Vec<String>,
+    /// Emit the `perf` report as `lvp-perf/1` JSON.
+    pub json: bool,
+    /// Baseline file for `perf --check` (`None` = default
+    /// `results/perf_baseline.json`).
+    pub baseline: Option<String>,
+    /// Compare the `perf` report against the baseline and fail on
+    /// regressions.
+    pub check: bool,
+    /// Regression threshold for `perf --check`, in percent over the
+    /// baseline median.
+    pub threshold: u64,
+    /// List the `perf` bench registry instead of running it.
+    pub list: bool,
 }
 
 /// Output format for `lvp check`.
@@ -189,6 +205,12 @@ impl Default for Options {
             out: None,
             cache_dir: None,
             no_disk_cache: false,
+            bench: Vec::new(),
+            json: false,
+            baseline: None,
+            check: false,
+            threshold: 10,
+            list: false,
         }
     }
 }
@@ -268,6 +290,16 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
             "--out" => opts.out = Some(take_value(&mut i)?),
             "--cache-dir" => opts.cache_dir = Some(take_value(&mut i)?),
             "--no-disk-cache" => opts.no_disk_cache = true,
+            "--bench" => opts.bench.push(take_value(&mut i)?),
+            "--baseline" => opts.baseline = Some(take_value(&mut i)?),
+            "--threshold" => {
+                opts.threshold = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError::new("--threshold requires a percentage"))?;
+            }
+            "--json" => opts.json = true,
+            "--check" => opts.check = true,
+            "--list" => opts.list = true,
             "--lint" => opts.lint = true,
             "--compare-lct" => opts.compare_lct = true,
             "--memory" => opts.memory = true,
@@ -1063,6 +1095,120 @@ pub fn cmd_bench(names: &[String], opts: &Options) -> Result<String, CliError> {
         s.timings_computed,
         s.timing_hits,
     );
+    let _ = writeln!(
+        out,
+        "stages: compile+trace {:.2}s, predict {:.2}s, time {:.2}s, cross-check {:.2}s \
+         ({:.2}s work across {} thread{})",
+        s.trace_ns as f64 / 1e9,
+        s.annotate_ns as f64 / 1e9,
+        s.timing_ns as f64 / 1e9,
+        s.crosscheck_ns as f64 / 1e9,
+        s.total_stage_ns() as f64 / 1e9,
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" },
+    );
+    Ok(out)
+}
+
+/// `lvp perf` — runs the in-tree microbenchmark registry (see
+/// `crates/harness/src/perf.rs`) and optionally gates against a
+/// committed baseline.
+///
+/// * no flags: run everything, human-readable table; `--fast` restricts
+///   to the CI subset, `--bench NAME` (repeatable) picks benches.
+/// * `--json`: emit the stable `lvp-perf/1` document (the baseline
+///   format; regenerate with `scripts/rebaseline.sh`).
+/// * `--check [--baseline PATH] [--threshold PCT]`: compare medians
+///   against the baseline (default `results/perf_baseline.json`,
+///   threshold 10%). Regressions exit 1 with the report on stdout;
+///   unreadable or malformed baselines exit 2.
+/// * `--list`: print the registry and exit.
+///
+/// Iteration counts are env-pinned: `LVP_PERF_ITERS` (default 5) timed
+/// iterations after `LVP_PERF_WARMUP` (default 1) warmup runs.
+///
+/// # Errors
+///
+/// Returns [`CliError`] (exit 2) for unknown bench names, bad
+/// iteration-count environment values, and unreadable or malformed
+/// baselines; [`CliError::findings`] (exit 1) when `--check` detects a
+/// regression.
+pub fn cmd_perf(opts: &Options) -> Result<String, CliError> {
+    use lvp_harness::perf;
+
+    if opts.list {
+        let mut out = String::from("benches (* = fast subset):\n");
+        for b in perf::benches() {
+            let _ = writeln!(
+                out,
+                "  {}{:19} {}",
+                if b.fast { "*" } else { " " },
+                b.name,
+                b.what
+            );
+        }
+        return Ok(out);
+    }
+    let cfg = lvp_harness::PerfConfig::from_env().map_err(|e| CliError::new(e.to_string()))?;
+    let selection =
+        perf::select(&opts.bench, opts.fast).map_err(|e| CliError::new(e.to_string()))?;
+    let report = perf::run(cfg, &selection, |name| {
+        eprintln!(
+            "[perf] {name} ({} warmup + {} iters)",
+            cfg.warmup, cfg.iters
+        );
+    });
+
+    let mut out = if opts.json {
+        report.to_json()
+    } else {
+        let mut text = format!(
+            "{:20} {:>12} {:>12} {:>12}   (iters {}, warmup {})\n",
+            "bench", "median_ns", "p10_ns", "p90_ns", cfg.iters, cfg.warmup
+        );
+        for r in &report.results {
+            let _ = writeln!(
+                text,
+                "{:20} {:>12} {:>12} {:>12}",
+                r.name, r.median_ns, r.p10_ns, r.p90_ns
+            );
+        }
+        text
+    };
+
+    if opts.check {
+        let path = opts
+            .baseline
+            .as_deref()
+            .unwrap_or("results/perf_baseline.json");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read baseline {path}: {e}")))?;
+        let baseline = lvp_harness::PerfReport::from_json(&text)
+            .map_err(|e| CliError::new(format!("baseline {path}: {e}")))?;
+        let regressions = perf::check(&report, &baseline, opts.threshold);
+        let compared = report
+            .results
+            .iter()
+            .filter(|r| baseline.results.iter().any(|b| b.name == r.name))
+            .count();
+        if regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "perf check: {compared} bench{} within +{}% of {path}",
+                if compared == 1 { "" } else { "es" },
+                opts.threshold
+            );
+        } else {
+            for r in &regressions {
+                let _ = writeln!(
+                    out,
+                    "perf regression: {} median {} ns vs baseline {} ns (+{}%, threshold +{}%)",
+                    r.name, r.current_ns, r.baseline_ns, r.slowdown_pct, opts.threshold
+                );
+            }
+            return Err(CliError::findings(out));
+        }
+    }
     Ok(out)
 }
 
@@ -1082,7 +1228,9 @@ pub fn usage() -> &'static str {
      \x20 trace    unpack|verify|info <file>  read/check binary trace files\n\
      \x20 check    <prog|workload>      static verifier (lints LVP001-011)\n\
      \x20 check    --all                verify every workload/profile/opt cell\n\
-     \x20 bench    [names|--all]        regenerate paper tables/figures\n\n\
+     \x20 bench    [names|--all]        regenerate paper tables/figures\n\
+     \x20 perf     [--list]             in-tree microbenchmarks; --check gates\n\
+     \x20                               against results/perf_baseline.json\n\n\
      options: --profile toc|gp  --config simple|constant|limit|perfect\n\
      \x20        --machine 620|620+|21164  --opt 0|1  --top N\n\
      \x20        --lint (verify after asm)  --compare-lct (with check)\n\
@@ -1091,9 +1239,11 @@ pub fn usage() -> &'static str {
      \x20        --format text|json (with check)\n\
      \x20        --out FILE (with trace pack)\n\
      \x20        --threads N  --fast  --all  --csv  --cache-dir DIR\n\
-     \x20        --no-disk-cache (with bench / check --all)\n\n\
-     `lvp check` exit codes: 0 clean, 1 findings (report on stdout),\n\
-     2 analysis error (message on stderr).\n"
+     \x20        --no-disk-cache (with bench / check --all)\n\
+     \x20        --bench NAME  --json  --baseline FILE  --check\n\
+     \x20        --threshold PCT  --list (with perf)\n\n\
+     `lvp check` / `lvp perf --check` exit codes: 0 clean, 1 findings\n\
+     (report on stdout), 2 analysis error (message on stderr).\n"
 }
 
 /// Dispatches a full argument vector (excluding `argv[0]`).
@@ -1142,6 +1292,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             }
         }
         "bench" => cmd_bench(&positional, &opts),
+        "perf" => cmd_perf(&opts),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::new(format!(
             "unknown command `{other}`\n\n{}",
@@ -1457,7 +1608,9 @@ mod tests {
         // reports themselves are byte-identical (timing lines aside).
         let strip = |s: &str| -> String {
             s.lines()
-                .filter(|l| !l.starts_with('[') && !l.starts_with("engine:"))
+                .filter(|l| {
+                    !l.starts_with('[') && !l.starts_with("engine:") && !l.starts_with("stages:")
+                })
                 .collect::<Vec<_>>()
                 .join("\n")
         };
@@ -1607,6 +1760,147 @@ mod tests {
         assert_eq!(pos, vec!["quick"]);
         assert!(parse_options(&args(&["--format", "xml"])).is_err());
         assert!(parse_options(&args(&["--format"])).is_err());
+    }
+
+    #[test]
+    fn perf_flags_parse() {
+        let (o, pos) = parse_options(&args(&[
+            "--bench",
+            "alias_fixpoint",
+            "--bench",
+            "sim_620_256k",
+            "--json",
+            "--check",
+            "--baseline",
+            "b.json",
+            "--threshold",
+            "40",
+            "--list",
+        ]))
+        .unwrap();
+        assert_eq!(o.bench, vec!["alias_fixpoint", "sim_620_256k"]);
+        assert!(o.json && o.check && o.list);
+        assert_eq!(o.baseline.as_deref(), Some("b.json"));
+        assert_eq!(o.threshold, 40);
+        assert!(pos.is_empty());
+        assert!(parse_options(&args(&["--threshold", "lots"])).is_err());
+        assert!(parse_options(&args(&["--bench"])).is_err());
+    }
+
+    #[test]
+    fn perf_list_names_every_bench() {
+        let out = dispatch(&args(&["perf", "--list"])).unwrap();
+        for b in lvp_harness::benches() {
+            assert!(out.contains(b.name), "{out}");
+        }
+    }
+
+    #[test]
+    fn perf_rejects_unknown_bench_with_exit_2() {
+        let e = dispatch(&args(&["perf", "--bench", "nonesuch"])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(!e.to_stdout());
+        assert!(e.to_string().contains("nonesuch"));
+    }
+
+    /// One fast bench, pinned to a single iteration for test speed.
+    fn perf_args(extra: &[&str]) -> Vec<String> {
+        std::env::set_var("LVP_PERF_ITERS", "1");
+        std::env::set_var("LVP_PERF_WARMUP", "0");
+        let mut v = args(&["perf", "--bench", "alias_fixpoint"]);
+        v.extend(args(extra));
+        v
+    }
+
+    fn temp_baseline(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("lvp-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp baseline");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn perf_check_missing_baseline_is_exit_2() {
+        let e = dispatch(&perf_args(&[
+            "--check",
+            "--baseline",
+            "/nonexistent/b.json",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(!e.to_stdout());
+        assert!(e.to_string().contains("cannot read baseline"), "{e}");
+    }
+
+    #[test]
+    fn perf_check_malformed_baseline_is_exit_2_not_panic() {
+        for (name, contents) in [
+            ("truncated", "{\"format\": \"lvp-perf/1\", \"iters\""),
+            (
+                "wrong-tag",
+                "{\"format\": \"lvp-check/1\", \"iters\": 5, \"warmup\": 1, \"benches\": []}",
+            ),
+            (
+                "missing-field",
+                "{\"format\": \"lvp-perf/1\", \"benches\": []}",
+            ),
+            ("not-json", "median_ns: 5"),
+        ] {
+            let path = temp_baseline(name, contents);
+            let e = dispatch(&perf_args(&["--check", "--baseline", &path])).unwrap_err();
+            assert_eq!(e.exit_code(), 2, "{name}: {e}");
+            assert!(!e.to_stdout(), "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn perf_check_synthetic_slowdown_is_exit_1_on_stdout() {
+        // A baseline claiming the bench takes 1 ns: the real run must
+        // regress past any threshold and exit 1 with the report on stdout.
+        let baseline = "{\n    \"format\": \"lvp-perf/1\",\n    \"iters\": 1,\n    \
+                        \"warmup\": 0,\n    \"benches\": [\n        {\n            \
+                        \"name\": \"alias_fixpoint\",\n            \"median_ns\": 1,\n            \
+                        \"p10_ns\": 1,\n            \"p90_ns\": 1,\n            \
+                        \"samples_ns\": [1]\n        }\n    ]\n}\n";
+        let path = temp_baseline("slow", baseline);
+        let e = dispatch(&perf_args(&[
+            "--check",
+            "--baseline",
+            &path,
+            "--threshold",
+            "40",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_stdout(), "regression report belongs on stdout");
+        assert!(
+            e.to_string().contains("perf regression: alias_fixpoint"),
+            "{e}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn perf_check_passes_against_generous_baseline() {
+        // A baseline claiming an absurdly slow run: the real run is
+        // faster, so the check passes and reports the comparison.
+        let baseline = "{\n    \"format\": \"lvp-perf/1\",\n    \"iters\": 1,\n    \
+                        \"warmup\": 0,\n    \"benches\": [\n        {\n            \
+                        \"name\": \"alias_fixpoint\",\n            \"median_ns\": 600000000000,\n            \
+                        \"p10_ns\": 1,\n            \"p90_ns\": 1,\n            \
+                        \"samples_ns\": [600000000000]\n        }\n    ]\n}\n";
+        let path = temp_baseline("fast", baseline);
+        let out = dispatch(&perf_args(&["--check", "--baseline", &path])).unwrap();
+        assert!(out.contains("perf check: 1 bench within"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn perf_json_output_is_parseable() {
+        let out = dispatch(&perf_args(&["--json"])).unwrap();
+        let report = lvp_harness::PerfReport::from_json(&out).expect("own JSON parses");
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].name, "alias_fixpoint");
     }
 
     #[test]

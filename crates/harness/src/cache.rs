@@ -87,6 +87,26 @@ pub struct EngineStats {
     pub crosschecks_computed: u64,
     /// Cross-check requests served from cache.
     pub crosscheck_hits: u64,
+    /// Wall nanoseconds spent generating traces (phase 1, cache misses
+    /// only; disk-cache loads count here too — they are the phase-1
+    /// cost actually paid).
+    pub trace_ns: u64,
+    /// Wall nanoseconds spent in LVP annotation passes (phase 2).
+    pub annotate_ns: u64,
+    /// Wall nanoseconds spent in timing simulations (phase 3).
+    pub timing_ns: u64,
+    /// Wall nanoseconds spent in static/dynamic cross-checks.
+    pub crosscheck_ns: u64,
+}
+
+impl EngineStats {
+    /// Sum of the per-stage wall-time counters, in nanoseconds.
+    ///
+    /// This is *work* time summed across workers, not elapsed time: with
+    /// N threads busy it accumulates up to N ns per wall nanosecond.
+    pub fn total_stage_ns(&self) -> u64 {
+        self.trace_ns + self.annotate_ns + self.timing_ns + self.crosscheck_ns
+    }
 }
 
 /// A per-key slot; the `OnceLock` makes concurrent first requests block
@@ -167,6 +187,11 @@ pub(crate) struct Cache {
     pub(crate) traces_generated: AtomicU64,
     /// Trace requests satisfied by the persistent disk cache.
     pub(crate) traces_disk_hits: AtomicU64,
+    /// Wall nanoseconds spent per stage (cache misses only).
+    pub(crate) trace_ns: AtomicU64,
+    pub(crate) annotate_ns: AtomicU64,
+    pub(crate) timing_ns: AtomicU64,
+    pub(crate) crosscheck_ns: AtomicU64,
 }
 
 impl Cache {
@@ -178,6 +203,10 @@ impl Cache {
             crosschecks: KeyedCache::new(),
             traces_generated: AtomicU64::new(0),
             traces_disk_hits: AtomicU64::new(0),
+            trace_ns: AtomicU64::new(0),
+            annotate_ns: AtomicU64::new(0),
+            timing_ns: AtomicU64::new(0),
+            crosscheck_ns: AtomicU64::new(0),
         }
     }
 
@@ -192,6 +221,10 @@ impl Cache {
             timing_hits: self.timings.hits(),
             crosschecks_computed: self.crosschecks.computed(),
             crosscheck_hits: self.crosschecks.hits(),
+            trace_ns: self.trace_ns.load(Ordering::Relaxed),
+            annotate_ns: self.annotate_ns.load(Ordering::Relaxed),
+            timing_ns: self.timing_ns.load(Ordering::Relaxed),
+            crosscheck_ns: self.crosscheck_ns.load(Ordering::Relaxed),
         }
     }
 

@@ -253,6 +253,19 @@ impl Ctx<'_> {
         (w.name, profile, opt)
     }
 
+    /// Runs `f`, charging its wall time to the per-stage counter
+    /// `counter` (the cheap ns accounting behind `lvp bench`'s stage
+    /// breakdown; one `Instant` pair per cache miss, nothing per entry).
+    fn timed<T>(
+        counter: &std::sync::atomic::AtomicU64,
+        f: impl FnOnce() -> Result<T, HarnessError>,
+    ) -> Result<T, HarnessError> {
+        let start = std::time::Instant::now();
+        let out = f();
+        counter.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
     /// Phase 1, cached: the full workload run (trace + program +
     /// output) for `(workload, profile, opt)`. Computed exactly once
     /// per process and shared across all consumers. With a disk cache
@@ -277,18 +290,20 @@ impl Ctx<'_> {
         cache
             .traces
             .get_or_compute(Self::trace_key(&w, profile, opt), move || {
-                if let Some(run) = disk.and_then(|d| d.load(&w, profile, opt)) {
-                    cache.traces_disk_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(run);
-                }
-                let run = run_workload(&w, profile, opt)?;
-                cache.traces_generated.fetch_add(1, Ordering::Relaxed);
-                if let Some(d) = disk {
-                    // Best-effort write-back: a full disk or read-only
-                    // cache dir must not fail the experiment.
-                    let _ = d.store(&w, profile, opt, &run);
-                }
-                Ok(run)
+                Self::timed(&cache.trace_ns, || {
+                    if let Some(run) = disk.and_then(|d| d.load(&w, profile, opt)) {
+                        cache.traces_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(run);
+                    }
+                    let run = run_workload(&w, profile, opt)?;
+                    cache.traces_generated.fetch_add(1, Ordering::Relaxed);
+                    if let Some(d) = disk {
+                        // Best-effort write-back: a full disk or read-only
+                        // cache dir must not fail the experiment.
+                        let _ = d.store(&w, profile, opt, &run);
+                    }
+                    Ok(run)
+                })
             })
     }
 
@@ -307,12 +322,15 @@ impl Ctx<'_> {
     ) -> Result<Arc<Annotation>, HarnessError> {
         let run = self.workload_run(w, profile, opt)?;
         let key = (Self::trace_key(w, profile, opt), config_key(config));
-        self.engine.cache.annotations.get_or_compute(key, || {
-            let mut unit = LvpUnit::new(config.clone());
-            let outcomes = unit.annotate(&run.trace);
-            Ok(Annotation {
-                outcomes,
-                stats: *unit.stats(),
+        let cache = &self.engine.cache;
+        cache.annotations.get_or_compute(key, || {
+            Self::timed(&cache.annotate_ns, || {
+                let mut unit = LvpUnit::new(config.clone());
+                let outcomes = unit.annotate(&run.trace);
+                Ok(Annotation {
+                    outcomes,
+                    stats: *unit.stats(),
+                })
             })
         })
     }
@@ -340,9 +358,12 @@ impl Ctx<'_> {
             config.map(config_key),
             machine.cache_key(),
         );
-        self.engine.cache.timings.get_or_compute(key, || {
-            let outcomes = annotation.as_ref().map(|a| a.outcomes.as_slice());
-            Ok(machine.simulate(&run.trace, outcomes))
+        let cache = &self.engine.cache;
+        cache.timings.get_or_compute(key, || {
+            Self::timed(&cache.timing_ns, || {
+                let outcomes = annotation.as_ref().map(|a| a.outcomes.as_slice());
+                Ok(machine.simulate(&run.trace, outcomes))
+            })
         })
     }
 
@@ -366,9 +387,12 @@ impl Ctx<'_> {
     ) -> Result<Arc<CrossCheckReport>, HarnessError> {
         let run = self.workload_run(w, profile, opt)?;
         let key = (Self::trace_key(w, profile, opt), config_key(config));
-        self.engine.cache.crosschecks.get_or_compute(key, || {
-            let cell = format!("{}/{profile}/{opt:?}", w.name);
-            Ok(cross_check(&run.program, &run.trace, config, cell))
+        let cache = &self.engine.cache;
+        cache.crosschecks.get_or_compute(key, || {
+            Self::timed(&cache.crosscheck_ns, || {
+                let cell = format!("{}/{profile}/{opt:?}", w.name);
+                Ok(cross_check(&run.program, &run.trace, config, cell))
+            })
         })
     }
 

@@ -53,6 +53,7 @@ pub mod disk;
 pub mod engine;
 pub mod error;
 pub mod experiments;
+pub mod perf;
 pub mod plan;
 pub mod report;
 
@@ -62,6 +63,10 @@ pub use disk::DiskCache;
 pub use engine::{run_workload, Ctx, Engine, FAST_WORKLOADS};
 pub use error::{ErrorKind, HarnessError, Phase};
 pub use experiments::{address_ranges, experiment, experiments, ExperimentDef};
+pub use perf::{
+    benches, check, run as run_benches, BenchDef, BenchResult, PerfConfig, PerfError, PerfReport,
+    Regression,
+};
 pub use plan::{ExperimentPlan, JobSpec, MachineModel, Plan};
 pub use report::{
     geo_mean, pct, pct1, speedup, Cell, ExperimentRow, ExperimentTable, Report, Section,

@@ -1,0 +1,179 @@
+//! Corruption matrix for the `lvp-perf/1` baseline format, mirroring
+//! the LVPT-v2 trace-file one: every mutilated document must come back
+//! as a typed [`PerfError`], never a panic, and a pristine document
+//! must survive a parse/emit round trip.
+
+use lvp_harness::{check, BenchResult, PerfConfig, PerfError, PerfReport};
+
+fn sample_report() -> PerfReport {
+    PerfReport {
+        config: PerfConfig {
+            iters: 5,
+            warmup: 1,
+        },
+        results: vec![
+            BenchResult {
+                name: "unit_dispatch_1m".to_string(),
+                median_ns: 120_000,
+                p10_ns: 110_000,
+                p90_ns: 140_000,
+                samples_ns: vec![120_000, 110_000, 140_000, 121_000, 119_000],
+            },
+            BenchResult {
+                name: "trace_codec_256k".to_string(),
+                median_ns: 64_000,
+                p10_ns: 60_000,
+                p90_ns: 70_000,
+                samples_ns: vec![64_000, 60_000, 70_000, 65_000, 63_000],
+            },
+        ],
+    }
+}
+
+#[test]
+fn pristine_document_round_trips() {
+    let report = sample_report();
+    let parsed = PerfReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(parsed, report);
+}
+
+/// Every proper prefix of the document is a typed parse error (except
+/// trimming trailing whitespace, which leaves it well-formed).
+#[test]
+fn all_truncations_are_typed_errors() {
+    let text = sample_report().to_json();
+    for len in 0..text.trim_end().len() {
+        if !text.is_char_boundary(len) {
+            continue;
+        }
+        let truncated = &text[..len];
+        match PerfReport::from_json(truncated) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation to {len} bytes parsed successfully"),
+        }
+    }
+}
+
+/// Flipping any single character to a hostile byte either still parses
+/// (benign positions like digits or key names that stay well-formed
+/// are fine) or fails with a typed error — never a panic.
+#[test]
+fn single_character_flips_never_panic() {
+    let text = sample_report().to_json();
+    for (i, _) in text.char_indices() {
+        for replacement in ['\u{0}', '{', '"', 'x', '9'] {
+            let mut mutated = String::with_capacity(text.len());
+            mutated.push_str(&text[..i]);
+            mutated.push(replacement);
+            let rest = &text[i..];
+            let mut chars = rest.chars();
+            chars.next();
+            mutated.push_str(chars.as_str());
+            // Must return, not panic; the result itself may be Ok or Err.
+            let _ = PerfReport::from_json(&mutated);
+        }
+    }
+}
+
+#[test]
+fn removed_fields_are_missing_field_errors() {
+    let text = sample_report().to_json();
+    for field in [
+        "format",
+        "iters",
+        "warmup",
+        "benches",
+        "name",
+        "median_ns",
+        "samples_ns",
+    ] {
+        let needle = format!("\"{field}\"");
+        let start = text.find(&needle).expect("field present");
+        // Remove the whole `"key": value,\n` line (every field in the
+        // emitted document is on its own line).
+        let line_start = text[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let line_end = text[start..].find('\n').map(|p| start + p + 1).unwrap();
+        let mutated = format!("{}{}", &text[..line_start], &text[line_end..]);
+        match PerfReport::from_json(&mutated) {
+            Err(PerfError::MissingField(_)) | Err(PerfError::Parse { .. }) => {}
+            other => panic!("removing {field} produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_types_are_typed_errors() {
+    let text = sample_report().to_json();
+    let cases = [
+        ("\"iters\": 5", "\"iters\": \"five\""),
+        ("\"warmup\": 1", "\"warmup\": true"),
+        ("\"median_ns\": 120000", "\"median_ns\": null"),
+        (
+            "\"samples_ns\": [120000, 110000, 140000, 121000, 119000]",
+            "\"samples_ns\": 3",
+        ),
+        ("\"name\": \"unit_dispatch_1m\"", "\"name\": 7"),
+    ];
+    for (from, to) in cases {
+        assert!(text.contains(from), "fixture drifted: {from}");
+        let mutated = text.replacen(from, to, 1);
+        match PerfReport::from_json(&mutated) {
+            Err(PerfError::MissingField(_)) => {}
+            other => panic!("mistyping {from:?} produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_integer_numbers_are_rejected() {
+    let text = sample_report().to_json().replacen("120000", "120000.5", 1);
+    assert!(matches!(
+        PerfReport::from_json(&text),
+        Err(PerfError::Parse { .. })
+    ));
+    let text = sample_report().to_json().replacen("120000", "-120000", 1);
+    assert!(PerfReport::from_json(&text).is_err());
+}
+
+#[test]
+fn wrong_format_tag_is_rejected() {
+    let text = sample_report()
+        .to_json()
+        .replace("lvp-perf/1", "lvp-perf/2");
+    match PerfReport::from_json(&text) {
+        Err(PerfError::BadFormat(tag)) => assert_eq!(tag, "lvp-perf/2"),
+        other => panic!("wrong tag produced {other:?}"),
+    }
+    // A completely different document with valid JSON is BadFormat or
+    // MissingField, not a panic.
+    assert!(PerfReport::from_json("{\"hello\": 1}").is_err());
+    assert!(PerfReport::from_json("[1, 2, 3]").is_err());
+    assert!(PerfReport::from_json("").is_err());
+}
+
+#[test]
+fn zero_iters_in_baseline_is_rejected() {
+    let text = sample_report()
+        .to_json()
+        .replacen("\"iters\": 5", "\"iters\": 0", 1);
+    assert!(PerfReport::from_json(&text).is_err());
+}
+
+/// A synthetic slowdown must trip the regression gate: against a
+/// baseline with artificially tiny medians, every bench regresses.
+#[test]
+fn synthetic_slowdown_fails_the_check() {
+    let current = sample_report();
+    let mut tiny = current.clone();
+    for r in &mut tiny.results {
+        r.median_ns = 1;
+    }
+    let regressions = check(&current, &tiny, 40);
+    assert_eq!(regressions.len(), current.results.len());
+    for r in &regressions {
+        assert_eq!(r.baseline_ns, 1);
+        assert!(r.slowdown_pct > 40);
+    }
+    // And the same reports compared against themselves pass.
+    assert!(check(&current, &current, 0).is_empty());
+}

@@ -101,11 +101,18 @@ impl Lvpt {
         let old_front = entry.values.first().copied();
         if let Some(pos) = entry.values.iter().position(|&v| v == actual) {
             entry.values[..=pos].rotate_right(1);
+        } else if entry.values.len() == depth {
+            // Evict the LRU tail and shift, without reallocating.
+            entry.values.rotate_right(1);
+            entry.values[0] = actual;
         } else {
-            if entry.values.len() == depth {
-                entry.values.pop();
+            // Reserve the full history once so per-load updates never
+            // allocate again (this loop runs once per dynamic load).
+            if entry.values.is_empty() {
+                entry.values.reserve_exact(depth);
             }
-            entry.values.insert(0, actual);
+            entry.values.push(actual);
+            entry.values.rotate_right(1);
         }
         old_front != Some(actual)
     }

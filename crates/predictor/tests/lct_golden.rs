@@ -1,0 +1,190 @@
+//! Golden tests pinning the LCT saturating-counter state machines and
+//! the LVPT's intra-entry LRU behaviour.
+//!
+//! The paper's classification scheme (Section 3.2) is a family of n-bit
+//! saturating counters; these tests drive **every** (state × hit/miss)
+//! transition for the 1- and 2-bit widths the paper evaluates and pin
+//! the classification of every reachable state for all supported
+//! widths, so any change to the counter rules shows up as an explicit
+//! golden-table diff rather than a silent shift in Table 3 numbers.
+
+use lvp_predictor::{Lct, LctConfig, LoadClass, Lvpt, LvptConfig};
+
+const PC: u64 = 0x10000;
+
+fn lct(bits: u8) -> Lct {
+    Lct::new(LctConfig {
+        entries: 64,
+        counter_bits: bits,
+    })
+}
+
+/// Drives a fresh table's counter for `PC` to `state` via hits.
+fn at_state(bits: u8, state: u8) -> Lct {
+    let mut t = lct(bits);
+    for _ in 0..state {
+        t.update(PC, true);
+    }
+    assert_eq!(t.counter(PC), state, "setup failed for state {state}");
+    t
+}
+
+/// Exhaustive transition table for an n-bit counter: from every state,
+/// a hit saturates up and a miss saturates down.
+fn assert_transitions(bits: u8) {
+    let max = (1u8 << bits) - 1;
+    for state in 0..=max {
+        let mut hit = at_state(bits, state);
+        hit.update(PC, true);
+        assert_eq!(
+            hit.counter(PC),
+            (state + 1).min(max),
+            "{bits}-bit hit from state {state}"
+        );
+
+        let mut miss = at_state(bits, state);
+        miss.update(PC, false);
+        assert_eq!(
+            miss.counter(PC),
+            state.saturating_sub(1),
+            "{bits}-bit miss from state {state}"
+        );
+    }
+}
+
+#[test]
+fn one_bit_transitions_are_exhaustively_pinned() {
+    assert_transitions(1);
+}
+
+#[test]
+fn two_bit_transitions_are_exhaustively_pinned() {
+    assert_transitions(2);
+}
+
+#[test]
+fn wider_counters_follow_the_same_saturation_rule() {
+    assert_transitions(3);
+    assert_transitions(4);
+}
+
+/// The golden classification table for every reachable state of every
+/// supported counter width. 1-bit: {don't-predict, constant}; 2-bit:
+/// the paper's 0,1 → don't-predict, 2 → predict, 3 → constant; wider
+/// counters keep "top state = constant, upper half = predict".
+#[test]
+fn classification_golden_table() {
+    use LoadClass::{Constant, DontPredict, Predict};
+    let golden: [(u8, &[LoadClass]); 4] = [
+        (1, &[DontPredict, Constant]),
+        (2, &[DontPredict, DontPredict, Predict, Constant]),
+        (
+            3,
+            &[
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                Predict,
+                Predict,
+                Predict,
+                Constant,
+            ],
+        ),
+        (
+            4,
+            &[
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                DontPredict,
+                Predict,
+                Predict,
+                Predict,
+                Predict,
+                Predict,
+                Predict,
+                Predict,
+                Constant,
+            ],
+        ),
+    ];
+    for (bits, classes) in golden {
+        assert_eq!(classes.len(), 1 << bits);
+        for (state, &expected) in classes.iter().enumerate() {
+            let t = at_state(bits, state as u8);
+            assert_eq!(
+                t.classify(PC),
+                expected,
+                "{bits}-bit classification of state {state}"
+            );
+        }
+    }
+}
+
+/// A constant-class load needs `max` consecutive misses to reach
+/// don't-predict again — the hysteresis the paper relies on to keep
+/// briefly-disturbed constants cheap.
+#[test]
+fn demotion_from_constant_is_gradual() {
+    for bits in 1..=4u8 {
+        let max = (1u8 << bits) - 1;
+        let mut t = at_state(bits, max);
+        let mut steps = 0;
+        while t.classify(PC) != LoadClass::DontPredict {
+            t.update(PC, false);
+            steps += 1;
+            assert!(steps <= max, "{bits}-bit demotion did not terminate");
+        }
+        let expected = max - max.div_ceil(2) + 1;
+        assert_eq!(steps, expected, "{bits}-bit misses to demote from constant");
+    }
+}
+
+#[test]
+fn lvpt_depth_16_lru_eviction_order() {
+    let mut t = Lvpt::new(LvptConfig {
+        entries: 16,
+        history_depth: 16,
+        perfect_selection: true,
+    });
+    // Fill the entry: most recent first, exactly 16 deep.
+    for v in 1..=16u64 {
+        t.update(PC, v);
+    }
+    let newest_first: Vec<u64> = (1..=16).rev().collect();
+    assert_eq!(t.history(PC), &newest_first[..]);
+
+    // A 17th distinct value evicts exactly the LRU tail (1).
+    t.update(PC, 17);
+    assert_eq!(t.history(PC).len(), 16);
+    assert_eq!(t.history(PC)[0], 17);
+    assert!(!t.history(PC).contains(&1), "LRU tail survived eviction");
+    assert!(t.history(PC).contains(&2), "wrong victim selected");
+
+    // Re-touching a middle value rotates it to the front without
+    // disturbing the relative order of anything else.
+    t.update(PC, 9);
+    let h = t.history(PC).to_vec();
+    assert_eq!(h[0], 9);
+    let rest: Vec<u64> = h[1..].to_vec();
+    let expected_rest: Vec<u64> = [17u64]
+        .into_iter()
+        .chain((2..=16).rev())
+        .filter(|&v| v != 9)
+        .collect();
+    assert_eq!(rest, expected_rest);
+
+    // Eviction happens one value at a time, always from the tail.
+    for v in 100..110u64 {
+        let tail = *t.history(PC).last().unwrap();
+        t.update(PC, v);
+        assert_eq!(t.history(PC).len(), 16);
+        assert!(!t.history(PC).contains(&tail), "tail {tail} survived");
+        assert_eq!(t.history(PC)[0], v);
+    }
+}

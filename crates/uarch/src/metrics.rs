@@ -105,7 +105,7 @@ impl OperandWaitStats {
 }
 
 /// The complete result of one timing simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimResult {
     /// Total simulated cycles.
     pub cycles: u64,

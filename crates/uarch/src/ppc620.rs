@@ -26,6 +26,7 @@ use crate::cache::{BankArbiter, CacheConfig, MemHierarchy, MemLatency};
 use crate::latency::LatencyTable;
 use crate::metrics::SimResult;
 use lvp_trace::{OpKind, PredOutcome, Trace};
+use std::collections::VecDeque;
 
 /// Functional-unit classes of the 620 (Figure 4).
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
@@ -43,6 +44,17 @@ enum Fu {
 }
 
 const FU_KINDS: [Fu; 5] = [Fu::Scfx, Fu::Mcfx, Fu::Fpu, Fu::Lsu, Fu::Bru];
+
+/// Dense index of a functional-unit class in [`FU_KINDS`] order.
+const fn fu_ix(fu: Fu) -> usize {
+    match fu {
+        Fu::Scfx => 0,
+        Fu::Mcfx => 1,
+        Fu::Fpu => 2,
+        Fu::Lsu => 3,
+        Fu::Bru => 4,
+    }
+}
 
 fn fu_of(kind: OpKind) -> Fu {
     match kind {
@@ -190,13 +202,12 @@ pub fn simulate_620(
     let mut next_dispatch = 0usize; // trace index
     let mut load_index = 0usize;
 
-    let mut window: Vec<Slot> = Vec::with_capacity(config.completion_buffer);
+    let mut window: VecDeque<Slot> = VecDeque::with_capacity(config.completion_buffer);
     let mut head_seq: u64 = 0; // seq of window[0]
     let mut reg_producer: [Option<u64>; 64] = [None; 64];
 
     let mut rs_used = [0usize; 5];
     let rs_cap = config.rs_per_class;
-    let fu_index = |fu: Fu| FU_KINDS.iter().position(|&f| f == fu).unwrap();
 
     let mut gpr_free = config.gpr_renames;
     let mut fpr_free = config.fpr_renames;
@@ -206,6 +217,8 @@ pub fn simulate_620(
     let mut fpu_complex_busy: u64 = 0;
     // Fill times of in-flight L1 misses (the MSHRs).
     let mut mshr_fill: Vec<u64> = Vec::new();
+    // Reused worklist for transitive squashes.
+    let mut squash_scratch: Vec<u64> = Vec::new();
 
     // Branch redirect state.
     let mut pending_gate: Option<u64> = None; // seq of unresolved mispredicted branch
@@ -215,32 +228,46 @@ pub fn simulate_620(
     let mut last_progress: (u64, (u64, usize)) = (0, (0, 0));
 
     while next_dispatch < entries.len() || !window.is_empty() {
-        // ---- 1. process verifications & squashes scheduled this cycle ----
-        for i in 0..window.len() {
-            let (incorrect, vc, lseq, lfinish) = {
-                let s = &window[i];
-                (
-                    s.pred == Some(PredOutcome::Incorrect) && !s.squashed_once,
-                    s.verify_cycle,
-                    s.seq,
-                    s.finish_cycle,
-                )
-            };
-            if incorrect && window[i].state == State::Finished && vc == cycle {
-                window[i].squashed_once = true;
-                squash_dependents(&mut window, lseq, lfinish, cycle, &mut rs_used);
-            }
-        }
+        // Number of state changes this cycle; when a full cycle performs
+        // none, every future change is gated on a known event cycle and
+        // the idle stretch can be skipped wholesale (see below).
+        let mut activity = 0usize;
 
+        // ---- 1. process verifications & squashes scheduled this cycle ----
         // ---- 2. executing -> finished ----
-        for s in window.iter_mut() {
+        // ---- 3. release reservation stations ----
+        // One merged pass. The orderings the split passes enforced do not
+        // observe each other: squashing only distinguishes Waiting from
+        // issued slots (not Executing from Finished), a same-cycle finish
+        // can never satisfy `verify_cycle == cycle` (verify > finish for
+        // predicted loads), and an RS released before a later squash
+        // re-acquires it in the same pass — so the merged pass computes
+        // the identical fixed state (asserted against the split-pass
+        // reference implementation in the test module).
+        for i in 0..window.len() {
+            let s = &mut window[i];
             if s.state == State::Executing && s.finish_cycle <= cycle {
                 s.state = State::Finished;
+                activity += 1;
             }
-        }
-
-        // ---- 3. release reservation stations ----
-        for i in 0..window.len() {
+            let (incorrect, vc, lseq, lfinish) = (
+                s.pred == Some(PredOutcome::Incorrect) && !s.squashed_once,
+                s.verify_cycle,
+                s.seq,
+                s.finish_cycle,
+            );
+            if incorrect && s.state == State::Finished && vc == cycle {
+                s.squashed_once = true;
+                activity += 1;
+                squash_dependents(
+                    &mut window,
+                    lseq,
+                    lfinish,
+                    cycle,
+                    &mut rs_used,
+                    &mut squash_scratch,
+                );
+            }
             let s = &window[i];
             if !s.holds_rs || s.state == State::Waiting || s.issue_cycle > cycle {
                 continue;
@@ -248,9 +275,10 @@ pub fn simulate_620(
             if s.issued_spec && !spec_sources_verified(&window, head_seq, i, cycle) {
                 continue;
             }
-            let fu = window[i].fu;
+            let fu = s.fu;
             window[i].holds_rs = false;
-            rs_used[fu_index(fu)] -= 1;
+            rs_used[fu_ix(fu)] -= 1;
+            activity += 1;
         }
 
         // ---- 4. in-order completion ----
@@ -264,7 +292,7 @@ pub fn simulate_620(
             if !can_retire {
                 break;
             }
-            let s = window.remove(0);
+            let s = window.pop_front().expect("window non-empty");
             head_seq += 1;
             retired += 1;
             result.instructions += 1;
@@ -300,112 +328,131 @@ pub fn simulate_620(
                 }
             }
         }
+        activity += retired;
 
         // ---- 5. issue ----
+        // One window-major pass with per-FU budgets, replacing the
+        // per-FU rescans of the reference model. Issuing an op never
+        // changes whether an op of a *different* class issues this
+        // cycle: a value produced this cycle is available no earlier
+        // than the next one, and the structural resources (banks,
+        // MSHRs, the unpipelined MCFX/FPU timers) are each private to
+        // one class — so only the relative order *within* a class is
+        // observable, and that order (window order) is preserved.
+        let mut left = [0usize; 5];
         for fu in FU_KINDS {
-            let mut issued = 0usize;
-            let units = config.units(fu);
-            let mut i = 0;
-            while issued < units && i < window.len() {
-                let ready = {
-                    let s = &window[i];
-                    s.fu == fu
-                        && s.state == State::Waiting
-                        && s.dispatch_cycle < cycle
-                        && s.min_issue_cycle <= cycle
-                        && operands_ready(&window, head_seq, i, cycle)
-                };
-                if !ready {
-                    i += 1;
+            left[fu_ix(fu)] = config.units(fu);
+        }
+        // A busy unpipelined unit blocks every later candidate of its
+        // class this cycle, exactly like the reference model's `break`.
+        let mut closed = [false; 5];
+        for i in 0..window.len() {
+            let fu = window[i].fu;
+            let fx = fu_ix(fu);
+            if left[fx] == 0 || closed[fx] {
+                continue;
+            }
+            let ready = {
+                let s = &window[i];
+                s.state == State::Waiting
+                    && s.dispatch_cycle < cycle
+                    && s.min_issue_cycle <= cycle
+                    && operands_ready(&window, head_seq, i, cycle)
+            };
+            if !ready {
+                continue;
+            }
+            // Structural checks for unpipelined units.
+            match fu {
+                Fu::Mcfx if mcfx_busy > cycle => {
+                    closed[fx] = true;
                     continue;
                 }
-                // Structural checks for unpipelined units.
-                match fu {
-                    Fu::Mcfx if mcfx_busy > cycle => break,
-                    // A complex FP op occupies the single FPU end-to-end.
-                    Fu::Fpu if fpu_complex_busy > cycle => break,
-                    _ => {}
+                // A complex FP op occupies the single FPU end-to-end.
+                Fu::Fpu if fpu_complex_busy > cycle => {
+                    closed[fx] = true;
+                    continue;
                 }
-                // Compute timing for this issue.
-                let (op_wait, spec_srcs, is_spec) = operand_wait_info(&window, head_seq, i, cycle);
-                let (finish, verify) = {
-                    let s = &window[i];
-                    match s.kind {
-                        OpKind::Load => {
-                            let agen_done = cycle + 1;
-                            if s.pred == Some(PredOutcome::Constant) {
-                                // CVU verifies without touching the cache.
-                                let fin = agen_done + 1;
-                                (fin, fin + 1)
-                            } else {
-                                // A miss needs a free MSHR; stall issue of
-                                // this load until one drains.
-                                mshr_fill.retain(|&t| t > cycle);
-                                if mshr_fill.len() >= config.mshrs && !mem.probe_l1(s.mem_addr) {
-                                    i += 1;
-                                    continue;
-                                }
-                                let granted = banks.claim(s.mem_addr, agen_done);
-                                result.l1_accesses += 1;
-                                let extra = mem.access(s.mem_addr);
-                                if extra > 0 {
-                                    result.l1_misses += 1;
-                                    mshr_fill.push(granted + 1 + extra);
-                                }
-                                let fin = granted + 1 + extra;
-                                let ver = if s.pred.is_some_and(|p| p.predicted()) {
-                                    fin + 1
-                                } else {
-                                    fin
-                                };
-                                (fin, ver)
+                _ => {}
+            }
+            // Compute timing for this issue.
+            let (op_wait, spec_srcs, is_spec) = operand_wait_info(&window, head_seq, i, cycle);
+            let (finish, verify) = {
+                let s = &window[i];
+                match s.kind {
+                    OpKind::Load => {
+                        let agen_done = cycle + 1;
+                        if s.pred == Some(PredOutcome::Constant) {
+                            // CVU verifies without touching the cache.
+                            let fin = agen_done + 1;
+                            (fin, fin + 1)
+                        } else {
+                            // A miss needs a free MSHR; stall issue of
+                            // this load until one drains.
+                            mshr_fill.retain(|&t| t > cycle);
+                            if mshr_fill.len() >= config.mshrs && !mem.probe_l1(s.mem_addr) {
+                                continue;
                             }
-                        }
-                        OpKind::Store => {
-                            // Stores only generate their address here; the
-                            // data-cache bank is accessed at completion,
-                            // when the store drains from the store queue
-                            // (so loads and stores contend for banks, as
-                            // in Section 6.5).
-                            let agen_done = cycle + 1;
+                            let granted = banks.claim(s.mem_addr, agen_done);
                             result.l1_accesses += 1;
                             let extra = mem.access(s.mem_addr);
                             if extra > 0 {
                                 result.l1_misses += 1;
+                                mshr_fill.push(granted + 1 + extra);
                             }
-                            let fin = agen_done + 1;
-                            (fin, fin)
-                        }
-                        kind => {
-                            let fin = cycle + config.latency.result_latency(kind);
-                            (fin, fin)
+                            let fin = granted + 1 + extra;
+                            let ver = if s.pred.is_some_and(|p| p.predicted()) {
+                                fin + 1
+                            } else {
+                                fin
+                            };
+                            (fin, ver)
                         }
                     }
-                };
-                {
-                    let s = &mut window[i];
-                    s.state = State::Executing;
-                    s.issue_cycle = cycle;
-                    s.finish_cycle = finish;
-                    s.verify_cycle = verify;
-                    s.operand_wait = op_wait;
-                    s.issued_spec = is_spec;
-                    s.spec_srcs = spec_srcs;
-                    match fu {
-                        Fu::Mcfx => mcfx_busy = finish,
-                        Fu::Fpu if s.kind == OpKind::FpComplex => fpu_complex_busy = finish,
-                        _ => {}
+                    OpKind::Store => {
+                        // Stores only generate their address here; the
+                        // data-cache bank is accessed at completion,
+                        // when the store drains from the store queue
+                        // (so loads and stores contend for banks, as
+                        // in Section 6.5).
+                        let agen_done = cycle + 1;
+                        result.l1_accesses += 1;
+                        let extra = mem.access(s.mem_addr);
+                        if extra > 0 {
+                            result.l1_misses += 1;
+                        }
+                        let fin = agen_done + 1;
+                        (fin, fin)
                     }
-                    // A mispredicted branch resolves the fetch gate when it
-                    // executes: refetch begins after the penalty.
-                    if pending_gate == Some(s.seq) {
-                        dispatch_blocked_until = finish + config.latency.mispredict_penalty;
-                        pending_gate = None;
+                    kind => {
+                        let fin = cycle + config.latency.result_latency(kind);
+                        (fin, fin)
                     }
                 }
-                issued += 1;
-                i += 1;
+            };
+            {
+                let s = &mut window[i];
+                s.state = State::Executing;
+                s.issue_cycle = cycle;
+                s.finish_cycle = finish;
+                s.verify_cycle = verify;
+                s.operand_wait = op_wait;
+                s.issued_spec = is_spec;
+                s.spec_srcs = spec_srcs;
+                match fu {
+                    Fu::Mcfx => mcfx_busy = finish,
+                    Fu::Fpu if s.kind == OpKind::FpComplex => fpu_complex_busy = finish,
+                    _ => {}
+                }
+                // A mispredicted branch resolves the fetch gate when it
+                // executes: refetch begins after the penalty.
+                if pending_gate == Some(s.seq) {
+                    dispatch_blocked_until = finish + config.latency.mispredict_penalty;
+                    pending_gate = None;
+                }
             }
+            left[fx] -= 1;
+            activity += 1;
         }
 
         // ---- 6. dispatch ----
@@ -419,7 +466,7 @@ pub fn simulate_620(
         {
             let e = &entries[next_dispatch];
             let fu = fu_of(e.kind);
-            if rs_used[fu_index(fu)] >= rs_cap {
+            if rs_used[fu_ix(fu)] >= rs_cap {
                 break;
             }
             if e.kind.is_mem() && mem_dispatched >= config.mem_dispatch_per_cycle {
@@ -482,9 +529,9 @@ pub fn simulate_620(
                     fpr_free -= 1;
                 }
             }
-            rs_used[fu_index(fu)] += 1;
+            rs_used[fu_ix(fu)] += 1;
 
-            window.push(Slot {
+            window.push_back(Slot {
                 seq,
                 kind: e.kind,
                 fu,
@@ -514,15 +561,57 @@ pub fn simulate_620(
                 break;
             }
         }
+        activity += dispatched;
 
-        cycle += 1;
+        // Idle-cycle skipping: a cycle with zero state changes implies
+        // every future change is gated on one of the event cycles
+        // below, so the idle stretch is skipped in one step. The jump
+        // lands *exactly* on the earliest event — squash timing
+        // requires `verify_cycle == cycle` — and waking early is
+        // harmless (the cycle is idle again), so taking the minimum
+        // over a superset of the live events is safe.
+        let mut next_cycle = cycle + 1;
+        if activity == 0 {
+            let mut event = u64::MAX;
+            for s in &window {
+                let e = match s.state {
+                    State::Executing => s.finish_cycle,
+                    State::Finished => s.verify_cycle,
+                    // Squashed slots sleep until their producer verifies.
+                    State::Waiting => s.min_issue_cycle,
+                };
+                if e > cycle && e < event {
+                    event = e;
+                }
+            }
+            for t in [mcfx_busy, fpu_complex_busy] {
+                if t > cycle && t < event {
+                    event = t;
+                }
+            }
+            for &t in &mshr_fill {
+                if t > cycle && t < event {
+                    event = t;
+                }
+            }
+            if next_dispatch < entries.len() && dispatch_blocked_until > cycle {
+                event = event.min(dispatch_blocked_until);
+            }
+            if event != u64::MAX {
+                // Never skip past the progress guard's horizon, so a
+                // genuine deadlock still panics at the same cycle the
+                // cycle-by-cycle model would.
+                next_cycle = event.min(last_progress.0 + 100_001);
+            }
+        }
+        cycle = next_cycle;
         // Progress guard against model deadlocks.
         if (head_seq, next_dispatch) != last_progress.1 {
             last_progress = (cycle, (head_seq, next_dispatch));
         } else if cycle - last_progress.0 > 100_000 {
             panic!(
                 "620 model deadlock at cycle {cycle}: window head {:?}",
-                window.first()
+                window.front()
             );
         }
     }
@@ -534,7 +623,7 @@ pub fn simulate_620(
 }
 
 /// Whether every source operand of `window[i]` is available at `cycle`.
-fn operands_ready(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+fn operands_ready(window: &VecDeque<Slot>, head_seq: u64, i: usize, cycle: u64) -> bool {
     let s = &window[i];
     for p in s.src_producers.iter().flatten() {
         if *p < head_seq {
@@ -563,7 +652,7 @@ fn producer_available(prod: &Slot, cycle: u64) -> Option<u64> {
 
 /// Whether every speculative source of `window[i]` has verified by
 /// `cycle` (retired sources count as verified).
-fn spec_sources_verified(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+fn spec_sources_verified(window: &VecDeque<Slot>, head_seq: u64, i: usize, cycle: u64) -> bool {
     for p in window[i].spec_srcs.iter().flatten() {
         if *p < head_seq {
             continue; // retired, hence verified
@@ -579,7 +668,7 @@ fn spec_sources_verified(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -
 /// Computes (operand wait cycles, speculative source seqs,
 /// consumed-any-speculative-value) for the slot issuing now.
 fn operand_wait_info(
-    window: &[Slot],
+    window: &VecDeque<Slot>,
     head_seq: u64,
     i: usize,
     cycle: u64,
@@ -612,17 +701,21 @@ fn operand_wait_info(
 /// dependent that consumed the wrong value (issued before the correct
 /// value returned) back to Waiting; it may reissue from `verify_cycle`.
 fn squash_dependents(
-    window: &mut [Slot],
+    window: &mut VecDeque<Slot>,
     producer_seq: u64,
     producer_finish: u64,
     verify_cycle: u64,
     rs_used: &mut [usize; 5],
+    to_squash: &mut Vec<u64>,
 ) {
-    let mut to_squash: Vec<u64> = vec![producer_seq];
+    to_squash.clear();
+    to_squash.push(producer_seq);
     let mut k = 0;
     while k < to_squash.len() {
         let pseq = to_squash[k];
         k += 1;
+        // Dependents always sit *after* their producer in the window
+        // (larger seq), so new worklist entries never precede `pseq`.
         for s in window.iter_mut() {
             let depends = s.src_producers.iter().flatten().any(|&p| p == pseq);
             if !depends || s.state == State::Waiting {
@@ -645,10 +738,449 @@ fn squash_dependents(
                 // It had released its RS at issue; it must hold one again
                 // while it waits to reissue.
                 s.holds_rs = true;
-                let fu = s.fu;
-                rs_used[FU_KINDS.iter().position(|&f| f == fu).unwrap()] += 1;
+                rs_used[fu_ix(s.fu)] += 1;
             }
             to_squash.push(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod reference {
+    //! The original cycle-by-cycle, split-pass implementation of
+    //! [`simulate_620`], kept verbatim as a differential oracle: the
+    //! optimized model (merged scan, single-pass issue, idle-cycle
+    //! skipping) must produce bit-identical [`SimResult`]s.
+    use super::*;
+
+    pub(super) fn simulate_620_reference(
+        trace: &Trace,
+        outcomes: Option<&[PredOutcome]>,
+        config: &Ppc620Config,
+    ) -> SimResult {
+        let mut result = SimResult::default();
+        let mut bp = BranchPredictor::new(2048, 256);
+        let mut mem = MemHierarchy::new(config.l1, config.l2, config.mem_latency);
+        let mut banks = BankArbiter::new();
+
+        let entries = trace.entries();
+        let mut next_dispatch = 0usize;
+        let mut load_index = 0usize;
+
+        let mut window: Vec<Slot> = Vec::with_capacity(config.completion_buffer);
+        let mut head_seq: u64 = 0;
+        let mut reg_producer: [Option<u64>; 64] = [None; 64];
+
+        let mut rs_used = [0usize; 5];
+        let rs_cap = config.rs_per_class;
+        let fu_index = |fu: Fu| FU_KINDS.iter().position(|&f| f == fu).unwrap();
+
+        let mut gpr_free = config.gpr_renames;
+        let mut fpr_free = config.fpr_renames;
+
+        let mut mcfx_busy: u64 = 0;
+        let mut fpu_complex_busy: u64 = 0;
+        let mut mshr_fill: Vec<u64> = Vec::new();
+
+        let mut pending_gate: Option<u64> = None;
+        let mut dispatch_blocked_until: u64 = 0;
+
+        let mut cycle: u64 = 0;
+        let mut last_progress: (u64, (u64, usize)) = (0, (0, 0));
+
+        while next_dispatch < entries.len() || !window.is_empty() {
+            // ---- 1. process verifications & squashes scheduled this cycle ----
+            for i in 0..window.len() {
+                let (incorrect, vc, lseq, lfinish) = {
+                    let s = &window[i];
+                    (
+                        s.pred == Some(PredOutcome::Incorrect) && !s.squashed_once,
+                        s.verify_cycle,
+                        s.seq,
+                        s.finish_cycle,
+                    )
+                };
+                if incorrect && window[i].state == State::Finished && vc == cycle {
+                    window[i].squashed_once = true;
+                    squash_dependents(&mut window, lseq, lfinish, cycle, &mut rs_used);
+                }
+            }
+
+            // ---- 2. executing -> finished ----
+            for s in window.iter_mut() {
+                if s.state == State::Executing && s.finish_cycle <= cycle {
+                    s.state = State::Finished;
+                }
+            }
+
+            // ---- 3. release reservation stations ----
+            for i in 0..window.len() {
+                let s = &window[i];
+                if !s.holds_rs || s.state == State::Waiting || s.issue_cycle > cycle {
+                    continue;
+                }
+                if s.issued_spec && !spec_sources_verified(&window, head_seq, i, cycle) {
+                    continue;
+                }
+                let fu = window[i].fu;
+                window[i].holds_rs = false;
+                rs_used[fu_index(fu)] -= 1;
+            }
+
+            // ---- 4. in-order completion ----
+            let mut retired = 0usize;
+            while retired < config.width && !window.is_empty() {
+                let s = &window[0];
+                let can_retire = s.state == State::Finished
+                    && cycle >= s.verify_cycle
+                    && !s.holds_rs
+                    && (!s.issued_spec || spec_sources_verified(&window, head_seq, 0, cycle));
+                if !can_retire {
+                    break;
+                }
+                let s = window.remove(0);
+                head_seq += 1;
+                retired += 1;
+                result.instructions += 1;
+                result.operand_wait.record(s.kind, s.operand_wait);
+                if s.kind == OpKind::Store {
+                    banks.claim(s.mem_addr, cycle);
+                }
+                if let Some(d) = s.dst {
+                    if reg_producer[d] == Some(s.seq) {
+                        reg_producer[d] = None;
+                    }
+                    if d < 32 {
+                        gpr_free += 1;
+                    } else {
+                        fpr_free += 1;
+                    }
+                }
+                if s.kind == OpKind::Load {
+                    result.loads += 1;
+                    match s.pred {
+                        Some(PredOutcome::Correct) | Some(PredOutcome::Constant) => {
+                            result.predicted_loads += 1;
+                            result
+                                .verify_latency
+                                .record(s.verify_cycle.saturating_sub(s.dispatch_cycle));
+                            if s.pred == Some(PredOutcome::Constant) {
+                                result.constant_loads += 1;
+                            }
+                        }
+                        Some(PredOutcome::Incorrect) => result.mispredicted_loads += 1,
+                        _ => {}
+                    }
+                }
+            }
+
+            // ---- 5. issue ----
+            for fu in FU_KINDS {
+                let mut issued = 0usize;
+                let units = config.units(fu);
+                let mut i = 0;
+                while issued < units && i < window.len() {
+                    let ready = {
+                        let s = &window[i];
+                        s.fu == fu
+                            && s.state == State::Waiting
+                            && s.dispatch_cycle < cycle
+                            && s.min_issue_cycle <= cycle
+                            && operands_ready(&window, head_seq, i, cycle)
+                    };
+                    if !ready {
+                        i += 1;
+                        continue;
+                    }
+                    match fu {
+                        Fu::Mcfx if mcfx_busy > cycle => break,
+                        Fu::Fpu if fpu_complex_busy > cycle => break,
+                        _ => {}
+                    }
+                    let (op_wait, spec_srcs, is_spec) =
+                        operand_wait_info(&window, head_seq, i, cycle);
+                    let (finish, verify) = {
+                        let s = &window[i];
+                        match s.kind {
+                            OpKind::Load => {
+                                let agen_done = cycle + 1;
+                                if s.pred == Some(PredOutcome::Constant) {
+                                    let fin = agen_done + 1;
+                                    (fin, fin + 1)
+                                } else {
+                                    mshr_fill.retain(|&t| t > cycle);
+                                    if mshr_fill.len() >= config.mshrs && !mem.probe_l1(s.mem_addr)
+                                    {
+                                        i += 1;
+                                        continue;
+                                    }
+                                    let granted = banks.claim(s.mem_addr, agen_done);
+                                    result.l1_accesses += 1;
+                                    let extra = mem.access(s.mem_addr);
+                                    if extra > 0 {
+                                        result.l1_misses += 1;
+                                        mshr_fill.push(granted + 1 + extra);
+                                    }
+                                    let fin = granted + 1 + extra;
+                                    let ver = if s.pred.is_some_and(|p| p.predicted()) {
+                                        fin + 1
+                                    } else {
+                                        fin
+                                    };
+                                    (fin, ver)
+                                }
+                            }
+                            OpKind::Store => {
+                                let agen_done = cycle + 1;
+                                result.l1_accesses += 1;
+                                let extra = mem.access(s.mem_addr);
+                                if extra > 0 {
+                                    result.l1_misses += 1;
+                                }
+                                let fin = agen_done + 1;
+                                (fin, fin)
+                            }
+                            kind => {
+                                let fin = cycle + config.latency.result_latency(kind);
+                                (fin, fin)
+                            }
+                        }
+                    };
+                    {
+                        let s = &mut window[i];
+                        s.state = State::Executing;
+                        s.issue_cycle = cycle;
+                        s.finish_cycle = finish;
+                        s.verify_cycle = verify;
+                        s.operand_wait = op_wait;
+                        s.issued_spec = is_spec;
+                        s.spec_srcs = spec_srcs;
+                        match fu {
+                            Fu::Mcfx => mcfx_busy = finish,
+                            Fu::Fpu if s.kind == OpKind::FpComplex => fpu_complex_busy = finish,
+                            _ => {}
+                        }
+                        if pending_gate == Some(s.seq) {
+                            dispatch_blocked_until = finish + config.latency.mispredict_penalty;
+                            pending_gate = None;
+                        }
+                    }
+                    issued += 1;
+                    i += 1;
+                }
+            }
+
+            // ---- 6. dispatch ----
+            let mut dispatched = 0usize;
+            let mut mem_dispatched = 0usize;
+            while dispatched < config.width
+                && pending_gate.is_none()
+                && cycle >= dispatch_blocked_until
+                && next_dispatch < entries.len()
+                && window.len() < config.completion_buffer
+            {
+                let e = &entries[next_dispatch];
+                let fu = fu_of(e.kind);
+                if rs_used[fu_index(fu)] >= rs_cap {
+                    break;
+                }
+                if e.kind.is_mem() && mem_dispatched >= config.mem_dispatch_per_cycle {
+                    break;
+                }
+                let dst = e.dst.map(|d| d.flat_index());
+                match dst {
+                    Some(d) if d < 32 && gpr_free == 0 => break,
+                    Some(d) if d >= 32 && fpr_free == 0 => break,
+                    _ => {}
+                }
+
+                let seq = head_seq + window.len() as u64;
+                let mut mispredicted = false;
+                match e.kind {
+                    OpKind::CondBranch => {
+                        result.branches += 1;
+                        let taken = e.branch.expect("branch entry must carry outcome").taken;
+                        let predicted = bp.predict_taken(e.pc);
+                        bp.update_taken(e.pc, taken);
+                        if predicted != taken {
+                            result.mispredicts += 1;
+                            mispredicted = true;
+                        }
+                    }
+                    OpKind::IndirectJump => {
+                        let target = e.branch.expect("jump entry must carry target").target;
+                        let hit = bp.predict_target(e.pc) == Some(target);
+                        bp.update_target(e.pc, target);
+                        if !hit {
+                            result.mispredicts += 1;
+                            mispredicted = true;
+                        }
+                    }
+                    _ => {}
+                }
+
+                let pred = if e.kind == OpKind::Load {
+                    let p = outcomes.map(|o| o[load_index]);
+                    load_index += 1;
+                    p
+                } else {
+                    None
+                };
+
+                let mut src_producers = [None, None];
+                for (k, src) in e.srcs.iter().enumerate() {
+                    if let Some(r) = src {
+                        src_producers[k] = reg_producer[r.flat_index()];
+                    }
+                }
+                if let Some(d) = dst {
+                    reg_producer[d] = Some(seq);
+                    if d < 32 {
+                        gpr_free -= 1;
+                    } else {
+                        fpr_free -= 1;
+                    }
+                }
+                rs_used[fu_index(fu)] += 1;
+
+                window.push(Slot {
+                    seq,
+                    kind: e.kind,
+                    fu,
+                    pred,
+                    mem_addr: e.mem.map_or(0, |m| m.addr),
+                    dst,
+                    src_producers,
+                    state: State::Waiting,
+                    dispatch_cycle: cycle,
+                    min_issue_cycle: 0,
+                    issue_cycle: 0,
+                    finish_cycle: u64::MAX,
+                    verify_cycle: u64::MAX,
+                    spec_srcs: [None, None],
+                    issued_spec: false,
+                    holds_rs: true,
+                    operand_wait: 0,
+                    squashed_once: false,
+                });
+                next_dispatch += 1;
+                dispatched += 1;
+                if e.kind.is_mem() {
+                    mem_dispatched += 1;
+                }
+                if mispredicted {
+                    pending_gate = Some(seq);
+                    break;
+                }
+            }
+
+            cycle += 1;
+            if (head_seq, next_dispatch) != last_progress.1 {
+                last_progress = (cycle, (head_seq, next_dispatch));
+            } else if cycle - last_progress.0 > 100_000 {
+                panic!(
+                    "620 reference model deadlock at cycle {cycle}: window head {:?}",
+                    window.first()
+                );
+            }
+        }
+
+        result.cycles = cycle;
+        result.l2_accesses = mem.l2_accesses();
+        result.bank_conflict_cycles = banks.conflict_cycles();
+        result
+    }
+
+    fn operands_ready(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+        let s = &window[i];
+        for p in s.src_producers.iter().flatten() {
+            if *p < head_seq {
+                continue;
+            }
+            let prod = &window[(*p - head_seq) as usize];
+            if producer_available(prod, cycle).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn spec_sources_verified(window: &[Slot], head_seq: u64, i: usize, cycle: u64) -> bool {
+        for p in window[i].spec_srcs.iter().flatten() {
+            if *p < head_seq {
+                continue;
+            }
+            let prod = &window[(*p - head_seq) as usize];
+            if prod.state != State::Finished || prod.verify_cycle > cycle {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn operand_wait_info(
+        window: &[Slot],
+        head_seq: u64,
+        i: usize,
+        cycle: u64,
+    ) -> (u64, [Option<u64>; 2], bool) {
+        let s = &window[i];
+        let mut avail = s.dispatch_cycle;
+        let mut spec_srcs = [None, None];
+        let mut is_spec = false;
+        for (k, p) in s.src_producers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            if *p < head_seq {
+                continue;
+            }
+            let prod = &window[(*p - head_seq) as usize];
+            if prod.kind == OpKind::Load && prod.pred.is_some_and(|q| q.predicted()) {
+                if prod.state == State::Waiting || cycle < prod.verify_cycle {
+                    is_spec = true;
+                    spec_srcs[k] = Some(*p);
+                }
+                avail = avail.max(prod.dispatch_cycle);
+            } else {
+                avail = avail.max(prod.finish_cycle);
+            }
+        }
+        (avail.saturating_sub(s.dispatch_cycle), spec_srcs, is_spec)
+    }
+
+    fn squash_dependents(
+        window: &mut [Slot],
+        producer_seq: u64,
+        producer_finish: u64,
+        verify_cycle: u64,
+        rs_used: &mut [usize; 5],
+    ) {
+        let mut to_squash: Vec<u64> = vec![producer_seq];
+        let mut k = 0;
+        while k < to_squash.len() {
+            let pseq = to_squash[k];
+            k += 1;
+            for s in window.iter_mut() {
+                let depends = s.src_producers.iter().flatten().any(|&p| p == pseq);
+                if !depends || s.state == State::Waiting {
+                    continue;
+                }
+                if pseq == producer_seq && s.issue_cycle >= producer_finish {
+                    continue;
+                }
+                let seq = s.seq;
+                s.state = State::Waiting;
+                s.min_issue_cycle = verify_cycle;
+                s.issued_spec = false;
+                s.spec_srcs = [None, None];
+                s.finish_cycle = u64::MAX;
+                s.verify_cycle = u64::MAX;
+                if !s.holds_rs {
+                    s.holds_rs = true;
+                    let fu = s.fu;
+                    rs_used[FU_KINDS.iter().position(|&f| f == fu).unwrap()] += 1;
+                }
+                to_squash.push(seq);
+            }
         }
     }
 }
@@ -685,14 +1217,184 @@ mod tests {
         }
     }
 
-    fn run(entries: Vec<TraceEntry>, outcomes: Option<Vec<PredOutcome>>) -> SimResult {
+    fn run(entries: &[TraceEntry], outcomes: Option<&[PredOutcome]>) -> SimResult {
+        let trace: Trace = entries.iter().copied().collect();
+        simulate_620(&trace, outcomes, &Ppc620Config::base())
+    }
+
+    /// Deterministic 64-bit LCG (Knuth MMIX constants).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    /// A random but structurally valid instruction mix: ALU chains,
+    /// complex int/FP ops, loads/stores over hit- and miss-prone
+    /// addresses, and poorly predictable branches.
+    fn random_trace(seed: u64, n: usize) -> Trace {
+        let mut rng = Lcg(seed);
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = rng.next();
+            let pc = 0x1_0000 + 4 * (r % 97);
+            let dst = (10 + (r >> 8) % 8) as u8;
+            let src = (10 + (r >> 16) % 8) as u8;
+            let e = match r % 100 {
+                0..=39 => TraceEntry {
+                    pc,
+                    kind: OpKind::IntSimple,
+                    dst: Some(RegRef::int(dst)),
+                    srcs: [Some(RegRef::int(src)), None],
+                    mem: None,
+                    branch: None,
+                },
+                40..=49 => TraceEntry {
+                    pc,
+                    kind: OpKind::IntComplex,
+                    dst: Some(RegRef::int(dst)),
+                    srcs: [Some(RegRef::int(src)), Some(RegRef::int(2))],
+                    mem: None,
+                    branch: None,
+                },
+                50..=54 => TraceEntry {
+                    pc,
+                    kind: OpKind::FpSimple,
+                    dst: Some(RegRef::fp(dst)),
+                    srcs: [Some(RegRef::fp(src)), None],
+                    mem: None,
+                    branch: None,
+                },
+                55..=59 => TraceEntry {
+                    pc,
+                    kind: OpKind::FpComplex,
+                    dst: Some(RegRef::fp(dst)),
+                    srcs: [Some(RegRef::fp(src)), Some(RegRef::fp(2))],
+                    mem: None,
+                    branch: None,
+                },
+                60..=79 => {
+                    // Mix cache-resident and striding (miss-prone) loads.
+                    let addr = if r.is_multiple_of(3) {
+                        0x10_0000 + ((r >> 24) % 8) * 8
+                    } else {
+                        0x20_0000 + ((r >> 24) % 512) * 4096
+                    };
+                    load(pc, dst, addr)
+                }
+                80..=89 => TraceEntry {
+                    pc,
+                    kind: OpKind::Store,
+                    dst: None,
+                    srcs: [Some(RegRef::int(src)), Some(RegRef::int(2))],
+                    mem: Some(MemAccess {
+                        addr: 0x30_0000 + ((r >> 24) % 64) * 8,
+                        width: 8,
+                        value: 0,
+                        fp: false,
+                    }),
+                    branch: None,
+                },
+                _ => TraceEntry {
+                    pc,
+                    kind: OpKind::CondBranch,
+                    dst: None,
+                    srcs: [Some(RegRef::int(src)), None],
+                    mem: None,
+                    branch: Some(BranchEvent {
+                        taken: (r >> 32).is_multiple_of(3),
+                        target: pc + 8,
+                    }),
+                },
+            };
+            entries.push(e);
+            let _ = i;
+        }
+        entries.into_iter().collect()
+    }
+
+    /// Random per-load outcome mix covering every [`PredOutcome`].
+    fn random_outcomes(seed: u64, loads: usize) -> Vec<PredOutcome> {
+        let mut rng = Lcg(seed);
+        (0..loads)
+            .map(|_| match rng.next() % 10 {
+                0..=3 => PredOutcome::Correct,
+                4..=5 => PredOutcome::Incorrect,
+                6 => PredOutcome::Constant,
+                _ => PredOutcome::NotPredicted,
+            })
+            .collect()
+    }
+
+    /// The optimized model must be bit-identical to the preserved
+    /// cycle-by-cycle reference on randomized traces, across both
+    /// machine configs and every outcome regime.
+    #[test]
+    fn optimized_matches_reference_on_random_traces() {
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let trace = random_trace(seed, 3000);
+            let loads = trace.stats().loads as usize;
+            let outcome_sets: [Option<Vec<PredOutcome>>; 5] = [
+                None,
+                Some(vec![PredOutcome::Correct; loads]),
+                Some(vec![PredOutcome::Incorrect; loads]),
+                Some(vec![PredOutcome::Constant; loads]),
+                Some(random_outcomes(seed ^ 0x5555, loads)),
+            ];
+            for config in [Ppc620Config::base(), Ppc620Config::plus()] {
+                for outcomes in &outcome_sets {
+                    let fast = simulate_620(&trace, outcomes.as_deref(), &config);
+                    let slow =
+                        reference::simulate_620_reference(&trace, outcomes.as_deref(), &config);
+                    assert_eq!(
+                        fast,
+                        slow,
+                        "divergence: seed {seed}, config {}, outcomes {:?}",
+                        config.name,
+                        outcomes.as_deref().map(|o| o.first())
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same parity check on the structured corner-case traces the
+    /// existing unit tests exercise (serial chains, pointer chases).
+    #[test]
+    fn optimized_matches_reference_on_structured_traces() {
+        let mut entries = Vec::new();
+        for i in 0..800u64 {
+            let mut l = load(0x10000, 10, 0x10_0000 + (i % 4) * 64);
+            l.srcs = [Some(RegRef::int(2)), None];
+            entries.push(l);
+            entries.push(alu(0x10004, 2, [Some(10), None]));
+        }
         let trace: Trace = entries.into_iter().collect();
-        simulate_620(&trace, outcomes.as_deref(), &Ppc620Config::base())
+        let loads = trace.stats().loads as usize;
+        for outcomes in [
+            None,
+            Some(vec![PredOutcome::Correct; loads]),
+            Some(vec![PredOutcome::Incorrect; loads]),
+        ] {
+            let fast = simulate_620(&trace, outcomes.as_deref(), &Ppc620Config::base());
+            let slow = reference::simulate_620_reference(
+                &trace,
+                outcomes.as_deref(),
+                &Ppc620Config::base(),
+            );
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]
     fn empty_trace() {
-        let r = run(vec![], None);
+        let r = run(&[], None);
         assert_eq!(r.instructions, 0);
     }
 
@@ -701,7 +1403,7 @@ mod tests {
         let entries: Vec<_> = (0..4000)
             .map(|i| alu(0x10000 + 4 * (i % 64), (i % 8) as u8 + 10, [None, None]))
             .collect();
-        let r = run(entries, None);
+        let r = run(&entries, None);
         assert_eq!(r.instructions, 4000);
         // 2 SCFX units bound throughput at 2 IPC.
         assert!(r.ipc() > 1.7, "IPC {:.2}", r.ipc());
@@ -713,7 +1415,7 @@ mod tests {
         let entries: Vec<_> = (0..1000)
             .map(|i| alu(0x10000 + 4 * (i % 64), 10, [Some(10), None]))
             .collect();
-        let r = run(entries, None);
+        let r = run(&entries, None);
         assert!(
             r.ipc() < 1.1,
             "serial chain cannot exceed 1 IPC: {:.2}",

@@ -50,8 +50,6 @@ fn full_pipeline_both_profiles_and_all_machines() {
         for config in LvpConfig::table2() {
             let mut unit = LvpUnit::new(config);
             let outcomes = unit.annotate(&trace);
-            let annotated = AnnotatedTrace::new(&trace, outcomes.clone());
-            assert_eq!(annotated.outcomes().len() as u64, trace.stats().loads);
 
             // Phase 3: all three machine models accept the annotation.
             for mcfg in [Ppc620Config::base(), Ppc620Config::plus()] {
@@ -61,6 +59,10 @@ fn full_pipeline_both_profiles_and_all_machines() {
             }
             let r = simulate_21164(&trace, Some(&outcomes), &Alpha21164Config::base());
             assert_eq!(r.instructions, trace.stats().instructions);
+
+            // The annotated view consumes the outcomes without a copy.
+            let annotated = AnnotatedTrace::new(&trace, outcomes);
+            assert_eq!(annotated.outcomes().len() as u64, trace.stats().loads);
         }
     }
 }
