@@ -12,22 +12,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
-# Lint baseline gate: run the verifier plus the memory provenance pass
-# over every workload x profile x opt cell and diff the machine-readable
-# diagnostics against the committed baseline. Any *new* diagnostic fails
-# CI; diagnostics that disappeared are tolerated (regenerate the
-# baseline with `lvp check --all --memory --format json` to tighten it).
-echo "==> lvp check --all --memory (lint baseline gate)"
+# Lint baseline gate: run the verifier plus the memory provenance and
+# value-flow passes over every workload x profile x opt cell and diff
+# the machine-readable diagnostics against the committed baseline. Any
+# *new* diagnostic fails CI; diagnostics that disappeared are tolerated
+# (regenerate with `scripts/rebaseline.sh --lints` to tighten —
+# per-finding "justification" annotations are preserved, and are
+# stripped here before diffing).
+echo "==> lvp check --all --memory --value-flow (lint baseline gate)"
 mkdir -p target/ci-smoke
 check_out="target/ci-smoke/lints_current.json"
 check_status=0
-cargo run --release -q -p lvp-cli -- check --all --memory --format json \
+cargo run --release -q -p lvp-cli -- check --all --memory --value-flow --format json \
     > "$check_out" || check_status=$?
 if [ "$check_status" -gt 1 ]; then
-    echo "ci: lvp check --all --memory failed with status $check_status" >&2
+    echo "ci: lvp check --all --memory --value-flow failed with status $check_status" >&2
     exit "$check_status"
 fi
-grep '^    {"cell"' results/lints_baseline.json | sort \
+grep '^    {"cell"' results/lints_baseline.json \
+    | sed 's/,"justification":"[^"]*"//' | sort \
     > target/ci-smoke/lints_baseline.sorted || true
 grep '^    {"cell"' "$check_out" | sort \
     > target/ci-smoke/lints_current.sorted || true
@@ -73,15 +76,27 @@ fi
 
 # Static/dynamic cross-check gate: every fast-subset workload at every
 # profile x opt level is traced (reusing the bench disk cache above) and
-# the CVU oracle must hold — no statically must-constant load may ever
-# be invalidated by a store or change its value. Without --memory the
-# suite is lint-clean, so the exit code alone is the verdict.
-echo "==> lvp check --all --cross-check --fast (CVU oracle gate)"
-cc_out="$(cargo run --release -q -p lvp-cli -- check --all --cross-check \
-    --fast --threads 2 --cache-dir "$cache_dir")"
-printf '%s\n' "$cc_out" | grep -E '^cross-check:'
+# both dynamic oracles must hold — the CVU oracle (no must-constant load
+# invalidated by a store or changing its value) and the value-flow
+# stride oracle (every judged affine-stride/must-constant claim meets
+# the stride predictor's accuracy floor). --value-flow also emits the
+# static LVP012-016 lints, which are baseline-gated above, so a findings
+# exit (1) is tolerated here; the PASS verdict lines are the gate.
+echo "==> lvp check --all --cross-check --value-flow --fast (CVU + stride oracle gate)"
+cc_status=0
+cc_out="$(cargo run --release -q -p lvp-cli -- check --all --cross-check --value-flow \
+    --fast --threads 2 --cache-dir "$cache_dir")" || cc_status=$?
+if [ "$cc_status" -gt 1 ]; then
+    echo "ci: lvp check --all --cross-check --value-flow failed with status $cc_status" >&2
+    exit "$cc_status"
+fi
+printf '%s\n' "$cc_out" | grep -E '^cross-check:|^value-flow: (PASS|FAIL)'
 if ! printf '%s\n' "$cc_out" | grep -qF 'cross-check: PASS'; then
     echo "ci: the static/dynamic cross-check oracle was violated" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$cc_out" | grep -qF 'value-flow: PASS'; then
+    echo "ci: the value-flow stride oracle was violated" >&2
     exit 1
 fi
 rm -rf "$cache_dir"

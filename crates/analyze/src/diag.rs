@@ -38,6 +38,28 @@ pub enum LintCode {
     /// `LVP011`: a load whose address exactly matches an earlier store in
     /// the same block (store-to-load forwarding candidate).
     StoreToLoadForward,
+    /// `LVP012`: a load the value-flow analysis proves stride-predictable
+    /// (its loaded value follows an affine recurrence `base + i*stride`
+    /// around a loop).
+    StridePredictableLoad,
+    /// `LVP013`: a loop-invariant load left inside the loop (same cell,
+    /// no store in the loop): hoisting or a last-value predictor catches
+    /// it trivially.
+    LoopInvariantLoad,
+    /// `LVP014`: a load the static classifier calls unpredictable that
+    /// the dynamic LCT nevertheless classifies predictable — a static
+    /// under-approximation report, emitted only when a trace is
+    /// available.
+    StaticUnderApprox,
+    /// `LVP015`: SSA/def-use inconsistency found by the internal SSA
+    /// verifier — in practice a register read that is uninitialized on
+    /// *some* (but not every) path from entry, the may-uninit complement
+    /// of `LVP001`.
+    SsaInconsistency,
+    /// `LVP016`: a store-to-load pair on the same memory cell whose value
+    /// travels around a loop back edge (the load observes the previous
+    /// iteration's store).
+    LoopCarriedStoreToLoad,
 }
 
 impl LintCode {
@@ -55,6 +77,11 @@ impl LintCode {
             LintCode::StackEscape => "LVP009",
             LintCode::MisclassifiedConstant => "LVP010",
             LintCode::StoreToLoadForward => "LVP011",
+            LintCode::StridePredictableLoad => "LVP012",
+            LintCode::LoopInvariantLoad => "LVP013",
+            LintCode::StaticUnderApprox => "LVP014",
+            LintCode::SsaInconsistency => "LVP015",
+            LintCode::LoopCarriedStoreToLoad => "LVP016",
         }
     }
 
@@ -72,6 +99,11 @@ impl LintCode {
             LintCode::StackEscape => "stack-escape",
             LintCode::MisclassifiedConstant => "misclassified-constant",
             LintCode::StoreToLoadForward => "store-to-load-forward",
+            LintCode::StridePredictableLoad => "stride-predictable-load",
+            LintCode::LoopInvariantLoad => "loop-invariant-load",
+            LintCode::StaticUnderApprox => "static-under-approximation",
+            LintCode::SsaInconsistency => "ssa-inconsistency",
+            LintCode::LoopCarriedStoreToLoad => "loop-carried-store-to-load",
         }
     }
 }
@@ -142,6 +174,11 @@ mod tests {
         assert_eq!(LintCode::StackEscape.as_str(), "LVP009");
         assert_eq!(LintCode::MisclassifiedConstant.as_str(), "LVP010");
         assert_eq!(LintCode::StoreToLoadForward.as_str(), "LVP011");
+        assert_eq!(LintCode::StridePredictableLoad.as_str(), "LVP012");
+        assert_eq!(LintCode::LoopInvariantLoad.as_str(), "LVP013");
+        assert_eq!(LintCode::StaticUnderApprox.as_str(), "LVP014");
+        assert_eq!(LintCode::SsaInconsistency.as_str(), "LVP015");
+        assert_eq!(LintCode::LoopCarriedStoreToLoad.as_str(), "LVP016");
     }
 
     #[test]

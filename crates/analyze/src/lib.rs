@@ -25,7 +25,15 @@
 //!   load as must-constant / stack-local / unknown ([`MemClass`]), and
 //!   emit the memory lints `LVP007`–`LVP011`. The must-constant set is
 //!   the static mirror of the paper's CVU and is validated dynamically
-//!   by the `lvp-harness` cross-check oracle.
+//!   by the `lvp-harness` cross-check oracle;
+//! * [`analyze_value_flow`] — the value-flow pass: pruned SSA over a
+//!   call-summarized view of the CFG ([`Ssa`], [`FlowGraph`]), natural
+//!   loops and per-register scalar evolution ([`ScalarEvolution`],
+//!   [`Evolution`]), and a per-load predictability classifier
+//!   ([`LoadPredictability`]) naming which predictor in the zoo should
+//!   catch each load. Emits lints `LVP012`–`LVP016`; the affine-stride
+//!   and must-constant claims are validated dynamically by the harness
+//!   stride-predictor cross-check.
 //!
 //! # Lint codes
 //!
@@ -42,6 +50,11 @@
 //! | `LVP009` | `stack-escape` | A provably-stack address is stored to provably non-stack memory: the frame pointer escapes its frame and may dangle after return. |
 //! | `LVP010` | `misclassified-constant` | The provenance pass proves a load constant but the syntactic classifier (`classify_loads`) does not — the dynamic LCT would have to *learn* what is statically known. |
 //! | `LVP011` | `store-to-load-forward` | A load's exact `(address, width)` matches an earlier store in the same basic block: a store-to-load forwarding candidate. Stack spill/reload pairs are exempt. |
+//! | `LVP012` | `stride-predictable-load` | The value-flow analysis proves the load's value follows an affine recurrence `base + i*stride` around the enclosing loop — a stride predictor catches it after warm-up. The derived stride is in the message. |
+//! | `LVP013` | `loop-invariant-load` | The load reads a memory cell no store in its loop can write: the value is loop-invariant, so the load could be hoisted (and a last-value predictor is exact after one miss). |
+//! | `LVP014` | `static-under-approximation` | The static classifier says *unknown* but the dynamic LCT learned the load predictable — a report on where the static analysis under-approximates. Only emitted on trace-bearing paths (`--cross-check`), never in the static baseline. |
+//! | `LVP015` | `ssa-inconsistency` | The internal SSA verifier found a def-use inconsistency — in practice a register read that is uninitialized on *some* (but not all) paths from entry, the may-uninit complement of `LVP001`. |
+//! | `LVP016` | `loop-carried-store-to-load` | A store and a load touch the same memory cell and the value travels around the loop back edge (the load observes the previous iteration's store) — the paper's store-to-load forwardable class. |
 //!
 //! Lints `LVP001`–`LVP006` are *must*-style: a diagnostic is a definite
 //! defect on every execution path (or, for `LVP002`/`LVP003`, provably
@@ -51,6 +64,11 @@
 //! facts rather than outright defects — `LVP007`/`LVP009` indicate real
 //! bugs, `LVP008`/`LVP010`/`LVP011` point at optimization headroom — and
 //! are gated in CI against a committed baseline instead of a hard zero.
+//! The value-flow lints `LVP012`–`LVP016` (from [`analyze_value_flow`],
+//! surfaced via `lvp check --value-flow`) follow the same baseline-gated
+//! model: `LVP012`/`LVP013`/`LVP016` are predictability facts,
+//! `LVP015` flags real may-uninit defects, and `LVP014` is a dynamic
+//! report that never appears in the static baseline.
 //!
 //! # Examples
 //!
@@ -76,18 +94,26 @@
 
 mod alias;
 mod cfg;
+mod classify;
 mod dataflow;
 mod diag;
 mod loads;
 mod provenance;
 mod regions;
+mod scev;
+mod ssa;
 mod verify;
 
 pub use alias::{AbsVal, AddrRes, AliasAnalysis, RegState};
 pub use cfg::{BadBranch, BasicBlock, Cfg};
+pub use classify::{
+    analyze_value_flow, lvp014_diagnostics, LoadPredictability, ValueFlowReport, VfLoad,
+};
 pub use dataflow::{BitSet, DefSite, Liveness, ReachingDefs, NUM_REGS};
 pub use diag::{sort_and_dedupe, Diagnostic, LintCode};
 pub use loads::{classify_loads, ClassAgreement, LctComparison, StaticLoad, StaticLoadClass};
 pub use provenance::{analyze_memory, MemClass, MemLoad, MemoryReport};
 pub use regions::{Region, RegionMap, RegionSet};
+pub use scev::{Evolution, Loop, LoopForest, ScalarEvolution};
+pub use ssa::{Dominators, FlowGraph, Phi, Ssa, SsaSite, ValueDef, ValueId};
 pub use verify::verify;

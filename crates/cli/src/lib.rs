@@ -17,7 +17,7 @@
 //! lvp trace unpack <file>             binary trace file -> text dump
 //! lvp trace verify <file>             stream + checksum-verify a trace file
 //! lvp trace info <file>               print a trace file's header
-//! lvp check <prog|workload> [opts]    static verifier (lints LVP001-011)
+//! lvp check <prog|workload> [opts]    static verifier (lints LVP001-016)
 //! lvp check --all [opts]              verify every workload/profile/opt cell
 //! lvp bench [names|--all] [opts]      regenerate paper experiments
 //!
@@ -29,6 +29,7 @@
 //!   --lint                  run the verifier after `asm`
 //!   --compare-lct           join static load classes vs the LCT (`check`)
 //!   --memory                provenance lints LVP007-011     (`check`)
+//!   --value-flow            value-flow lints LVP012-016     (`check`)
 //!   --cross-check           static/dynamic CVU oracle       (`check`)
 //!   --format text|json      `check` output format           (default text)
 //!   --out     FILE          output path for `trace pack`
@@ -126,6 +127,9 @@ pub struct Options {
     pub compare_lct: bool,
     /// Run the memory provenance pass in `check` (lints LVP007-011).
     pub memory: bool,
+    /// Run the value-flow pass in `check` (lints LVP012-016; with
+    /// `--cross-check`, also the stride-predictor oracle).
+    pub value_flow: bool,
     /// Run the static/dynamic cross-check oracle in `check`.
     pub cross_check: bool,
     /// Output format for `check`.
@@ -196,6 +200,7 @@ impl Default for Options {
             lint: false,
             compare_lct: false,
             memory: false,
+            value_flow: false,
             cross_check: false,
             format: CheckFormat::Text,
             threads: None,
@@ -303,6 +308,7 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
             "--lint" => opts.lint = true,
             "--compare-lct" => opts.compare_lct = true,
             "--memory" => opts.memory = true,
+            "--value-flow" => opts.value_flow = true,
             "--cross-check" => opts.cross_check = true,
             "--fast" => opts.fast = true,
             "--all" => opts.all = true,
@@ -448,12 +454,23 @@ fn render_diagnostics(target: &str, diags: &[lvp_analyze::Diagnostic]) -> String
 }
 
 /// Runs the static passes over one program: the base verifier
-/// (LVP001-006) and, with `--memory`, the provenance pass (LVP007-011).
-/// The combined list is canonicalized by [`lvp_analyze::sort_and_dedupe`].
-fn static_diagnostics(program: &Program, memory: bool) -> Vec<lvp_analyze::Diagnostic> {
+/// (LVP001-006), with `--memory` the provenance pass (LVP007-011), and
+/// with `--value-flow` the value-flow pass (LVP012/013/015/016; LVP014
+/// needs a trace and never appears here). The combined list is
+/// canonicalized by [`lvp_analyze::sort_and_dedupe`].
+fn static_diagnostics(
+    program: &Program,
+    memory: bool,
+    value_flow: bool,
+) -> Vec<lvp_analyze::Diagnostic> {
     let mut diags = lvp_analyze::verify(program);
     if memory {
         diags.extend(lvp_analyze::analyze_memory(program).diagnostics);
+    }
+    if value_flow {
+        diags.extend(lvp_analyze::analyze_value_flow(program).diagnostics);
+    }
+    if memory || value_flow {
         lvp_analyze::sort_and_dedupe(&mut diags);
     }
     diags
@@ -484,6 +501,7 @@ fn json_escape(s: &str) -> String {
 fn render_check_json(
     cells: &[(String, Vec<lvp_analyze::Diagnostic>)],
     cross: Option<&[lvp_harness::CrossCheckReport]>,
+    vf: Option<&[lvp_harness::ValueFlowCheckReport]>,
 ) -> String {
     let count: usize = cells.iter().map(|(_, d)| d.len()).sum();
     let mut out = format!(
@@ -495,6 +513,31 @@ fn render_check_json(
         let _ = write!(
             out,
             ",\"cross_check\":\"{}\",\"violations\":[",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        let lines: Vec<String> = reports
+            .iter()
+            .flat_map(|r| {
+                r.violations.iter().map(|v| {
+                    format!(
+                        "\n    \"{}: {}\"",
+                        json_escape(&r.cell),
+                        json_escape(&v.to_string())
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&lines.join(","));
+        if !lines.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+    }
+    if let Some(reports) = vf {
+        let pass = reports.iter().all(|r| r.passed());
+        let _ = write!(
+            out,
+            ",\"value_flow\":\"{}\",\"value_flow_violations\":[",
             if pass { "PASS" } else { "FAIL" }
         );
         let lines: Vec<String> = reports
@@ -563,24 +606,29 @@ fn cell_label(target: &str, profile: AsmProfile, opt: OptLevel) -> String {
 /// the full rendered report.
 pub fn cmd_check(target: &str, opts: &Options) -> Result<String, CliError> {
     let program = load_program_with(target, opts.profile, opts.opt)?;
-    let diags = static_diagnostics(&program, opts.memory);
+    let diags = static_diagnostics(&program, opts.memory, opts.value_flow);
     let cell = cell_label(target, opts.profile, opts.opt);
-    let report = if opts.cross_check {
+    let (report, vf_report) = if opts.cross_check {
         let (trace, _) = trace_program(&program)?;
-        Some(lvp_harness::cross_check(
-            &program,
-            &trace,
-            &opts.config,
-            cell.clone(),
-        ))
+        let cross = lvp_harness::cross_check(&program, &trace, &opts.config, cell.clone());
+        let vf = opts
+            .value_flow
+            .then(|| lvp_harness::value_flow_check(&program, &trace, cell.clone()));
+        (Some(cross), vf)
     } else {
-        None
+        (None, None)
     };
 
     if opts.format == CheckFormat::Json {
         let cells = vec![(cell, diags)];
-        let json = render_check_json(&cells, report.as_ref().map(std::slice::from_ref));
-        let clean = cells[0].1.is_empty() && report.as_ref().is_none_or(|r| r.passed());
+        let json = render_check_json(
+            &cells,
+            report.as_ref().map(std::slice::from_ref),
+            vf_report.as_ref().map(std::slice::from_ref),
+        );
+        let clean = cells[0].1.is_empty()
+            && report.as_ref().is_none_or(|r| r.passed())
+            && vf_report.as_ref().is_none_or(|r| r.passed());
         return if clean {
             Ok(json)
         } else {
@@ -606,12 +654,35 @@ pub fn cmd_check(target: &str, opts: &Options) -> Result<String, CliError> {
             memory.count(lvp_analyze::MemClass::Unknown),
         );
     }
+    if opts.value_flow {
+        let vf = lvp_analyze::analyze_value_flow(&program);
+        let _ = writeln!(
+            out,
+            "value-flow: {} load(s): {} must-constant, {} affine-stride, {} loop-invariant, {} forwardable, {} unknown",
+            vf.loads.len(),
+            vf.count(lvp_analyze::LoadPredictability::MustConstant),
+            vf.count(lvp_analyze::LoadPredictability::AffineStride(0)),
+            vf.count(lvp_analyze::LoadPredictability::LoopInvariant),
+            vf.count(lvp_analyze::LoadPredictability::StoreToLoadForwardable),
+            vf.count(lvp_analyze::LoadPredictability::Unknown),
+        );
+    }
     if let Some(r) = &report {
         let _ = writeln!(out, "{r}");
         if !r.passed() {
             return Err(CliError::findings(format!("{out}cross-check: FAIL\n")));
         }
         let _ = writeln!(out, "cross-check: PASS");
+    }
+    if let Some(v) = &vf_report {
+        let _ = writeln!(out, "{v}");
+        for d in &v.under_approximations {
+            let _ = writeln!(out, "  {d}");
+        }
+        if !v.passed() {
+            return Err(CliError::findings(format!("{out}value-flow: FAIL\n")));
+        }
+        let _ = writeln!(out, "value-flow: PASS");
     }
     if opts.compare_lct {
         let (trace, _) = trace_program(&program)?;
@@ -647,7 +718,7 @@ pub fn cmd_check_all(opts: &Options) -> Result<String, CliError> {
                 let program = lvp_lang::compile_with(w.source, profile, opt).map_err(|e| {
                     CliError::new(format!("workload `{}` ({profile}/{opt:?}): {e}", w.name))
                 })?;
-                let diags = static_diagnostics(&program, opts.memory);
+                let diags = static_diagnostics(&program, opts.memory, opts.value_flow);
                 cells.push((cell_label(w.name, profile, opt), diags));
             }
         }
@@ -664,15 +735,30 @@ pub fn cmd_check_all(opts: &Options) -> Result<String, CliError> {
     } else {
         None
     };
+    let vf_reports: Option<Vec<lvp_harness::ValueFlowCheckReport>> =
+        if opts.cross_check && opts.value_flow {
+            let plan = lvp_harness::ExperimentPlan::new()
+                .workloads(engine.suite().to_vec())
+                .profiles(profiles)
+                .opt_levels(opt_levels)
+                .configs([opts.config.clone()])
+                .map(|job, ctx| ctx.job_value_flow(job).map(|r| (*r).clone()));
+            Some(engine.run(plan).map_err(|e| CliError::new(e.to_string()))?)
+        } else {
+            None
+        };
 
     let count: usize = cells.iter().map(|(_, d)| d.len()).sum();
     let oracle_failed = reports
         .as_ref()
         .is_some_and(|rs| rs.iter().any(|r| !r.passed()));
-    let clean = count == 0 && !oracle_failed;
+    let vf_failed = vf_reports
+        .as_ref()
+        .is_some_and(|rs| rs.iter().any(|r| !r.passed()));
+    let clean = count == 0 && !oracle_failed && !vf_failed;
 
     let out = if opts.format == CheckFormat::Json {
-        render_check_json(&cells, reports.as_deref())
+        render_check_json(&cells, reports.as_deref(), vf_reports.as_deref())
     } else {
         let mut out = String::new();
         for (cell, diags) in &cells {
@@ -698,6 +784,17 @@ pub fn cmd_check_all(opts: &Options) -> Result<String, CliError> {
                 out,
                 "cross-check: {} ({} cell(s))",
                 if oracle_failed { "FAIL" } else { "PASS" },
+                rs.len()
+            );
+        }
+        if let Some(rs) = &vf_reports {
+            for r in rs {
+                let _ = writeln!(out, "{r}");
+            }
+            let _ = writeln!(
+                out,
+                "value-flow: {} ({} cell(s))",
+                if vf_failed { "FAIL" } else { "PASS" },
                 rs.len()
             );
         }
@@ -1226,7 +1323,7 @@ pub fn usage() -> &'static str {
      \x20 trace    <prog|workload>      dump the text trace\n\
      \x20 trace    pack <src> --out <f> write a binary LVPT v2 trace file\n\
      \x20 trace    unpack|verify|info <file>  read/check binary trace files\n\
-     \x20 check    <prog|workload>      static verifier (lints LVP001-011)\n\
+     \x20 check    <prog|workload>      static verifier (lints LVP001-016)\n\
      \x20 check    --all                verify every workload/profile/opt cell\n\
      \x20 bench    [names|--all]        regenerate paper tables/figures\n\
      \x20 perf     [--list]             in-tree microbenchmarks; --check gates\n\
@@ -1235,6 +1332,7 @@ pub fn usage() -> &'static str {
      \x20        --machine 620|620+|21164  --opt 0|1  --top N\n\
      \x20        --lint (verify after asm)  --compare-lct (with check)\n\
      \x20        --memory (provenance lints LVP007-011, with check)\n\
+     \x20        --value-flow (value-flow lints LVP012-016, with check)\n\
      \x20        --cross-check (static/dynamic CVU oracle, with check)\n\
      \x20        --format text|json (with check)\n\
      \x20        --out FILE (with trace pack)\n\
@@ -1732,6 +1830,48 @@ mod tests {
     }
 
     #[test]
+    fn check_value_flow_prints_summary_and_gate() {
+        // Static side: the classification summary renders. Dynamic side
+        // (with --cross-check): the stride oracle must hold and print
+        // its PASS verdict.
+        let opts = Options {
+            value_flow: true,
+            cross_check: true,
+            profile: AsmProfile::Gp,
+            ..Options::default()
+        };
+        let out = cmd_check("compress", &opts).unwrap();
+        assert!(out.contains("value-flow:"), "{out}");
+        assert!(out.contains("affine-stride"), "{out}");
+        assert!(out.contains("value-flow: PASS"), "{out}");
+    }
+
+    #[test]
+    fn check_value_flow_lints_fire_in_findings() {
+        // A loop-invariant load inside a loop fires LVP013 and makes
+        // the exit code 1 through the findings path.
+        let dir = std::env::temp_dir().join(format!("lvp-cli-vf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv.s");
+        std::fs::write(
+            &path,
+            ".data\nv: .dword 9\n.text\nmain:\n li t0, 4\n la a0, v\nloop:\n \
+             ld a1, 0(a0)\n addi t0, t0, -1\n bne t0, zero, loop\n out a1\n halt\n",
+        )
+        .unwrap();
+        let opts = Options {
+            value_flow: true,
+            profile: AsmProfile::Gp,
+            ..Options::default()
+        };
+        let err = cmd_check(path.to_str().unwrap(), &opts).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_stdout());
+        assert!(err.to_string().contains("LVP013"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn check_cross_check_reports_pass() {
         // No `--memory`: real workloads legitimately carry provenance
         // findings (LVP008/010/011 headroom lints, baselined in CI);
@@ -1750,12 +1890,13 @@ mod tests {
         let (o, pos) = parse_options(&args(&[
             "quick",
             "--memory",
+            "--value-flow",
             "--cross-check",
             "--format",
             "json",
         ]))
         .unwrap();
-        assert!(o.memory && o.cross_check);
+        assert!(o.memory && o.value_flow && o.cross_check);
         assert_eq!(o.format, CheckFormat::Json);
         assert_eq!(pos, vec!["quick"]);
         assert!(parse_options(&args(&["--format", "xml"])).is_err());

@@ -20,6 +20,7 @@
 
 use crate::crosscheck::CrossCheckReport;
 use crate::error::HarnessError;
+use crate::valueflow::ValueFlowCheckReport;
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
 use lvp_predictor::{LvpConfig, LvpStats};
@@ -87,6 +88,10 @@ pub struct EngineStats {
     pub crosschecks_computed: u64,
     /// Cross-check requests served from cache.
     pub crosscheck_hits: u64,
+    /// Value-flow cross-checks performed.
+    pub value_flows_computed: u64,
+    /// Value-flow cross-check requests served from cache.
+    pub value_flow_hits: u64,
     /// Wall nanoseconds spent generating traces (phase 1, cache misses
     /// only; disk-cache loads count here too — they are the phase-1
     /// cost actually paid).
@@ -97,6 +102,8 @@ pub struct EngineStats {
     pub timing_ns: u64,
     /// Wall nanoseconds spent in static/dynamic cross-checks.
     pub crosscheck_ns: u64,
+    /// Wall nanoseconds spent in value-flow cross-checks.
+    pub value_flow_ns: u64,
 }
 
 impl EngineStats {
@@ -105,7 +112,7 @@ impl EngineStats {
     /// This is *work* time summed across workers, not elapsed time: with
     /// N threads busy it accumulates up to N ns per wall nanosecond.
     pub fn total_stage_ns(&self) -> u64 {
-        self.trace_ns + self.annotate_ns + self.timing_ns + self.crosscheck_ns
+        self.trace_ns + self.annotate_ns + self.timing_ns + self.crosscheck_ns + self.value_flow_ns
     }
 }
 
@@ -183,6 +190,7 @@ pub(crate) struct Cache {
     pub(crate) annotations: KeyedCache<(TraceKey, ConfigKey), Annotation>,
     pub(crate) timings: KeyedCache<(TraceKey, Option<ConfigKey>, String), SimResult>,
     pub(crate) crosschecks: KeyedCache<(TraceKey, ConfigKey), CrossCheckReport>,
+    pub(crate) value_flows: KeyedCache<TraceKey, ValueFlowCheckReport>,
     /// Phase-1 runs actually performed in this process.
     pub(crate) traces_generated: AtomicU64,
     /// Trace requests satisfied by the persistent disk cache.
@@ -192,6 +200,7 @@ pub(crate) struct Cache {
     pub(crate) annotate_ns: AtomicU64,
     pub(crate) timing_ns: AtomicU64,
     pub(crate) crosscheck_ns: AtomicU64,
+    pub(crate) value_flow_ns: AtomicU64,
 }
 
 impl Cache {
@@ -201,12 +210,14 @@ impl Cache {
             annotations: KeyedCache::new(),
             timings: KeyedCache::new(),
             crosschecks: KeyedCache::new(),
+            value_flows: KeyedCache::new(),
             traces_generated: AtomicU64::new(0),
             traces_disk_hits: AtomicU64::new(0),
             trace_ns: AtomicU64::new(0),
             annotate_ns: AtomicU64::new(0),
             timing_ns: AtomicU64::new(0),
             crosscheck_ns: AtomicU64::new(0),
+            value_flow_ns: AtomicU64::new(0),
         }
     }
 
@@ -221,10 +232,13 @@ impl Cache {
             timing_hits: self.timings.hits(),
             crosschecks_computed: self.crosschecks.computed(),
             crosscheck_hits: self.crosschecks.hits(),
+            value_flows_computed: self.value_flows.computed(),
+            value_flow_hits: self.value_flows.hits(),
             trace_ns: self.trace_ns.load(Ordering::Relaxed),
             annotate_ns: self.annotate_ns.load(Ordering::Relaxed),
             timing_ns: self.timing_ns.load(Ordering::Relaxed),
             crosscheck_ns: self.crosscheck_ns.load(Ordering::Relaxed),
+            value_flow_ns: self.value_flow_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -236,6 +250,7 @@ impl Cache {
         self.annotations.clear();
         self.timings.clear();
         self.crosschecks.clear();
+        self.value_flows.clear();
     }
 }
 

@@ -40,7 +40,7 @@
 
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
-use lvp_trace::{read_trace, write_trace, FORMAT_VERSION};
+use lvp_trace::{crc32, read_trace, write_trace, FORMAT_VERSION};
 use lvp_workloads::{Workload, WorkloadRun};
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -58,23 +58,6 @@ const MAX_OUTPUTS: u64 = 1 << 16;
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
-}
-
-/// CRC-32 (IEEE) — mirrors `lvp_trace`'s internal implementation for
-/// the container's small metadata section.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-        }
-    }
-    !crc
 }
 
 /// 64-bit FNV-1a; chosen over `DefaultHasher` because the on-disk key

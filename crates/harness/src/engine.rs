@@ -5,6 +5,7 @@ use crate::crosscheck::{cross_check, CrossCheckReport};
 use crate::disk::DiskCache;
 use crate::error::{HarnessError, Phase};
 use crate::plan::{JobSpec, MachineModel, Plan};
+use crate::valueflow::{value_flow_check, ValueFlowCheckReport};
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
 use lvp_predictor::{LvpConfig, LvpUnit};
@@ -396,6 +397,34 @@ impl Ctx<'_> {
         })
     }
 
+    /// The value-flow cross-check for one cell, cached by trace key
+    /// alone (the check has no config axis — the emulated predictors
+    /// are fixed): the value-flow pass's affine-stride and
+    /// must-constant claims are judged against the cell's real trace,
+    /// and `LVP014` under-approximations are collected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures (a refuted claim is a
+    /// *failing report*, not a harness error — same policy as
+    /// [`Ctx::cross_check`]).
+    pub fn value_flow_check(
+        &self,
+        w: &Workload,
+        profile: AsmProfile,
+        opt: OptLevel,
+    ) -> Result<Arc<ValueFlowCheckReport>, HarnessError> {
+        let run = self.workload_run(w, profile, opt)?;
+        let key = Self::trace_key(w, profile, opt);
+        let cache = &self.engine.cache;
+        cache.value_flows.get_or_compute(key, || {
+            Self::timed(&cache.value_flow_ns, || {
+                let cell = format!("{}/{profile}/{opt:?}", w.name);
+                Ok(value_flow_check(&run.program, &run.trace, cell))
+            })
+        })
+    }
+
     /// [`Ctx::workload_run`] for a job's own axes.
     ///
     /// # Errors
@@ -423,6 +452,15 @@ impl Ctx<'_> {
     /// Propagates trace-generation failures.
     pub fn job_cross_check(&self, job: &JobSpec) -> Result<Arc<CrossCheckReport>, HarnessError> {
         self.cross_check(&job.workload, job.profile, job.opt, job.config()?)
+    }
+
+    /// [`Ctx::value_flow_check`] for a job's own axes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn job_value_flow(&self, job: &JobSpec) -> Result<Arc<ValueFlowCheckReport>, HarnessError> {
+        self.value_flow_check(&job.workload, job.profile, job.opt)
     }
 
     /// [`Ctx::timing`] for a job's own axes (requires a machine axis;

@@ -56,6 +56,7 @@ pub mod experiments;
 pub mod perf;
 pub mod plan;
 pub mod report;
+pub mod valueflow;
 
 pub use cache::{Annotation, EngineStats};
 pub use crosscheck::{cross_check, CrossCheckReport, CrossCheckViolation, ViolationKind};
@@ -71,4 +72,8 @@ pub use plan::{ExperimentPlan, JobSpec, MachineModel, Plan};
 pub use report::{
     geo_mean, pct, pct1, speedup, Cell, ExperimentRow, ExperimentTable, Report, Section,
     TablePrinter,
+};
+pub use valueflow::{
+    value_flow_check, value_flow_check_with, ValueFlowCheckReport, ValueFlowViolation,
+    ValueFlowViolationKind, MIN_EXECUTIONS, STRIDE_ACCURACY_FLOOR,
 };

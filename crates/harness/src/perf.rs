@@ -393,6 +393,29 @@ fn bench_alias_fixpoint(cfg: &PerfConfig) -> Vec<u64> {
     })
 }
 
+fn bench_ssa_scev(cfg: &PerfConfig) -> Vec<u64> {
+    // Same shaping as alias_fixpoint: one value-flow pass (SSA build +
+    // scalar evolution + classification) is sub-millisecond, so each
+    // iteration sweeps the fast workload subset several times.
+    let programs: Vec<_> = ["sc", "xlisp", "grep", "doduc"]
+        .iter()
+        .map(|name| {
+            let w = lvp_workloads::Workload::by_name(name).expect("suite workload");
+            lvp_lang::compile_with(w.source, lvp_isa::AsmProfile::Toc, lvp_lang::OptLevel::O1)
+                .expect("suite workload compiles")
+        })
+        .collect();
+    sample(cfg, || {
+        let mut last = None;
+        for _ in 0..16 {
+            for p in &programs {
+                last = Some(lvp_analyze::analyze_value_flow(p));
+            }
+        }
+        last
+    })
+}
+
 /// The bench registry, in reporting order.
 pub fn benches() -> &'static [BenchDef] {
     &[
@@ -437,6 +460,12 @@ pub fn benches() -> &'static [BenchDef] {
             fast: true,
             what: "alias-analysis fixpoint, 16 sweeps of the 4 fast workloads",
             run: |cfg| bench_alias_fixpoint(cfg),
+        },
+        BenchDef {
+            name: "ssa_scev",
+            fast: true,
+            what: "value-flow pass (SSA + SCEV + classify), 16 sweeps of the 4 fast workloads",
+            run: |cfg| bench_ssa_scev(cfg),
         },
     ]
 }

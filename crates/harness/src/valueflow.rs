@@ -1,0 +1,412 @@
+//! The value-flow static/dynamic cross-check oracle.
+//!
+//! `lvp-analyze`'s value-flow pass ([`analyze_value_flow`]) makes two
+//! kinds of *predictive* claims about loads, and both are falsifiable
+//! against a real execution:
+//!
+//! 1. **Affine-stride** (`LVP012`) — the loaded value follows
+//!    `base + i*stride` around its loop. Replaying the trace through a
+//!    per-pc [`StridePredictor`] must then achieve at least
+//!    [`STRIDE_ACCURACY_FLOOR`] accuracy on that pc once the predictor
+//!    is warm ([`ValueFlowViolationKind::StrideMiss`] otherwise).
+//! 2. **Must-constant** — the strongest class, inherited from the
+//!    provenance pass: the pc must load one value on every execution
+//!    ([`ValueFlowViolationKind::ConstantValueChanged`]), and the stride
+//!    predictor must nail it as a stride of zero
+//!    ([`ValueFlowViolationKind::StrideMiss`]).
+//!
+//! Claims are only judged when the pc executed at least
+//! [`MIN_EXECUTIONS`] times — below that the predictor's 2-instruction
+//! warm-up dominates and accuracy is noise, not evidence.
+//!
+//! The report also runs the *reverse* direction: an emulated last-value
+//! LCT is trained on the trace, and statically-*unknown* loads the LCT
+//! nevertheless learned predictable are surfaced as `LVP014`
+//! diagnostics — not failures, but a measured report of where the
+//! static analysis under-approximates (the paper's motivating gap
+//! between static classification and dynamic value locality).
+
+use lvp_analyze::{
+    analyze_value_flow, lvp014_diagnostics, Diagnostic, LoadPredictability, ValueFlowReport,
+};
+use lvp_isa::Program;
+use lvp_predictor::{
+    evaluate_predictor_by_pc, Lct, LctConfig, LoadClass, PredEval, StridePredictor,
+};
+use lvp_trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Minimum dynamic executions of a pc before its claim is judged.
+pub const MIN_EXECUTIONS: u64 = 8;
+
+/// Minimum stride-predictor accuracy a judged claim must reach.
+pub const STRIDE_ACCURACY_FLOOR: f64 = 0.95;
+
+/// Table sizes for the emulated predictors — large enough that distinct
+/// pcs in any workload never alias (texts are ≪ 256 KiB).
+const TABLE_ENTRIES: usize = 1 << 16;
+
+/// How a value-flow claim was contradicted dynamically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueFlowViolationKind {
+    /// A claimed-predictable pc fell below the stride-accuracy floor.
+    StrideMiss {
+        /// The stride the static analysis derived (0 for must-constant).
+        claimed_stride: i64,
+        /// The pc's dynamic tallies.
+        eval: PredEval,
+    },
+    /// A must-constant pc loaded two different values.
+    ConstantValueChanged {
+        /// First value observed.
+        first: u64,
+        /// A later, different value.
+        later: u64,
+    },
+}
+
+/// One contradiction of a static value-flow claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueFlowViolation {
+    /// Pc of the load whose claim was contradicted.
+    pub pc: u64,
+    /// The static class that made the claim.
+    pub class: LoadPredictability,
+    /// The kind of contradiction.
+    pub kind: ValueFlowViolationKind,
+}
+
+impl fmt::Display for ValueFlowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ValueFlowViolationKind::StrideMiss {
+                claimed_stride,
+                eval,
+            } => write!(
+                f,
+                "{:#x}: claimed {} (stride {}), but the stride predictor managed \
+                 {}/{} over {} execution(s) ({:.1}% accuracy)",
+                self.pc,
+                self.class,
+                claimed_stride,
+                eval.correct,
+                eval.predicted,
+                eval.loads,
+                eval.accuracy() * 100.0
+            ),
+            ValueFlowViolationKind::ConstantValueChanged { first, later } => write!(
+                f,
+                "{:#x}: claimed {}, but loaded {:#x} then {:#x}",
+                self.pc, self.class, first, later
+            ),
+        }
+    }
+}
+
+/// The value-flow cross-check result for one workload × profile × opt
+/// cell.
+#[derive(Debug, Clone)]
+pub struct ValueFlowCheckReport {
+    /// The cell, rendered `workload/profile/opt`.
+    pub cell: String,
+    /// Statically claimed affine-stride pcs.
+    pub affine_pcs: usize,
+    /// Statically claimed must-constant pcs.
+    pub must_constant_pcs: usize,
+    /// Claims that executed often enough to be judged.
+    pub judged: usize,
+    /// Contradictions found; empty means every judged claim held.
+    pub violations: Vec<ValueFlowViolation>,
+    /// `LVP014` static-under-approximation diagnostics: statically
+    /// unknown, dynamically learned by the LCT. A report, not a
+    /// failure.
+    pub under_approximations: Vec<Diagnostic>,
+}
+
+impl ValueFlowCheckReport {
+    /// Whether every judged claim held for this cell.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ValueFlowCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value-flow {}: {} affine claim(s), {} must-constant claim(s), \
+             {} judged, {} under-approximation(s): {}",
+            self.cell,
+            self.affine_pcs,
+            self.must_constant_pcs,
+            self.judged,
+            self.under_approximations.len(),
+            if self.passed() { "ok" } else { "FAILED" }
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the value-flow cross-check for one compiled program and its
+/// trace; `cell` labels the report (`workload/profile/opt`).
+pub fn value_flow_check(program: &Program, trace: &Trace, cell: String) -> ValueFlowCheckReport {
+    let report = analyze_value_flow(program);
+    value_flow_check_with(&report, trace, cell)
+}
+
+/// [`value_flow_check`] over an already-computed static report (the CLI
+/// computes the report once for its lint output and reuses it here).
+pub fn value_flow_check_with(
+    report: &ValueFlowReport,
+    trace: &Trace,
+    cell: String,
+) -> ValueFlowCheckReport {
+    // --- Dynamic stride tallies per pc (shared table, per-pc split). ---
+    let mut stride = StridePredictor::new(TABLE_ENTRIES);
+    let by_pc = evaluate_predictor_by_pc(&mut stride, trace);
+
+    // --- The claims under trial. ---
+    let affine: BTreeMap<u64, i64> = report.affine_claims().into_iter().collect();
+    let constants: Vec<u64> = report
+        .loads
+        .iter()
+        .filter(|l| l.class == LoadPredictability::MustConstant)
+        .map(|l| l.pc)
+        .collect();
+
+    let mut judged = 0usize;
+    let mut violations = Vec::new();
+    for (&pc, &claimed_stride) in &affine {
+        let Some(eval) = by_pc.get(&pc) else { continue };
+        if eval.loads < MIN_EXECUTIONS {
+            continue;
+        }
+        judged += 1;
+        if eval.accuracy() < STRIDE_ACCURACY_FLOOR {
+            violations.push(ValueFlowViolation {
+                pc,
+                class: LoadPredictability::AffineStride(claimed_stride),
+                kind: ValueFlowViolationKind::StrideMiss {
+                    claimed_stride,
+                    eval: *eval,
+                },
+            });
+        }
+    }
+
+    // Must-constant: value stability (exact), plus the stride predictor
+    // treating it as stride zero once warm.
+    let constant_set: BTreeSet<u64> = constants.iter().copied().collect();
+    let mut first_value: BTreeMap<u64, u64> = BTreeMap::new();
+    for entry in trace.iter() {
+        if !entry.is_load() || !constant_set.contains(&entry.pc) {
+            continue;
+        }
+        let Some(mem) = entry.mem else { continue };
+        match first_value.get(&entry.pc) {
+            None => {
+                first_value.insert(entry.pc, mem.value);
+            }
+            Some(&v) if v != mem.value => violations.push(ValueFlowViolation {
+                pc: entry.pc,
+                class: LoadPredictability::MustConstant,
+                kind: ValueFlowViolationKind::ConstantValueChanged {
+                    first: v,
+                    later: mem.value,
+                },
+            }),
+            Some(_) => {}
+        }
+    }
+    for &pc in &constants {
+        let Some(eval) = by_pc.get(&pc) else { continue };
+        if eval.loads < MIN_EXECUTIONS {
+            continue;
+        }
+        judged += 1;
+        if eval.accuracy() < STRIDE_ACCURACY_FLOOR {
+            violations.push(ValueFlowViolation {
+                pc,
+                class: LoadPredictability::MustConstant,
+                kind: ValueFlowViolationKind::StrideMiss {
+                    claimed_stride: 0,
+                    eval: *eval,
+                },
+            });
+        }
+    }
+
+    // --- Reverse direction: LVP014 under-approximation report. ---
+    // Train an emulated last-value LCT exactly as the LVP unit would
+    // (correct = the value repeated), then ask which statically-unknown
+    // pcs it nevertheless learned.
+    let mut lct = Lct::new(LctConfig {
+        entries: TABLE_ENTRIES,
+        counter_bits: 2,
+    });
+    let mut last_value: BTreeMap<u64, u64> = BTreeMap::new();
+    for entry in trace.iter() {
+        if !entry.is_load() {
+            continue;
+        }
+        let Some(mem) = entry.mem else { continue };
+        let correct = last_value.insert(entry.pc, mem.value) == Some(mem.value);
+        lct.update(entry.pc, correct);
+    }
+    let predictable: BTreeSet<u64> = by_pc
+        .iter()
+        .filter(|(&pc, eval)| {
+            eval.loads >= MIN_EXECUTIONS && lct.classify(pc) != LoadClass::DontPredict
+        })
+        .map(|(&pc, _)| pc)
+        .collect();
+    let under_approximations = lvp014_diagnostics(report, &predictable);
+
+    violations
+        .sort_by(|a, b| (a.pc, format!("{:?}", a.kind)).cmp(&(b.pc, format!("{:?}", b.kind))));
+    violations.dedup_by(|a, b| a.pc == b.pc && a.kind == b.kind);
+
+    ValueFlowCheckReport {
+        cell,
+        affine_pcs: affine.len(),
+        must_constant_pcs: constants.len(),
+        judged,
+        violations,
+        under_approximations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_isa::{AsmProfile, Assembler};
+    use lvp_sim::Machine;
+
+    fn run(src: &str) -> (Program, Trace) {
+        let p = Assembler::new(AsmProfile::Gp).assemble(src).unwrap();
+        let mut m = Machine::new(&p);
+        let t = m.run_traced(10_000_000).unwrap();
+        (p, t)
+    }
+
+    /// A global counter bumped by a constant each iteration: the memory
+    /// induction `LVP012` pattern, 32 iterations.
+    const COUNTER_LOOP: &str = ".data\ng: .dword 0\n.text\nmain:\n li t0, 32\n la a0, g\nloop:\n \
+         ld a1, 0(a0)\n addi a1, a1, 5\n sd a1, 0(a0)\n addi t0, t0, -1\n \
+         bne t0, zero, loop\n out a1\n halt\n";
+
+    #[test]
+    fn affine_claim_validated_by_stride_predictor() {
+        let (p, t) = run(COUNTER_LOOP);
+        let report = analyze_value_flow(&p);
+        assert!(
+            !report.affine_claims().is_empty(),
+            "the counter loop must produce an affine claim"
+        );
+        let r = value_flow_check(&p, &t, "counter/gp/O0".into());
+        assert!(r.passed(), "{r}");
+        assert!(r.affine_pcs >= 1);
+        assert!(r.judged >= 1, "32 iterations must clear MIN_EXECUTIONS");
+    }
+
+    #[test]
+    fn must_constant_claims_hold_on_clean_loop() {
+        // A loop re-loading a pool constant: must-constant statically,
+        // value-stable and stride-0 dynamically.
+        let (p, t) = run(
+            ".data\nv: .dword 42\n.text\nmain:\n li t0, 16\nloop:\n la a0, v\n \
+             ld a1, 0(a0)\n addi t0, t0, -1\n bne t0, zero, loop\n out a1\n halt\n",
+        );
+        let r = value_flow_check(&p, &t, "const/gp/O0".into());
+        assert!(r.passed(), "{r}");
+        assert!(r.must_constant_pcs >= 1);
+        assert!(r.judged >= 1);
+    }
+
+    #[test]
+    fn fabricated_stride_claim_is_caught() {
+        // Tamper with the static report: claim the constant-loading pc
+        // strides by 8. The dynamic side must refute it (the stride
+        // predictor predicts stride 0, and the claim's accuracy floor
+        // cannot be met by a wrong-stride claim... which shares the same
+        // per-pc tally). To make the refutation real, fabricate the
+        // claim on a pc whose values actually alternate, where stride
+        // accuracy is genuinely poor.
+        let (p, t) = run(
+            ".data\na: .dword 1\nb: .dword 100\n.text\nmain:\n li t0, 16\n la s0, a\n \
+             la s1, b\nloop:\n ld a1, 0(s0)\n ld a2, 0(s1)\n sd a2, 0(s0)\n sd a1, 0(s1)\n \
+             addi t0, t0, -1\n bne t0, zero, loop\n out a1\n halt\n",
+        );
+        let mut report = analyze_value_flow(&p);
+        // Find the pc of the first load in the loop (alternates 1/100).
+        let alternating_pc = report
+            .loads
+            .iter()
+            .find(|l| l.class == LoadPredictability::Unknown)
+            .expect("the swap loop has unknown loads")
+            .pc;
+        for l in report.loads.iter_mut() {
+            if l.pc == alternating_pc {
+                l.class = LoadPredictability::AffineStride(8);
+            }
+        }
+        let r = value_flow_check_with(&report, &t, "tampered/gp/O0".into());
+        assert!(!r.passed(), "a fabricated stride claim must be refuted");
+        assert!(r.violations.iter().any(|v| matches!(
+            v.kind,
+            ValueFlowViolationKind::StrideMiss {
+                claimed_stride: 8,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn lvp014_reports_learned_but_statically_unknown_loads() {
+        // A pointer-chased constant: `ld` through a register loaded from
+        // memory is statically unknown, but the value repeats every
+        // iteration so the LCT learns it.
+        let (p, t) = run(
+            ".data\nptr: .dword 0\nval: .dword 77\n.text\nmain:\n la a0, val\n la a1, ptr\n \
+             sd a0, 0(a1)\n li t0, 16\nloop:\n ld a2, 0(a1)\n ld a3, 0(a2)\n \
+             addi t0, t0, -1\n bne t0, zero, loop\n out a3\n halt\n",
+        );
+        let r = value_flow_check(&p, &t, "chase/gp/O0".into());
+        assert!(r.passed(), "{r}");
+        assert!(
+            !r.under_approximations.is_empty(),
+            "the chased load is statically unknown but dynamically learned"
+        );
+        assert!(r
+            .under_approximations
+            .iter()
+            .all(|d| d.code == lvp_analyze::LintCode::StaticUnderApprox));
+    }
+
+    #[test]
+    fn report_renders_cell_and_verdict() {
+        let (p, t) = run(COUNTER_LOOP);
+        let r = value_flow_check(&p, &t, "unit/gp/O0".into());
+        let s = r.to_string();
+        assert!(s.starts_with("value-flow unit/gp/O0:"), "{s}");
+        assert!(s.contains("ok"), "{s}");
+    }
+
+    #[test]
+    fn short_runs_are_not_judged() {
+        // 3 iterations < MIN_EXECUTIONS: claims exist but are not judged,
+        // and cannot fail.
+        let (p, t) = run(
+            ".data\ng: .dword 0\n.text\nmain:\n li t0, 3\n la a0, g\nloop:\n \
+             ld a1, 0(a0)\n addi a1, a1, 5\n sd a1, 0(a0)\n addi t0, t0, -1\n \
+             bne t0, zero, loop\n out a1\n halt\n",
+        );
+        let r = value_flow_check(&p, &t, "short/gp/O0".into());
+        assert!(r.passed(), "{r}");
+        assert!(r.affine_pcs >= 1);
+    }
+}

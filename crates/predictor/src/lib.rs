@@ -54,6 +54,7 @@ pub use lct::{Lct, LoadClass};
 pub use locality::{AddressRanges, LocalityMeter, ValueClass};
 pub use lvpt::Lvpt;
 pub use stride::{
-    evaluate_predictor, LastValuePredictor, PredEval, StridePredictor, ValuePredictor,
+    evaluate_predictor, evaluate_predictor_by_pc, LastValuePredictor, PredEval, StridePredictor,
+    ValuePredictor,
 };
 pub use unit::{ConstantMispredict, CvuEventLog, CvuInvalidation, LvpStats, LvpUnit};

@@ -171,6 +171,39 @@ impl PredEval {
 }
 
 /// Runs `predictor` over every load of `trace` in program order,
+/// predicting before training, and tallies the results *per static
+/// load pc*.
+///
+/// This is the dynamic side of the static/dynamic cross-check: the
+/// value-flow analysis claims a per-pc predictability class, and the
+/// harness compares each claim against the per-pc stride outcome
+/// reported here. One shared predictor table is used (so aliasing
+/// between pcs shows up exactly as it would in hardware), but the
+/// tallies are split by the pc that issued each load.
+pub fn evaluate_predictor_by_pc<P: ValuePredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> std::collections::BTreeMap<u64, PredEval> {
+    let mut evals = std::collections::BTreeMap::new();
+    for entry in trace.iter() {
+        if !entry.is_load() {
+            continue;
+        }
+        let Some(mem) = entry.mem else { continue };
+        let eval: &mut PredEval = evals.entry(entry.pc).or_default();
+        eval.loads += 1;
+        if let Some(p) = predictor.predict(entry.pc) {
+            eval.predicted += 1;
+            if p == mem.value {
+                eval.correct += 1;
+            }
+        }
+        predictor.train(entry.pc, mem.value);
+    }
+    evals
+}
+
+/// Runs `predictor` over every load of `trace` in program order,
 /// predicting before training, and tallies the results.
 pub fn evaluate_predictor<P: ValuePredictor + ?Sized>(
     predictor: &mut P,
@@ -256,6 +289,47 @@ mod tests {
         let eval = evaluate_predictor(&mut p, &trace_of_values(&values));
         // Loses a few transitions but re-learns the new stride.
         assert!(eval.hit_rate() > 0.8, "hit rate {:.2}", eval.hit_rate());
+    }
+
+    #[test]
+    fn per_pc_eval_splits_tallies_and_sums_to_total() {
+        // Interleave a strided load at one pc with a constant load at
+        // another; per-pc tallies must separate them and sum to the
+        // aggregate numbers.
+        let mut entries = Vec::new();
+        for i in 0..50u64 {
+            let mut a = TraceEntry::simple(0x10000, OpKind::Load);
+            a.mem = Some(MemAccess {
+                addr: 0x10_0000,
+                width: 8,
+                value: 8 * i,
+                fp: false,
+            });
+            entries.push(a);
+            let mut b = TraceEntry::simple(0x10040, OpKind::Load);
+            b.mem = Some(MemAccess {
+                addr: 0x10_0800,
+                width: 8,
+                value: 7,
+                fp: false,
+            });
+            entries.push(b);
+        }
+        let t: Trace = entries.into_iter().collect();
+        let mut p = StridePredictor::new(64);
+        let by_pc = evaluate_predictor_by_pc(&mut p, &t);
+        assert_eq!(by_pc.len(), 2);
+        assert_eq!(by_pc[&0x10000].loads, 50);
+        assert_eq!(by_pc[&0x10040].loads, 50);
+        assert!(by_pc[&0x10000].hit_rate() > 0.9);
+        assert!(by_pc[&0x10040].hit_rate() > 0.9);
+        let mut q = StridePredictor::new(64);
+        let total = evaluate_predictor(&mut q, &t);
+        assert_eq!(total.loads, by_pc.values().map(|e| e.loads).sum::<u64>());
+        assert_eq!(
+            total.correct,
+            by_pc.values().map(|e| e.correct).sum::<u64>()
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ mod reader;
 mod text;
 mod window;
 
+pub use crc32::crc32;
 pub use entry::{BranchEvent, MemAccess, OpKind, RegClass, RegRef, TraceEntry};
 pub use io::{read_trace, write_trace, write_trace_v1, TraceIoError, FORMAT_VERSION};
 pub use reader::TraceReader;

@@ -15,10 +15,70 @@
 # performance change, and commit both files. Timing baselines are only
 # meaningful against the machine and toolchain that produced them.
 #
-# Usage: scripts/rebaseline.sh
+# With --lints, regenerates results/lints_baseline.json instead: the
+# full `lvp check --all --memory --value-flow --format json` document,
+# with per-finding "justification" annotations carried over from the
+# old baseline (keyed by cell + pc + code + message, so justified
+# findings stay justified across regenerations and vanished findings
+# drop out together with their annotations).
+#
+# Usage: scripts/rebaseline.sh [--lints]
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--lints" ]; then
+    echo "==> cargo build --release"
+    cargo build --release -q -p lvp-cli
+    lvp=target/release/lvp
+
+    echo "==> lvp check --all --memory --value-flow --format json"
+    mkdir -p target
+    status=0
+    "$lvp" check --all --memory --value-flow --format json \
+        > target/lints_new.json || status=$?
+    if [ "$status" -gt 1 ]; then
+        echo "rebaseline: lvp check failed with status $status" >&2
+        exit "$status"
+    fi
+
+    # Annotation-preserving merge: first pass indexes the old baseline's
+    # justifications by the diagnostic line with the annotation and any
+    # trailing comma stripped; second pass re-attaches them to matching
+    # lines of the fresh document.
+    awk '
+        NR == FNR {
+            if ($0 ~ /^    \{"cell"/) {
+                line = $0
+                sub(/,$/, "", line)
+                if (match(line, /,"justification":"[^"]*"/)) {
+                    just = substr(line, RSTART, RLENGTH)
+                    line = substr(line, 1, RSTART - 1) \
+                           substr(line, RSTART + RLENGTH)
+                    j[line] = just
+                }
+            }
+            next
+        }
+        {
+            if ($0 ~ /^    \{"cell"/) {
+                line = $0
+                comma = sub(/,$/, "", line)
+                if (line in j) {
+                    printf "%s%s}%s\n", substr(line, 1, length(line) - 1), \
+                        j[line], (comma ? "," : "")
+                    next
+                }
+            }
+            print
+        }
+    ' results/lints_baseline.json target/lints_new.json \
+        > target/lints_merged.json
+    mv target/lints_merged.json results/lints_baseline.json
+    kept=$(grep -c '"justification"' results/lints_baseline.json || true)
+    echo "    wrote results/lints_baseline.json ($kept justified finding(s) preserved)"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release -q -p lvp-cli
