@@ -74,6 +74,30 @@ if printf '%s\n' "$bench_warm" | grep -E '^engine:' | grep -qE '/ 0 disk,'; then
     exit 1
 fi
 
+# Predictor-sweep smoke: drive the annotation pipeline once per backend
+# kind over the fast subset (reusing the trace disk cache above). Every
+# non-default kind must tag the config names in its report; the default
+# kind must not (its output is byte-identical to the pre-zoo renderer).
+echo "==> lvp bench table3 --fast --predictor <kind> (predictor-sweep smoke)"
+for kind in last-value stride context store-to-load hybrid; do
+    sweep_out="$(cargo run --release -q -p lvp-cli -- bench table3 --fast --threads 2 \
+        --cache-dir "$cache_dir" --predictor "$kind")"
+    case "$kind" in
+    last-value)
+        if printf '%s\n' "$sweep_out" | grep -qF "[$kind]"; then
+            echo "ci: default predictor kind must not tag config names" >&2
+            exit 1
+        fi
+        ;;
+    *)
+        if ! printf '%s\n' "$sweep_out" | grep -qF "[$kind]"; then
+            echo "ci: --predictor $kind left no [$kind] tag in the report" >&2
+            exit 1
+        fi
+        ;;
+    esac
+done
+
 # Static/dynamic cross-check gate: every fast-subset workload at every
 # profile x opt level is traced (reusing the bench disk cache above) and
 # both dynamic oracles must hold — the CVU oracle (no must-constant load

@@ -5,7 +5,8 @@
 use lvp_analyze::{classify_loads, verify, LctComparison, LintCode, StaticLoadClass};
 use lvp_isa::{AsmProfile, Assembler};
 use lvp_lang::{compile_with, OptLevel};
-use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_predictor::presets;
+use lvp_predictor::LvpUnit;
 use lvp_workloads::{kernels, suite};
 
 const PROFILES: [AsmProfile; 2] = [AsmProfile::Toc, AsmProfile::Gp];
@@ -121,7 +122,7 @@ fn comparator_agrees_on_toc_pool_loads() {
         "Toc-profile codegen should contain pool loads"
     );
 
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let _ = unit.annotate(&run.trace);
     let cmp = LctComparison::build(&static_loads, unit.lct(), &run.trace);
 

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lvp_isa::AsmProfile;
+use lvp_predictor::presets;
 use lvp_predictor::{LvpConfig, LvpUnit};
 use lvp_sim::Machine;
 use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
@@ -29,12 +30,12 @@ fn bench_pipeline(c: &mut Criterion) {
 
     g.bench_function("phase2 lvp annotation (Simple)", |b| {
         b.iter(|| {
-            let mut unit = LvpUnit::new(LvpConfig::simple());
+            let mut unit = LvpUnit::new(presets::simple());
             black_box(unit.annotate(&run.trace))
         })
     });
 
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&run.trace);
 
     g.bench_function("phase3 620 baseline", |b| {

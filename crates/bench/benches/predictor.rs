@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lvp_predictor::{
-    Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig, StridePredictor,
+    presets, Cvu, CvuConfig, Lct, LctConfig, LvpUnit, Lvpt, LvptConfig, StridePredictor,
     ValuePredictor,
 };
 use std::hint::black_box;
@@ -97,7 +97,7 @@ fn bench_unit(c: &mut Criterion) {
     let s = stream(10_000);
     let mut g = c.benchmark_group("lvp-unit");
     g.throughput(Throughput::Elements(s.len() as u64));
-    for cfg in [LvpConfig::simple(), LvpConfig::limit()] {
+    for cfg in [presets::simple(), presets::limit()] {
         g.bench_function(cfg.name, |b| {
             b.iter(|| {
                 let mut unit = LvpUnit::new(cfg);

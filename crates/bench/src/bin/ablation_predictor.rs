@@ -1,0 +1,10 @@
+//! Ablation — predictor backend zoo x table geometry.
+//!
+//! Thin wrapper: the experiment is defined in `lvp_harness::experiments`
+//! and shares the engine's trace/annotation/timing caches when run via
+//! `lvp bench`. The sweep itself is restricted to the fast workload
+//! subset (5 backends x 5 geometries is a 25-config matrix).
+
+fn main() {
+    lvp_harness::experiments::bin_main("ablation_predictor");
+}

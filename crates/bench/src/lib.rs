@@ -56,6 +56,7 @@ pub fn annotate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lvp_predictor::presets;
 
     #[test]
     fn formatting_helpers() {
@@ -77,7 +78,7 @@ mod tests {
     fn annotate_produces_one_outcome_per_load() {
         let w = Workload::by_name("xlisp").unwrap();
         let run = workload_trace(&w, AsmProfile::Gp).unwrap();
-        let (outcomes, stats) = annotate(&run.trace, &LvpConfig::simple()).unwrap();
+        let (outcomes, stats) = annotate(&run.trace, &presets::simple()).unwrap();
         assert_eq!(outcomes.len() as u64, run.trace.stats().loads);
         assert_eq!(stats.loads, run.trace.stats().loads);
     }

@@ -47,7 +47,8 @@
 
 use lvp_isa::{AsmProfile, Assembler, Program};
 use lvp_lang::OptLevel;
-use lvp_predictor::{LoadProfiler, LocalityMeter, LvpConfig, LvpUnit};
+use lvp_predictor::presets;
+use lvp_predictor::{LoadProfiler, LocalityMeter, LvpConfig, LvpUnit, PredictorKind};
 use lvp_sim::Machine;
 use lvp_trace::{dump_text, Trace};
 use lvp_uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
@@ -117,6 +118,10 @@ pub struct Options {
     pub opt: OptLevel,
     /// LVP configuration for `annotate`/`simulate`.
     pub config: LvpConfig,
+    /// Predictor backend override (`--predictor`): applied to `config`
+    /// and, for `bench`, to every experiment configuration through
+    /// [`lvp_harness::Engine::with_predictor`].
+    pub predictor: Option<PredictorKind>,
     /// Machine model for `simulate`.
     pub machine: MachineSel,
     /// Row limit for `profile`.
@@ -194,7 +199,8 @@ impl Default for Options {
         Options {
             profile: AsmProfile::Toc,
             opt: OptLevel::O0,
-            config: LvpConfig::simple(),
+            config: presets::simple(),
+            predictor: None,
             machine: MachineSel::Ppc620,
             top: 10,
             lint: false,
@@ -249,12 +255,19 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
             }
             "--config" => {
                 opts.config = match take_value(&mut i)?.as_str() {
-                    "simple" => LvpConfig::simple(),
-                    "constant" => LvpConfig::constant(),
-                    "limit" => LvpConfig::limit(),
-                    "perfect" => LvpConfig::perfect(),
+                    "simple" => presets::simple(),
+                    "constant" => presets::constant(),
+                    "limit" => presets::limit(),
+                    "perfect" => presets::perfect(),
                     other => return Err(CliError::new(format!("unknown config `{other}`"))),
                 };
+            }
+            "--predictor" => {
+                let v = take_value(&mut i)?;
+                opts.predictor = Some(
+                    v.parse::<PredictorKind>()
+                        .map_err(|e| CliError::new(e.to_string()))?,
+                );
             }
             "--machine" => {
                 opts.machine = match take_value(&mut i)?.as_str() {
@@ -319,6 +332,9 @@ pub fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), CliError
             _ => positional.push(a.clone()),
         }
         i += 1;
+    }
+    if let Some(kind) = opts.predictor {
+        opts.config = opts.config.clone().builder().kind(kind).build();
     }
     Ok((opts, positional))
 }
@@ -500,12 +516,14 @@ fn json_escape(s: &str) -> String {
 /// and diff them against a committed baseline with `grep`/`comm`.
 fn render_check_json(
     cells: &[(String, Vec<lvp_analyze::Diagnostic>)],
+    kind: PredictorKind,
     cross: Option<&[lvp_harness::CrossCheckReport]>,
     vf: Option<&[lvp_harness::ValueFlowCheckReport]>,
 ) -> String {
     let count: usize = cells.iter().map(|(_, d)| d.len()).sum();
     let mut out = format!(
-        "{{\"schema\":\"lvp-check/1\",\"cells\":{},\"count\":{count}",
+        "{{\"schema\":\"lvp-check/1\",\"predictor\":\"{}\",\"cells\":{},\"count\":{count}",
+        kind.as_str(),
         cells.len()
     );
     if let Some(reports) = cross {
@@ -623,6 +641,7 @@ pub fn cmd_check(target: &str, opts: &Options) -> Result<String, CliError> {
         let cells = vec![(cell, diags)];
         let json = render_check_json(
             &cells,
+            opts.config.kind,
             report.as_ref().map(std::slice::from_ref),
             vf_report.as_ref().map(std::slice::from_ref),
         );
@@ -758,7 +777,12 @@ pub fn cmd_check_all(opts: &Options) -> Result<String, CliError> {
     let clean = count == 0 && !oracle_failed && !vf_failed;
 
     let out = if opts.format == CheckFormat::Json {
-        render_check_json(&cells, reports.as_deref(), vf_reports.as_deref())
+        render_check_json(
+            &cells,
+            opts.config.kind,
+            reports.as_deref(),
+            vf_reports.as_deref(),
+        )
     } else {
         let mut out = String::new();
         for (cell, diags) in &cells {
@@ -820,12 +844,25 @@ pub fn cmd_locality(target: &str, opts: &Options) -> Result<String, CliError> {
     for e in trace.iter() {
         meter.observe(e);
     }
-    Ok(format!(
+    let mut out = format!(
         "{} dynamic loads\nvalue locality: {:.1}% at history depth 1, {:.1}% at depth 16\n",
         meter.loads(),
         100.0 * meter.locality(1),
         100.0 * meter.locality(16)
-    ))
+    );
+    if opts.predictor.is_some() {
+        let mut unit = LvpUnit::new(opts.config.clone());
+        let _ = unit.annotate(&trace);
+        let s = unit.stats();
+        let _ = writeln!(
+            out,
+            "{} backend: {:.1}% of loads predicted, {:.1}% of predictions correct",
+            opts.config.kind,
+            100.0 * s.predictions as f64 / s.loads.max(1) as f64,
+            100.0 * s.accuracy(),
+        );
+    }
+    Ok(out)
 }
 
 /// `lvp annotate <target>` — LVP unit statistics under `--config`.
@@ -1098,6 +1135,9 @@ fn build_engine(opts: &Options) -> Result<lvp_harness::Engine, CliError> {
     if let Some(n) = opts.threads {
         engine = engine.with_threads(n);
     }
+    if let Some(kind) = opts.predictor {
+        engine = engine.with_predictor(kind);
+    }
     if opts.no_disk_cache {
         if opts.cache_dir.is_some() {
             return Err(CliError::new(
@@ -1166,7 +1206,17 @@ pub fn cmd_bench(names: &[String], opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     for def in &selected {
         let t0 = std::time::Instant::now();
-        let report = (def.run)(&engine).map_err(|e| CliError::new(e.to_string()))?;
+        let mut report = (def.run)(&engine).map_err(|e| CliError::new(e.to_string()))?;
+        // A non-default engine-wide backend sweep tags every report
+        // title (and thus the CSV `#` header) with the kind, so sweep
+        // outputs are distinguishable; the default kind stays untagged
+        // and byte-identical.
+        match engine.predictor() {
+            Some(kind) if kind != PredictorKind::LastValue => {
+                report.title.push_str(&format!(" [{kind}]"));
+            }
+            _ => {}
+        }
         out.push_str(&if opts.csv {
             report.render_csv()
         } else {
@@ -1329,6 +1379,8 @@ pub fn usage() -> &'static str {
      \x20 perf     [--list]             in-tree microbenchmarks; --check gates\n\
      \x20                               against results/perf_baseline.json\n\n\
      options: --profile toc|gp  --config simple|constant|limit|perfect\n\
+     \x20        --predictor last-value|stride|context|store-to-load|hybrid\n\
+     \x20        (backend for annotate/simulate/locality/check/bench)\n\
      \x20        --machine 620|620+|21164  --opt 0|1  --top N\n\
      \x20        --lint (verify after asm)  --compare-lct (with check)\n\
      \x20        --memory (provenance lints LVP007-011, with check)\n\

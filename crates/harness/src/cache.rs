@@ -23,7 +23,7 @@ use crate::error::HarnessError;
 use crate::valueflow::ValueFlowCheckReport;
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
-use lvp_predictor::{LvpConfig, LvpStats};
+use lvp_predictor::{LvpConfig, LvpStats, PredictorKind};
 use lvp_trace::PredOutcome;
 use lvp_uarch::SimResult;
 use lvp_workloads::WorkloadRun;
@@ -37,11 +37,12 @@ pub(crate) type TraceKey = (&'static str, AsmProfile, OptLevel);
 
 /// Content key for an LVP configuration: everything *except* the display
 /// name.
-pub(crate) type ConfigKey = (usize, usize, bool, usize, u8, usize, bool);
+pub(crate) type ConfigKey = (PredictorKind, usize, usize, bool, usize, u8, usize, bool);
 
 /// Derives the content key of a configuration.
 pub(crate) fn config_key(c: &LvpConfig) -> ConfigKey {
     (
+        c.kind,
         c.lvpt.entries,
         c.lvpt.history_depth,
         c.lvpt.perfect_selection,
@@ -258,6 +259,7 @@ impl Cache {
 mod tests {
     use super::*;
     use crate::error::Phase;
+    use lvp_predictor::presets;
 
     #[test]
     fn computes_once_then_hits() {
@@ -310,10 +312,15 @@ mod tests {
 
     #[test]
     fn config_key_ignores_name() {
-        let a = LvpConfig::simple();
-        let b = LvpConfig::simple().named("renamed");
+        let a = presets::simple();
+        let b = presets::simple().builder().named("renamed").build();
         assert_eq!(config_key(&a), config_key(&b));
-        let c = LvpConfig::simple().with_lvpt_entries(4096);
+        let c = presets::simple().builder().lvpt_entries(4096).build();
         assert_ne!(config_key(&a), config_key(&c));
+        let d = presets::simple()
+            .builder()
+            .kind(PredictorKind::Hybrid)
+            .build();
+        assert_ne!(config_key(&a), config_key(&d), "kind is part of the key");
     }
 }

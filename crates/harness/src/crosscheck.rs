@@ -237,6 +237,7 @@ pub fn cross_check(
 mod tests {
     use super::*;
     use lvp_isa::{AsmProfile, Assembler};
+    use lvp_predictor::presets;
     use lvp_sim::Machine;
 
     fn run(src: &str) -> (Program, Trace) {
@@ -254,7 +255,7 @@ mod tests {
             ".data\nv: .dword 42\n.text\nmain:\n li t0, 5\nloop:\n la a0, v\n \
              ld a1, 0(a0)\n addi t0, t0, -1\n bne t0, zero, loop\n out a1\n halt\n",
         );
-        let r = cross_check(&p, &t, &LvpConfig::simple(), "test/toc/O0".into());
+        let r = cross_check(&p, &t, &presets::simple(), "test/toc/O0".into());
         assert!(r.passed(), "{r}");
         assert!(r.must_constant_pcs > 0);
         assert!(r.dynamic_must_constant_loads >= 5);
@@ -273,7 +274,7 @@ mod tests {
              li t3, 1\n mul t1, gp, t3\n li t2, 7\n sd t2, 0(t1)\n \
              out a1\n halt\n",
         );
-        let r = cross_check(&p, &t, &LvpConfig::simple(), "test/toc/O0".into());
+        let r = cross_check(&p, &t, &presets::simple(), "test/toc/O0".into());
         assert!(!r.passed(), "the computed pool store must be caught");
         assert!(r
             .violations
@@ -294,7 +295,7 @@ mod tests {
         // Here the store IS statically visible, so `v`'s load is not
         // must-constant and nothing should fire: the oracle only guards
         // claims actually made.
-        let r = cross_check(&p, &t, &LvpConfig::simple(), "test/toc/O0".into());
+        let r = cross_check(&p, &t, &presets::simple(), "test/toc/O0".into());
         assert!(r.passed(), "{r}");
     }
 
@@ -302,7 +303,7 @@ mod tests {
     fn report_renders_cell_and_counts() {
         let (p, t) =
             run(".data\nv: .dword 1\n.text\nmain:\n la a0, v\n ld a1, 0(a0)\n out a1\n halt\n");
-        let r = cross_check(&p, &t, &LvpConfig::simple(), "unit/toc/O0".into());
+        let r = cross_check(&p, &t, &presets::simple(), "unit/toc/O0".into());
         let s = r.to_string();
         assert!(s.starts_with("unit/toc/O0:"), "{s}");
         assert!(s.contains("ok"), "{s}");

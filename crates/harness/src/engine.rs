@@ -8,7 +8,7 @@ use crate::plan::{JobSpec, MachineModel, Plan};
 use crate::valueflow::{value_flow_check, ValueFlowCheckReport};
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
-use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_predictor::{LvpConfig, LvpUnit, PredictorKind};
 use lvp_sim::Machine;
 use lvp_uarch::SimResult;
 use lvp_workloads::{Workload, WorkloadRun, DEFAULT_FUEL};
@@ -74,6 +74,7 @@ pub fn run_workload(
 pub struct Engine {
     threads: usize,
     suite: Vec<Workload>,
+    predictor: Option<PredictorKind>,
     cache: Cache,
     disk: Option<DiskCache>,
 }
@@ -93,6 +94,7 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             suite: lvp_workloads::suite(),
+            predictor: None,
             cache: Cache::new(),
             disk: None,
         }
@@ -109,6 +111,22 @@ impl Engine {
     pub fn with_threads(mut self, n: usize) -> Engine {
         self.threads = n.max(1);
         self
+    }
+
+    /// Overrides the predictor backend for every annotation this
+    /// engine computes: each configuration's [`LvpConfig::kind`] is
+    /// replaced by `kind` before the predict phase runs (and before
+    /// cache keying, so distinct kinds never collide). The cross-check
+    /// oracle is unaffected — it always judges the paper's last-value
+    /// unit.
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Engine {
+        self.predictor = Some(kind);
+        self
+    }
+
+    /// The predictor-kind override, if one was set.
+    pub fn predictor(&self) -> Option<PredictorKind> {
+        self.predictor
     }
 
     /// Attaches a persistent on-disk trace cache rooted at `dir`.
@@ -321,6 +339,16 @@ impl Ctx<'_> {
         opt: OptLevel,
         config: &LvpConfig,
     ) -> Result<Arc<Annotation>, HarnessError> {
+        // Apply the engine-wide backend override before keying, so
+        // sweeps over kinds are cached per kind.
+        let rekinded;
+        let config = match self.engine.predictor {
+            Some(kind) if config.kind != kind => {
+                rekinded = config.clone().builder().kind(kind).build();
+                &rekinded
+            }
+            _ => config,
+        };
         let run = self.workload_run(w, profile, opt)?;
         let key = (Self::trace_key(w, profile, opt), config_key(config));
         let cache = &self.engine.cache;

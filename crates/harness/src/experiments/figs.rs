@@ -6,7 +6,8 @@ use crate::error::HarnessError;
 use crate::plan::{ExperimentPlan, MachineModel};
 use crate::report::{geo_mean, Cell, ExperimentTable, Report};
 use lvp_isa::AsmProfile;
-use lvp_predictor::{LocalityMeter, LvpConfig, ValueClass};
+use lvp_predictor::presets;
+use lvp_predictor::{LocalityMeter, ValueClass};
 use lvp_trace::OpKind;
 use lvp_uarch::{OperandWaitStats, VerifyLatencyHistogram};
 
@@ -142,21 +143,17 @@ pub(super) fn fig6(engine: &Engine) -> Result<Report, HarnessError> {
             AsmProfile::Toc,
             MachineModel::ppc620(),
             vec![
-                LvpConfig::simple(),
-                LvpConfig::constant(),
-                LvpConfig::limit(),
-                LvpConfig::perfect(),
+                presets::simple(),
+                presets::constant(),
+                presets::limit(),
+                presets::perfect(),
             ],
         ),
         (
             "Alpha AXP 21164 (Gp profile traces)",
             AsmProfile::Gp,
             MachineModel::alpha21164(),
-            vec![
-                LvpConfig::simple(),
-                LvpConfig::limit(),
-                LvpConfig::perfect(),
-            ],
+            vec![presets::simple(), presets::limit(), presets::perfect()],
         ),
     ] {
         let names: Vec<String> = configs.iter().map(|c| c.name.to_string()).collect();
@@ -208,10 +205,10 @@ pub(super) fn fig6(engine: &Engine) -> Result<Report, HarnessError> {
 /// configuration on the 620 and 620+, summed over all benchmarks.
 pub(super) fn fig7(engine: &Engine) -> Result<Report, HarnessError> {
     let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
+        presets::simple(),
+        presets::constant(),
+        presets::limit(),
+        presets::perfect(),
     ];
     let plan = ExperimentPlan::new()
         .workloads(engine.suite().to_vec())
@@ -289,10 +286,10 @@ const FU_GROUPS: [(&str, &[OpKind]); 5] = [
 /// functional-unit type, normalized to the no-LVP baseline.
 pub(super) fn fig8(engine: &Engine) -> Result<Report, HarnessError> {
     let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
+        presets::simple(),
+        presets::constant(),
+        presets::limit(),
+        presets::perfect(),
     ];
     let mut report = Report::new(
         "fig8",
@@ -377,14 +374,14 @@ pub(super) fn fig9(engine: &Engine) -> Result<Report, HarnessError> {
                     w,
                     job.profile,
                     job.opt,
-                    Some(&LvpConfig::simple()),
+                    Some(&presets::simple()),
                     &job_machine,
                 )?;
                 let constant = ctx.timing(
                     w,
                     job.profile,
                     job.opt,
-                    Some(&LvpConfig::constant()),
+                    Some(&presets::constant()),
                     &job_machine,
                 )?;
                 Ok((

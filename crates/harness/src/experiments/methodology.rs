@@ -4,7 +4,7 @@ use crate::engine::Engine;
 use crate::error::HarnessError;
 use crate::plan::{ExperimentPlan, MachineModel};
 use crate::report::{Cell, ExperimentTable, Report};
-use lvp_predictor::LvpConfig;
+use lvp_predictor::presets;
 use lvp_uarch::{simulate_620, Ppc620Config, SimResult};
 
 const WINDOW: usize = 50_000;
@@ -19,11 +19,10 @@ pub(super) fn methodology_sampling(engine: &Engine) -> Result<Report, HarnessErr
         .map(|job, ctx| {
             let w = &job.workload;
             let run = ctx.job_run(job)?;
-            let ann = ctx.annotation(w, job.profile, job.opt, &LvpConfig::simple())?;
+            let ann = ctx.annotation(w, job.profile, job.opt, &presets::simple())?;
             let model = MachineModel::ppc620();
             let full_base = ctx.timing(w, job.profile, job.opt, None, &model)?;
-            let full_lvp =
-                ctx.timing(w, job.profile, job.opt, Some(&LvpConfig::simple()), &model)?;
+            let full_lvp = ctx.timing(w, job.profile, job.opt, Some(&presets::simple()), &model)?;
 
             // Sampled: sum cycles/instructions over the windows. The
             // windows are unique to this experiment, so they bypass the

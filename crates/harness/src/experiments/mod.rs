@@ -30,7 +30,7 @@ pub struct ExperimentDef {
 }
 
 /// All experiments, in the paper's presentation order.
-const REGISTRY: [ExperimentDef; 19] = [
+const REGISTRY: [ExperimentDef; 20] = [
     ExperimentDef {
         name: "table1",
         title: "benchmark descriptions & dynamic counts",
@@ -122,6 +122,11 @@ const REGISTRY: [ExperimentDef; 19] = [
         run: ablations::ablation_dataflow,
     },
     ExperimentDef {
+        name: "ablation_predictor",
+        title: "predictor backend zoo x table geometry",
+        run: ablations::ablation_predictor,
+    },
+    ExperimentDef {
         name: "methodology_sampling",
         title: "full-trace vs sampled simulation error",
         run: methodology::methodology_sampling,
@@ -177,7 +182,7 @@ mod tests {
             assert!(seen.insert(d.name), "duplicate experiment {}", d.name);
             assert_eq!(experiment(d.name).unwrap().name, d.name);
         }
-        assert_eq!(experiments().len(), 19);
+        assert_eq!(experiments().len(), 20);
         assert!(experiment("nope").is_none());
     }
 }

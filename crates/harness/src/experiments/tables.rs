@@ -9,7 +9,7 @@ use crate::error::HarnessError;
 use crate::plan::{ExperimentPlan, MachineModel};
 use crate::report::{geo_mean, Cell, ExperimentTable, Report};
 use lvp_isa::AsmProfile;
-use lvp_predictor::LvpConfig;
+use lvp_predictor::presets;
 use lvp_uarch::LatencyTable;
 
 /// Table 1 — benchmark descriptions and dynamic instruction/load counts,
@@ -85,7 +85,7 @@ pub(super) fn table2(_engine: &Engine) -> Result<Report, HarnessError> {
         "LCT bits",
         "CVU entries",
     ]);
-    for c in LvpConfig::table2() {
+    for c in presets::table2() {
         if c.perfect {
             t.row(vec![
                 Cell::text(c.name.to_string()),
@@ -121,7 +121,7 @@ pub(super) fn table3(engine: &Engine) -> Result<Report, HarnessError> {
     let plan = ExperimentPlan::new()
         .workloads(engine.suite().to_vec())
         .profiles([AsmProfile::Gp, AsmProfile::Toc])
-        .configs([LvpConfig::simple(), LvpConfig::limit()])
+        .configs([presets::simple(), presets::limit()])
         .map(|job, ctx| {
             let ann = ctx.job_annotation(job)?;
             Ok((
@@ -172,7 +172,7 @@ pub(super) fn table4(engine: &Engine) -> Result<Report, HarnessError> {
     let plan = ExperimentPlan::new()
         .workloads(engine.suite().to_vec())
         .profiles([AsmProfile::Gp, AsmProfile::Toc])
-        .configs([LvpConfig::simple(), LvpConfig::limit()])
+        .configs([presets::simple(), presets::limit()])
         .map(|job, ctx| Ok(ctx.job_annotation(job)?.stats.constant_rate()));
     let rates = engine.run(plan)?;
 
@@ -244,10 +244,10 @@ pub(super) fn table5(_engine: &Engine) -> Result<Report, HarnessError> {
 /// speedup of each LVP configuration on the 620+.
 pub(super) fn table6(engine: &Engine) -> Result<Report, HarnessError> {
     let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
+        presets::simple(),
+        presets::constant(),
+        presets::limit(),
+        presets::perfect(),
     ];
     let plan = ExperimentPlan::new()
         .workloads(engine.suite().to_vec())

@@ -39,7 +39,7 @@
 //! let engine = Engine::fast().with_threads(2);
 //! let plan = ExperimentPlan::new()
 //!     .workloads(engine.suite().to_vec())
-//!     .configs([lvp_predictor::LvpConfig::simple()])
+//!     .configs([lvp_predictor::presets::simple()])
 //!     .map(|job, ctx| {
 //!         let ann = ctx.job_annotation(job)?;
 //!         Ok((job.workload.name, ann.stats.accuracy()))

@@ -23,7 +23,8 @@
 //! bench registry, canned traces, sample count, JSON shape — is
 //! deterministic.
 
-use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_predictor::presets;
+use lvp_predictor::{LvpUnit, PredictorKind};
 use lvp_trace::{
     read_trace, write_trace, BranchEvent, MemAccess, OpKind, RegRef, Trace, TraceEntry,
 };
@@ -337,24 +338,25 @@ fn sample<T>(cfg: &PerfConfig, mut f: impl FnMut() -> T) -> Vec<u64> {
         .collect()
 }
 
-fn bench_unit_dispatch(cfg: &PerfConfig) -> Vec<u64> {
+fn bench_unit_dispatch(cfg: &PerfConfig, kind: PredictorKind) -> Vec<u64> {
     let trace = canned_trace(0x11, 1_000_000);
+    let config = presets::simple().builder().kind(kind).build();
     sample(cfg, || {
-        let mut unit = LvpUnit::new(LvpConfig::simple());
+        let mut unit = LvpUnit::new(config.clone());
         unit.run_trace(trace.entries())
     })
 }
 
 fn bench_sim_620(cfg: &PerfConfig, n: usize) -> Vec<u64> {
     let trace = canned_trace(0x620, n);
-    let outcomes = LvpUnit::new(LvpConfig::simple()).run_trace(trace.entries());
+    let outcomes = LvpUnit::new(presets::simple()).run_trace(trace.entries());
     let config = Ppc620Config::base();
     sample(cfg, || simulate_620(&trace, Some(&outcomes), &config))
 }
 
 fn bench_sim_21164(cfg: &PerfConfig, n: usize) -> Vec<u64> {
     let trace = canned_trace(0x21164, n);
-    let outcomes = LvpUnit::new(LvpConfig::simple()).run_trace(trace.entries());
+    let outcomes = LvpUnit::new(presets::simple()).run_trace(trace.entries());
     let config = Alpha21164Config::base();
     sample(cfg, || simulate_21164(&trace, Some(&outcomes), &config))
 }
@@ -423,7 +425,31 @@ pub fn benches() -> &'static [BenchDef] {
             name: "unit_dispatch_1m",
             fast: true,
             what: "LvpUnit (LVPT/LCT/CVU) over a canned 1M-entry trace",
-            run: |cfg| bench_unit_dispatch(cfg),
+            run: |cfg| bench_unit_dispatch(cfg, PredictorKind::LastValue),
+        },
+        BenchDef {
+            name: "unit_dispatch_stride_1m",
+            fast: true,
+            what: "LvpUnit with the two-delta stride backend, 1M entries",
+            run: |cfg| bench_unit_dispatch(cfg, PredictorKind::Stride),
+        },
+        BenchDef {
+            name: "unit_dispatch_context_1m",
+            fast: true,
+            what: "LvpUnit with the order-4 FCM context backend, 1M entries",
+            run: |cfg| bench_unit_dispatch(cfg, PredictorKind::Context),
+        },
+        BenchDef {
+            name: "unit_dispatch_s2l_1m",
+            fast: true,
+            what: "LvpUnit with the store-to-load forwarding backend, 1M entries",
+            run: |cfg| bench_unit_dispatch(cfg, PredictorKind::StoreToLoad),
+        },
+        BenchDef {
+            name: "unit_dispatch_hybrid_1m",
+            fast: true,
+            what: "LvpUnit with the confidence-arbitrated hybrid backend, 1M entries",
+            run: |cfg| bench_unit_dispatch(cfg, PredictorKind::Hybrid),
         },
         BenchDef {
             name: "sim_620_256k",

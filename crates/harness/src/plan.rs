@@ -138,12 +138,12 @@ impl JobSpec {
 /// ```
 /// use lvp_harness::{ExperimentPlan, MachineModel};
 /// use lvp_isa::AsmProfile;
-/// use lvp_predictor::LvpConfig;
+/// use lvp_predictor::presets;
 ///
 /// let plan = ExperimentPlan::new()
 ///     .workloads(lvp_workloads::suite())
 ///     .profiles([AsmProfile::Gp, AsmProfile::Toc])
-///     .configs([LvpConfig::simple(), LvpConfig::limit()]);
+///     .configs([presets::simple(), presets::limit()]);
 /// assert_eq!(plan.jobs().len(), 17 * 2 * 2);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -272,6 +272,7 @@ impl<T> Plan<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lvp_predictor::presets;
 
     #[test]
     fn cartesian_order_is_workload_major() {
@@ -279,7 +280,7 @@ mod tests {
         let jobs = ExperimentPlan::new()
             .workloads(ws.clone())
             .profiles([AsmProfile::Gp, AsmProfile::Toc])
-            .configs([LvpConfig::simple(), LvpConfig::limit()])
+            .configs([presets::simple(), presets::limit()])
             .jobs();
         assert_eq!(jobs.len(), 2 * 2 * 2);
         // First four jobs all belong to the first workload.
@@ -310,7 +311,7 @@ mod tests {
     fn job_keys_are_informative() {
         let jobs = ExperimentPlan::new()
             .workloads(lvp_workloads::suite().into_iter().take(1))
-            .configs([LvpConfig::simple()])
+            .configs([presets::simple()])
             .machines([MachineModel::ppc620_plus()])
             .jobs();
         assert_eq!(jobs[0].key(), "cc1-271/toc/O0/Simple/620+");

@@ -25,15 +25,25 @@
 //! diagnostics — not failures, but a measured report of where the
 //! static analysis under-approximates (the paper's motivating gap
 //! between static classification and dynamic value locality).
+//!
+//! On top of the class-agnostic stride check, every static class is
+//! judged against the *predictor backend it nominates* (the per-kind
+//! oracle): affine-stride claims against the two-delta stride backend,
+//! must-constant and loop-invariant claims against the last-value
+//! backend, and store-to-load-forwardable claims against the
+//! store-to-load backend. A claimed pc on which the nominated backend
+//! falls below [`BACKEND_ACCURACY_FLOOR`] is a
+//! [`ValueFlowViolationKind::BackendMiss`].
 
 use lvp_analyze::{
     analyze_value_flow, lvp014_diagnostics, Diagnostic, LoadPredictability, ValueFlowReport,
 };
 use lvp_isa::Program;
 use lvp_predictor::{
-    evaluate_predictor_by_pc, Lct, LctConfig, LoadClass, PredEval, StridePredictor,
+    evaluate_predictor_by_pc, presets, Backend, Lct, LctConfig, LoadClass, PredEval, PredictorKind,
+    StridePredictor,
 };
-use lvp_trace::Trace;
+use lvp_trace::{OpKind, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -42,6 +52,18 @@ pub const MIN_EXECUTIONS: u64 = 8;
 
 /// Minimum stride-predictor accuracy a judged claim must reach.
 pub const STRIDE_ACCURACY_FLOOR: f64 = 0.95;
+
+/// Minimum accuracy the backend nominated by a static class must reach
+/// on a judged claim. Lower than [`STRIDE_ACCURACY_FLOOR`]: the real
+/// backends pay warm-up and (for store-to-load) width-aliasing costs the
+/// idealized stride predictor does not.
+pub const BACKEND_ACCURACY_FLOOR: f64 = 0.90;
+
+/// Minimum fraction of a claimed pc's executions the nominated backend
+/// must predict *correctly* (correct/loads). Catches the quiet failure
+/// mode where the backend never gains confidence and simply declines to
+/// predict a load its class promised it would cover.
+pub const BACKEND_COVERAGE_FLOOR: f64 = 0.5;
 
 /// Table sizes for the emulated predictors — large enough that distinct
 /// pcs in any workload never alias (texts are ≪ 256 KiB).
@@ -55,6 +77,14 @@ pub enum ValueFlowViolationKind {
         /// The stride the static analysis derived (0 for must-constant).
         claimed_stride: i64,
         /// The pc's dynamic tallies.
+        eval: PredEval,
+    },
+    /// The backend nominated by the static class fell below
+    /// [`BACKEND_ACCURACY_FLOOR`] on the claimed pc.
+    BackendMiss {
+        /// The backend the class nominates.
+        kind: PredictorKind,
+        /// The pc's dynamic tallies under that backend.
         eval: PredEval,
     },
     /// A must-constant pc loaded two different values.
@@ -90,6 +120,18 @@ impl fmt::Display for ValueFlowViolation {
                 self.pc,
                 self.class,
                 claimed_stride,
+                eval.correct,
+                eval.predicted,
+                eval.loads,
+                eval.accuracy() * 100.0
+            ),
+            ValueFlowViolationKind::BackendMiss { kind, eval } => write!(
+                f,
+                "{:#x}: claimed {}, but the {} backend managed {}/{} over {} \
+                 execution(s) ({:.1}% accuracy)",
+                self.pc,
+                self.class,
+                kind,
                 eval.correct,
                 eval.predicted,
                 eval.loads,
@@ -149,6 +191,52 @@ impl fmt::Display for ValueFlowCheckReport {
         }
         Ok(())
     }
+}
+
+/// The backend a static predictability class nominates for the per-kind
+/// oracle (`None` for classes that make no dynamic-coverage promise).
+fn nominated_backend(class: &LoadPredictability) -> Option<PredictorKind> {
+    match class {
+        LoadPredictability::AffineStride(_) => Some(PredictorKind::Stride),
+        LoadPredictability::MustConstant | LoadPredictability::LoopInvariant => {
+            Some(PredictorKind::LastValue)
+        }
+        LoadPredictability::StoreToLoadForwardable => Some(PredictorKind::StoreToLoad),
+        LoadPredictability::Unknown => None,
+    }
+}
+
+/// Replays `trace` through one predictor backend (stores feed
+/// [`Backend::on_store`], loads predict-then-train) and splits the
+/// prediction tallies per load pc.
+fn eval_backend_by_pc(kind: PredictorKind, trace: &Trace) -> BTreeMap<u64, PredEval> {
+    let cfg = presets::simple()
+        .builder()
+        .kind(kind)
+        .lvpt_entries(TABLE_ENTRIES)
+        .build();
+    let mut backend = Backend::new(&cfg);
+    let mut by_pc: BTreeMap<u64, PredEval> = BTreeMap::new();
+    for e in trace.iter() {
+        let Some(mem) = e.mem else { continue };
+        if e.kind == OpKind::Store {
+            backend.on_store(mem.addr, mem.width, mem.value);
+            continue;
+        }
+        if !e.is_load() {
+            continue;
+        }
+        let eval = by_pc.entry(e.pc).or_default();
+        eval.loads += 1;
+        if let Some(p) = backend.predict(e.pc, mem.addr) {
+            eval.predicted += 1;
+            if p == mem.value {
+                eval.correct += 1;
+            }
+        }
+        backend.train(e.pc, mem.addr, mem.value);
+    }
+    by_pc
 }
 
 /// Runs the value-flow cross-check for one compiled program and its
@@ -237,6 +325,43 @@ pub fn value_flow_check_with(
                     eval: *eval,
                 },
             });
+        }
+    }
+
+    // --- Per-kind oracle: each class judged by its nominated backend. ---
+    let mut claims_by_kind: BTreeMap<PredictorKind, Vec<(u64, LoadPredictability)>> =
+        BTreeMap::new();
+    for l in &report.loads {
+        if let Some(kind) = nominated_backend(&l.class) {
+            claims_by_kind
+                .entry(kind)
+                .or_default()
+                .push((l.pc, l.class));
+        }
+    }
+    for (kind, claims) in &claims_by_kind {
+        let backend_by_pc = eval_backend_by_pc(*kind, trace);
+        for &(pc, class) in claims {
+            let Some(eval) = backend_by_pc.get(&pc) else {
+                continue;
+            };
+            if eval.loads < MIN_EXECUTIONS {
+                continue;
+            }
+            judged += 1;
+            let covered = eval.correct as f64 / eval.loads as f64;
+            if covered < BACKEND_COVERAGE_FLOOR
+                || (eval.predicted > 0 && eval.accuracy() < BACKEND_ACCURACY_FLOOR)
+            {
+                violations.push(ValueFlowViolation {
+                    pc,
+                    class,
+                    kind: ValueFlowViolationKind::BackendMiss {
+                        kind: *kind,
+                        eval: *eval,
+                    },
+                });
+            }
         }
     }
 
@@ -385,6 +510,47 @@ mod tests {
             .under_approximations
             .iter()
             .all(|d| d.code == lvp_analyze::LintCode::StaticUnderApprox));
+    }
+
+    #[test]
+    fn per_kind_oracle_refutes_a_fabricated_affine_claim() {
+        // Same tampering as above: the alternating pc cannot be covered
+        // by the two-delta stride backend either, so the per-kind
+        // oracle must file a BackendMiss naming the stride backend.
+        let (p, t) = run(
+            ".data\na: .dword 1\nb: .dword 100\n.text\nmain:\n li t0, 16\n la s0, a\n \
+             la s1, b\nloop:\n ld a1, 0(s0)\n ld a2, 0(s1)\n sd a2, 0(s0)\n sd a1, 0(s1)\n \
+             addi t0, t0, -1\n bne t0, zero, loop\n out a1\n halt\n",
+        );
+        let mut report = analyze_value_flow(&p);
+        let alternating_pc = report
+            .loads
+            .iter()
+            .find(|l| l.class == LoadPredictability::Unknown)
+            .expect("the swap loop has unknown loads")
+            .pc;
+        for l in report.loads.iter_mut() {
+            if l.pc == alternating_pc {
+                l.class = LoadPredictability::AffineStride(8);
+            }
+        }
+        let r = value_flow_check_with(&report, &t, "tampered/gp/O0".into());
+        assert!(r.violations.iter().any(|v| matches!(
+            v.kind,
+            ValueFlowViolationKind::BackendMiss {
+                kind: PredictorKind::Stride,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn per_kind_oracle_holds_on_clean_claims() {
+        // The counter loop's affine claim must be covered by the
+        // two-delta stride backend, not just the idealized predictor.
+        let (p, t) = run(COUNTER_LOOP);
+        let r = value_flow_check(&p, &t, "counter/gp/O0".into());
+        assert!(r.passed(), "{r}");
     }
 
     #[test]

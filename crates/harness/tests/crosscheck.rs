@@ -7,7 +7,7 @@
 use lvp_harness::{Engine, ExperimentPlan};
 use lvp_isa::AsmProfile;
 use lvp_lang::OptLevel;
-use lvp_predictor::LvpConfig;
+use lvp_predictor::presets;
 
 #[test]
 fn oracle_holds_on_fast_subset_at_every_profile_and_opt() {
@@ -16,7 +16,7 @@ fn oracle_holds_on_fast_subset_at_every_profile_and_opt() {
         .workloads(engine.suite().to_vec())
         .profiles([AsmProfile::Gp, AsmProfile::Toc])
         .opt_levels([OptLevel::O0, OptLevel::O1])
-        .configs([LvpConfig::simple()])
+        .configs([presets::simple()])
         .map(|job, ctx| ctx.job_cross_check(job));
     let reports = engine.run(plan).expect("cross-check plan failed");
     assert_eq!(reports.len(), 4 * 2 * 2);
@@ -46,10 +46,10 @@ fn cross_check_results_are_cached_by_config_content() {
     let w = engine.suite()[0];
     let ctx = engine.ctx();
     let a = ctx
-        .cross_check(&w, AsmProfile::Toc, OptLevel::O0, &LvpConfig::simple())
+        .cross_check(&w, AsmProfile::Toc, OptLevel::O0, &presets::simple())
         .expect("first cross-check");
     // Same content, different name: must be served from cache.
-    let renamed = LvpConfig::simple().named("renamed");
+    let renamed = presets::simple().builder().named("renamed").build();
     let b = ctx
         .cross_check(&w, AsmProfile::Toc, OptLevel::O0, &renamed)
         .expect("second cross-check");

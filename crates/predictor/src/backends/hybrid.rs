@@ -1,0 +1,193 @@
+//! Confidence-arbitrated hybrid backend.
+
+use crate::backends::{ContextBackend, TwoDeltaStrideBackend};
+use crate::config::LvptConfig;
+use crate::index::{table_mask, word_index};
+use crate::lvpt::Lvpt;
+
+/// Saturation ceiling of the per-component confidence counters.
+const SAT: u8 = 15;
+
+/// Component order doubles as the tie-break priority: on equal
+/// confidence the earlier component wins. Stride first (it subsumes
+/// constants), then last-value, then context (slowest to warm).
+const STRIDE: usize = 0;
+const LAST_VALUE: usize = 1;
+const CONTEXT: usize = 2;
+
+/// A hybrid that runs a last-value table, a two-delta stride table and
+/// an order-4 context table side by side and arbitrates per static load
+/// with 4-bit confidence counters, in the style of the Pin
+/// `hybrid_lvp.cpp` tool: every component trains on every load, each
+/// load's prediction comes from the component with the highest
+/// confidence for that PC, and a component's counter rises when it
+/// *would have* predicted the verified value and decays otherwise.
+#[derive(Debug, Clone)]
+pub struct HybridBackend {
+    stride: TwoDeltaStrideBackend,
+    last_value: Lvpt,
+    context: ContextBackend,
+    /// Per-PC confidence, indexed like the component tables.
+    sel: Vec<[u8; 3]>,
+    mask: usize,
+}
+
+impl HybridBackend {
+    /// Creates a backend whose three component tables all have
+    /// `entries` slots (the selector too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> HybridBackend {
+        HybridBackend {
+            stride: TwoDeltaStrideBackend::new(entries),
+            last_value: Lvpt::new(LvptConfig {
+                entries,
+                history_depth: 1,
+                perfect_selection: false,
+            }),
+            context: ContextBackend::new(entries),
+            sel: vec![[0; 3]; entries],
+            mask: table_mask(entries),
+        }
+    }
+
+    /// The selector/table index for a load at `pc`.
+    #[inline]
+    pub fn index(&self, pc: u64) -> usize {
+        word_index(pc, self.mask)
+    }
+
+    /// The winning component for `pc` (highest confidence, earlier
+    /// component on ties).
+    #[inline]
+    fn choose(&self, idx: usize) -> usize {
+        let c = &self.sel[idx];
+        let mut best = STRIDE;
+        for i in [LAST_VALUE, CONTEXT] {
+            if c[i] > c[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The component confidences for `pc`, in `[stride, last-value,
+    /// context]` order — diagnostic accessor for the arbitration tests.
+    pub fn confidences(&self, pc: u64) -> [u8; 3] {
+        self.sel[self.index(pc)]
+    }
+
+    #[inline]
+    fn component_predict(&self, component: usize, pc: u64) -> Option<u64> {
+        match component {
+            STRIDE => self.stride.predict(pc),
+            LAST_VALUE => self.last_value.predict(pc),
+            _ => self.context.predict(pc),
+        }
+    }
+
+    /// The arbitrated prediction for a load at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        self.component_predict(self.choose(self.index(pc)), pc)
+    }
+
+    /// Trains every component with the verified value and updates the
+    /// arbitration counters. Returns `true` when the value the hybrid
+    /// would predict for this slot changed (the CVU invalidation
+    /// trigger — a component retraining *or* an arbitration flip both
+    /// count, since either changes the certified value).
+    pub fn train(&mut self, pc: u64, actual: u64) -> bool {
+        let idx = self.index(pc);
+        let before = self.predict(pc);
+        for i in 0..3 {
+            let was_right = self.component_predict(i, pc) == Some(actual);
+            let conf = &mut self.sel[idx][i];
+            *conf = if was_right {
+                (*conf + 1).min(SAT)
+            } else {
+                conf.saturating_sub(1)
+            };
+        }
+        self.stride.train(pc, actual);
+        self.last_value.update(pc, actual);
+        self.context.train(pc, actual);
+        before != self.predict(pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PC: u64 = 0x1000;
+
+    fn run(p: &mut HybridBackend, values: &[u64]) -> (u64, u64) {
+        let (mut predicted, mut correct) = (0, 0);
+        for &v in values {
+            if let Some(pred) = p.predict(PC) {
+                predicted += 1;
+                if pred == v {
+                    correct += 1;
+                }
+            }
+            p.train(PC, v);
+        }
+        (predicted, correct)
+    }
+
+    #[test]
+    fn stride_component_wins_on_strided_values() {
+        let values: Vec<u64> = (0..100).map(|i| 8 * i).collect();
+        let mut p = HybridBackend::new(64);
+        let (_, correct) = run(&mut p, &values);
+        assert!(correct > 90, "correct {correct}");
+        let conf = p.confidences(PC);
+        assert_eq!(conf[STRIDE], SAT);
+        assert_eq!(conf[LAST_VALUE], 0, "last-value never right on strides");
+    }
+
+    #[test]
+    fn context_component_wins_on_pointer_chase() {
+        let ring = [0x8000u64, 0x8040, 0x9000, 0x8020, 0xa000];
+        let values: Vec<u64> = (0..300).map(|i| ring[i % ring.len()]).collect();
+        let mut p = HybridBackend::new(64);
+        let (_, correct) = run(&mut p, &values);
+        assert!(correct > 250, "correct {correct}");
+        let conf = p.confidences(PC);
+        assert_eq!(conf[CONTEXT], SAT);
+        assert!(conf[CONTEXT] > conf[STRIDE]);
+    }
+
+    #[test]
+    fn constants_saturate_everyone_and_still_predict() {
+        let mut p = HybridBackend::new(64);
+        let (_, correct) = run(&mut p, &vec![7u64; 100]);
+        assert!(correct > 90, "correct {correct}");
+        let conf = p.confidences(PC);
+        assert_eq!(conf, [SAT, SAT, SAT]);
+        assert_eq!(p.predict(PC), Some(7));
+    }
+
+    #[test]
+    fn train_reports_arbitration_flips() {
+        let mut p = HybridBackend::new(64);
+        // Saturate on a constant, then feed a strided run; somewhere the
+        // winner flips from the (stale) shared maximum to stride alone,
+        // and every prediction change is reported.
+        for _ in 0..20 {
+            p.train(PC, 7);
+        }
+        let mut reported = 0;
+        for v in (1..20u64).map(|i| 7 + 8 * i) {
+            let before = p.predict(PC);
+            let changed = p.train(PC, v);
+            assert_eq!(changed, before != p.predict(PC));
+            reported += changed as u32;
+        }
+        assert!(reported > 0);
+        assert_eq!(p.confidences(PC)[STRIDE], SAT);
+    }
+}

@@ -1,0 +1,18 @@
+//! The predictor zoo: interchangeable value-prediction backends.
+//!
+//! Each backend fills the LVPT's slot in the LVP unit — it produces a
+//! value prediction per dynamic load and is trained with the verified
+//! value — while the LCT (confidence) and CVU (constant verification)
+//! stay shared across all of them. Dispatch is by enum
+//! ([`crate::Backend`]), not trait object, so the per-load hot path
+//! stays allocation-free and inlinable.
+
+pub(crate) mod context;
+pub(crate) mod hybrid;
+pub(crate) mod s2l;
+pub(crate) mod stride;
+
+pub use context::ContextBackend;
+pub use hybrid::HybridBackend;
+pub use s2l::StoreToLoadBackend;
+pub use stride::TwoDeltaStrideBackend;

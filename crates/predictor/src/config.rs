@@ -1,9 +1,31 @@
 //! LVP unit configurations (the paper's Table 2).
+//!
+//! A configuration names a predictor backend ([`PredictorKind`]) plus
+//! the three table geometries. The paper's named configurations live in
+//! [`crate::presets`]; derived sweep points go through the one typed
+//! builder:
+//!
+//! ```
+//! use lvp_predictor::{presets, PredictorKind};
+//! let big_stride = presets::simple()
+//!     .builder()
+//!     .kind(PredictorKind::Stride)
+//!     .lvpt_entries(4096)
+//!     .named(format!("Stride/{}", 4096))
+//!     .build();
+//! assert_eq!(big_stride.lvpt.entries, 4096);
+//! assert_eq!(big_stride.name, "Stride/4096");
+//! ```
 
+use crate::predictor::PredictorKind;
 use std::borrow::Cow;
 use std::fmt;
 
 /// Configuration of the Load Value Prediction Table.
+///
+/// For the non-LVPT backends of the zoo, `entries` sizes the backend's
+/// main table and the other two fields are ignored — see
+/// [`crate::Backend::new`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LvptConfig {
     /// Number of direct-mapped, untagged entries (power of two).
@@ -31,42 +53,21 @@ pub struct CvuConfig {
     pub entries: usize,
 }
 
-/// A complete LVP unit configuration.
+/// A complete LVP unit configuration: a predictor backend selection
+/// plus the paper's three table geometries.
 ///
-/// The four presets reproduce the paper's Table 2:
-///
-/// | Config   | LVPT            | LCT        | CVU |
-/// |----------|-----------------|------------|-----|
-/// | Simple   | 1024 × depth 1  | 256 × 2bit | 32  |
-/// | Constant | 1024 × depth 1  | 256 × 1bit | 128 |
-/// | Limit    | 4096 × 16/perf  | 1024 × 2bit| 128 |
-/// | Perfect  | ∞ / perfect     | —          | 0   |
-///
-/// Derived configurations for sweeps are built with the `with_*`
-/// methods and labeled with [`LvpConfig::named`]:
-///
-/// # Examples
-///
-/// ```
-/// use lvp_predictor::LvpConfig;
-/// let simple = LvpConfig::simple();
-/// assert_eq!(simple.lvpt.entries, 1024);
-/// assert_eq!(simple.lct.counter_bits, 2);
-///
-/// // An ablation point: Simple with a 4K-entry LVPT.
-/// let big = LvpConfig::simple()
-///     .with_lvpt_entries(4096)
-///     .named(format!("Simple/{}", 4096));
-/// assert_eq!(big.lvpt.entries, 4096);
-/// assert_eq!(big.name, "Simple/4096");
-/// ```
+/// The named presets reproducing the paper's Table 2 are in
+/// [`crate::presets`]; every derived configuration is built with
+/// [`LvpConfig::builder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LvpConfig {
     /// Display name ("Simple", "Constant", "Limit", "Perfect", or a
-    /// custom label set with [`LvpConfig::named`]). Borrowed for the
-    /// presets, owned for generated sweep points.
+    /// custom label set through the builder). Borrowed for the presets,
+    /// owned for generated sweep points.
     pub name: Cow<'static, str>,
-    /// Value table configuration.
+    /// Which value-prediction backend fills the LVPT's slot.
+    pub kind: PredictorKind,
+    /// Value table configuration (sizes every backend's main table).
     pub lvpt: LvptConfig,
     /// Classification table configuration.
     pub lct: LctConfig,
@@ -78,141 +79,79 @@ pub struct LvpConfig {
 }
 
 impl LvpConfig {
-    /// The paper's *Simple* configuration: buildable within one or two
-    /// processor generations.
-    pub fn simple() -> LvpConfig {
-        LvpConfig {
-            name: Cow::Borrowed("Simple"),
-            lvpt: LvptConfig {
-                entries: 1024,
-                history_depth: 1,
-                perfect_selection: false,
-            },
-            lct: LctConfig {
-                entries: 256,
-                counter_bits: 2,
-            },
-            cvu: CvuConfig { entries: 32 },
-            perfect: false,
-        }
+    /// Starts a builder seeded with this configuration — the one way to
+    /// derive sweep points from a preset.
+    pub fn builder(self) -> LvpConfigBuilder {
+        LvpConfigBuilder { config: self }
     }
+}
 
-    /// The paper's *Constant* configuration: a 1-bit LCT biased toward
-    /// constant identification, with a larger CVU.
-    pub fn constant() -> LvpConfig {
-        LvpConfig {
-            name: Cow::Borrowed("Constant"),
-            lvpt: LvptConfig {
-                entries: 1024,
-                history_depth: 1,
-                perfect_selection: false,
-            },
-            lct: LctConfig {
-                entries: 256,
-                counter_bits: 1,
-            },
-            cvu: CvuConfig { entries: 128 },
-            perfect: false,
-        }
-    }
+/// The one typed builder for derived [`LvpConfig`]s.
+///
+/// Obtained from [`LvpConfig::builder`]; every setter adjusts one field
+/// and [`LvpConfigBuilder::build`] returns the finished configuration.
+#[derive(Debug, Clone)]
+pub struct LvpConfigBuilder {
+    config: LvpConfig,
+}
 
-    /// The paper's *Limit* configuration: 4K entries with 16-deep history
-    /// and a hypothetical perfect selection mechanism.
-    pub fn limit() -> LvpConfig {
-        LvpConfig {
-            name: Cow::Borrowed("Limit"),
-            lvpt: LvptConfig {
-                entries: 4096,
-                history_depth: 16,
-                perfect_selection: true,
-            },
-            lct: LctConfig {
-                entries: 1024,
-                counter_bits: 2,
-            },
-            cvu: CvuConfig { entries: 128 },
-            perfect: false,
-        }
-    }
-
-    /// The paper's *Perfect* configuration: every load value predicted
-    /// correctly, no constant classification.
-    pub fn perfect() -> LvpConfig {
-        LvpConfig {
-            name: Cow::Borrowed("Perfect"),
-            lvpt: LvptConfig {
-                entries: 1,
-                history_depth: 1,
-                perfect_selection: false,
-            },
-            lct: LctConfig {
-                entries: 1,
-                counter_bits: 2,
-            },
-            cvu: CvuConfig { entries: 0 },
-            perfect: true,
-        }
-    }
-
-    /// Relabels the configuration (for generated sweep points, e.g.
-    /// `LvpConfig::simple().with_lvpt_entries(n).named(format!("{n}"))`).
+impl LvpConfigBuilder {
+    /// Relabels the configuration (e.g.
+    /// `presets::simple().builder().lvpt_entries(n).named(format!("{n}")).build()`).
     /// The label is display-only: caches and comparisons of predictor
     /// *behavior* key on the content fields.
-    pub fn named(mut self, name: impl Into<Cow<'static, str>>) -> LvpConfig {
-        self.name = name.into();
+    pub fn named(mut self, name: impl Into<Cow<'static, str>>) -> LvpConfigBuilder {
+        self.config.name = name.into();
         self
     }
 
-    /// Sets the LVPT entry count.
-    pub fn with_lvpt_entries(mut self, entries: usize) -> LvpConfig {
-        self.lvpt.entries = entries;
+    /// Selects the value-prediction backend.
+    pub fn kind(mut self, kind: PredictorKind) -> LvpConfigBuilder {
+        self.config.kind = kind;
+        self
+    }
+
+    /// Sets the LVPT entry count (the main-table size for every
+    /// backend).
+    pub fn lvpt_entries(mut self, entries: usize) -> LvpConfigBuilder {
+        self.config.lvpt.entries = entries;
         self
     }
 
     /// Sets the LVPT per-entry history depth.
-    pub fn with_history_depth(mut self, depth: usize) -> LvpConfig {
-        self.lvpt.history_depth = depth;
+    pub fn history_depth(mut self, depth: usize) -> LvpConfigBuilder {
+        self.config.lvpt.history_depth = depth;
         self
     }
 
     /// Enables/disables the hypothetical perfect history-selection
     /// mechanism (meaningful with `history_depth > 1`).
-    pub fn with_perfect_selection(mut self, on: bool) -> LvpConfig {
-        self.lvpt.perfect_selection = on;
+    pub fn perfect_selection(mut self, on: bool) -> LvpConfigBuilder {
+        self.config.lvpt.perfect_selection = on;
         self
     }
 
     /// Sets the LCT entry count.
-    pub fn with_lct_entries(mut self, entries: usize) -> LvpConfig {
-        self.lct.entries = entries;
+    pub fn lct_entries(mut self, entries: usize) -> LvpConfigBuilder {
+        self.config.lct.entries = entries;
         self
     }
 
     /// Sets the LCT saturating-counter width in bits.
-    pub fn with_lct_bits(mut self, bits: u8) -> LvpConfig {
-        self.lct.counter_bits = bits;
+    pub fn lct_bits(mut self, bits: u8) -> LvpConfigBuilder {
+        self.config.lct.counter_bits = bits;
         self
     }
 
     /// Sets the CVU entry count (0 disables the CVU).
-    pub fn with_cvu_entries(mut self, entries: usize) -> LvpConfig {
-        self.cvu.entries = entries;
+    pub fn cvu_entries(mut self, entries: usize) -> LvpConfigBuilder {
+        self.config.cvu.entries = entries;
         self
     }
 
-    /// The realistic configurations (buildable hardware).
-    pub fn realistic() -> [LvpConfig; 2] {
-        [LvpConfig::simple(), LvpConfig::constant()]
-    }
-
-    /// All four Table 2 configurations in paper order.
-    pub fn table2() -> [LvpConfig; 4] {
-        [
-            LvpConfig::simple(),
-            LvpConfig::constant(),
-            LvpConfig::limit(),
-            LvpConfig::perfect(),
-        ]
+    /// Finishes the build.
+    pub fn build(self) -> LvpConfig {
+        self.config
     }
 }
 
@@ -235,43 +174,34 @@ impl fmt::Display for LvpConfig {
             self.lct.entries,
             self.lct.counter_bits,
             self.cvu.entries
-        )
+        )?;
+        if self.kind != PredictorKind::LastValue {
+            write!(f, " [{}]", self.kind)?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table2_matches_paper() {
-        let [simple, constant, limit, perfect] = LvpConfig::table2();
-        assert_eq!((simple.lvpt.entries, simple.lvpt.history_depth), (1024, 1));
-        assert_eq!((simple.lct.entries, simple.lct.counter_bits), (256, 2));
-        assert_eq!(simple.cvu.entries, 32);
-
-        assert_eq!(constant.lct.counter_bits, 1);
-        assert_eq!(constant.cvu.entries, 128);
-
-        assert_eq!((limit.lvpt.entries, limit.lvpt.history_depth), (4096, 16));
-        assert!(limit.lvpt.perfect_selection);
-        assert_eq!((limit.lct.entries, limit.lct.counter_bits), (1024, 2));
-
-        assert!(perfect.perfect);
-        assert_eq!(perfect.cvu.entries, 0);
-    }
+    use crate::presets;
 
     #[test]
     fn builder_tweaks_one_field_at_a_time() {
-        let c = LvpConfig::simple()
-            .with_lvpt_entries(4096)
-            .with_history_depth(4)
-            .with_perfect_selection(true)
-            .with_lct_entries(512)
-            .with_lct_bits(1)
-            .with_cvu_entries(64)
-            .named("Custom");
+        let c = presets::simple()
+            .builder()
+            .kind(PredictorKind::Stride)
+            .lvpt_entries(4096)
+            .history_depth(4)
+            .perfect_selection(true)
+            .lct_entries(512)
+            .lct_bits(1)
+            .cvu_entries(64)
+            .named("Custom")
+            .build();
         assert_eq!(c.name, "Custom");
+        assert_eq!(c.kind, PredictorKind::Stride);
         assert_eq!(c.lvpt.entries, 4096);
         assert_eq!(c.lvpt.history_depth, 4);
         assert!(c.lvpt.perfect_selection);
@@ -283,17 +213,30 @@ mod tests {
 
     #[test]
     fn named_accepts_both_static_and_owned_labels() {
-        let s = LvpConfig::simple().named("static-label");
+        let s = presets::simple().builder().named("static-label").build();
         assert!(matches!(s.name, Cow::Borrowed(_)));
-        let o = LvpConfig::simple().named(format!("lvpt-{}", 256));
+        let o = presets::simple()
+            .builder()
+            .named(format!("lvpt-{}", 256))
+            .build();
         assert_eq!(o.name, "lvpt-256");
         assert!(matches!(o.name, Cow::Owned(_)));
     }
 
     #[test]
     fn display_is_informative() {
-        let s = LvpConfig::limit().to_string();
+        let s = presets::limit().to_string();
         assert!(s.contains("4096x16/perf"));
         assert!(s.contains("1024x2b"));
+        assert!(
+            !s.contains('['),
+            "default kind must not change the display: {s}"
+        );
+        let h = presets::simple()
+            .builder()
+            .kind(PredictorKind::Hybrid)
+            .build()
+            .to_string();
+        assert!(h.ends_with("[hybrid]"), "{h}");
     }
 }

@@ -2,6 +2,14 @@
 
 use crate::config::CvuConfig;
 
+/// Whether the byte ranges `[a, a + a_width)` and `[b, b + b_width)`
+/// intersect — the one overlap predicate behind every store lookup in
+/// the CVU.
+#[inline]
+fn ranges_overlap(a: u64, a_width: u8, b: u64, b_width: u8) -> bool {
+    a < b + b_width as u64 && b < a + a_width as u64
+}
+
 /// One fully-associative CVU entry: the data address (and width) of a
 /// constant load, concatenated with the LVPT index it certifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,26 +149,34 @@ impl Cvu {
     /// `width` bytes at `addr` (the fully-associative store lookup of
     /// Figure 3). Returns the number of entries removed.
     pub fn invalidate_store(&mut self, addr: u64, width: u8) -> usize {
-        let store_end = addr + width as u64;
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| !(addr < e.addr + e.width as u64 && e.addr < store_end));
-        let removed = before - self.entries.len();
-        self.invalidations += removed as u64;
-        removed
+        // No-op observer: this variant stays the allocation-free hot path.
+        self.invalidate_overlapping(addr, width, |_| {})
     }
 
     /// Like [`Cvu::invalidate_store`], but returns the removed entries so
     /// callers (the cross-check event log) can identify exactly which
-    /// certifications a store destroyed. The plain counter-only variant
-    /// stays the allocation-free hot path.
+    /// certifications a store destroyed.
     pub fn invalidate_store_victims(&mut self, addr: u64, width: u8) -> Vec<CvuVictim> {
-        let store_end = addr + width as u64;
         let mut victims = Vec::new();
+        self.invalidate_overlapping(addr, width, |v| victims.push(v));
+        victims
+    }
+
+    /// The one store-invalidation routine: removes every entry
+    /// overlapping the store per [`ranges_overlap`], reporting each
+    /// victim to `on_victim` and counting the removals. Both public
+    /// store-lookup variants are thin wrappers over this.
+    fn invalidate_overlapping(
+        &mut self,
+        addr: u64,
+        width: u8,
+        mut on_victim: impl FnMut(CvuVictim),
+    ) -> usize {
+        let before = self.entries.len();
         self.entries.retain(|e| {
-            let hit = addr < e.addr + e.width as u64 && e.addr < store_end;
+            let hit = ranges_overlap(addr, width, e.addr, e.width);
             if hit {
-                victims.push(CvuVictim {
+                on_victim(CvuVictim {
                     lvpt_index: e.lvpt_index,
                     addr: e.addr,
                     width: e.width,
@@ -168,8 +184,9 @@ impl Cvu {
             }
             !hit
         });
-        self.invalidations += victims.len() as u64;
-        victims
+        let removed = before - self.entries.len();
+        self.invalidations += removed as u64;
+        removed
     }
 
     /// Invalidates every entry certifying `lvpt_index`; called when the
@@ -184,10 +201,9 @@ impl Cvu {
     /// Whether any entry certifies an address overlapping `[addr,
     /// addr+width)` — test/diagnostic helper.
     pub fn covers(&self, addr: u64, width: u8) -> bool {
-        let end = addr + width as u64;
         self.entries
             .iter()
-            .any(|e| addr < e.addr + e.width as u64 && e.addr < end)
+            .any(|e| ranges_overlap(addr, width, e.addr, e.width))
     }
 }
 
@@ -197,6 +213,23 @@ mod tests {
 
     fn cvu(n: usize) -> Cvu {
         Cvu::new(CvuConfig { entries: n })
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        // Identical ranges.
+        assert!(ranges_overlap(0x1000, 8, 0x1000, 8));
+        // Store strictly inside the entry and vice versa.
+        assert!(ranges_overlap(0x1003, 1, 0x1000, 8));
+        assert!(ranges_overlap(0x1000, 8, 0x1003, 1));
+        // Straddling either edge.
+        assert!(ranges_overlap(0x0ffc, 8, 0x1000, 8));
+        assert!(ranges_overlap(0x1004, 8, 0x1000, 8));
+        // Exactly adjacent on both sides: no overlap (half-open ranges).
+        assert!(!ranges_overlap(0x0ff8, 8, 0x1000, 8));
+        assert!(!ranges_overlap(0x1008, 8, 0x1000, 8));
+        // Disjoint.
+        assert!(!ranges_overlap(0x2000, 8, 0x1000, 8));
     }
 
     #[test]

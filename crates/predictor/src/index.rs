@@ -1,0 +1,81 @@
+//! Shared table-indexing and hashing helpers.
+//!
+//! Every table in the predictor zoo — the LVPT, the LCT, the stride and
+//! context tables, the store-to-load table — indexes with the same two
+//! primitives so that "N entries" means the same thing across backends
+//! and table-geometry sweeps compare like with like:
+//!
+//! * [`word_index`] — word-granular PC indexing (instructions are 4
+//!   bytes, so the low two PC bits carry no information);
+//! * [`fnv1a`] — the 64-bit FNV-1a fold used wherever more than one
+//!   word must be mixed into an index (value contexts, addresses).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The mask for a direct-mapped table of `entries` slots.
+///
+/// # Panics
+///
+/// Panics if `entries` is not a power of two.
+#[inline]
+pub(crate) fn table_mask(entries: usize) -> usize {
+    assert!(
+        entries.is_power_of_two(),
+        "entry count must be a power of two"
+    );
+    entries - 1
+}
+
+/// Word-granular, untagged direct-mapped index for an instruction at
+/// `pc` into a table with index mask `mask`.
+#[inline]
+pub(crate) fn word_index(pc: u64, mask: usize) -> usize {
+    ((pc >> 2) as usize) & mask
+}
+
+/// 64-bit FNV-1a over a sequence of words.
+#[inline]
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_index_ignores_byte_offset_bits() {
+        let mask = table_mask(16);
+        assert_eq!(word_index(0x1000, mask), word_index(0x1002, mask));
+        assert_ne!(word_index(0x1000, mask), word_index(0x1004, mask));
+    }
+
+    #[test]
+    fn word_index_wraps_at_table_size() {
+        let mask = table_mask(16);
+        assert_eq!(word_index(0x1000, mask), word_index(0x1000 + 16 * 4, mask));
+    }
+
+    #[test]
+    fn fnv1a_is_order_sensitive() {
+        assert_ne!(fnv1a(&[1, 2]), fnv1a(&[2, 1]));
+        assert_ne!(fnv1a(&[0]), fnv1a(&[]));
+        // Word-folded FNV-1a (not byte-folded); pin the empty hash so
+        // table indices stay stable across refactors.
+        assert_eq!(fnv1a(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn table_mask_rejects_non_power_of_two() {
+        let _ = table_mask(12);
+    }
+}

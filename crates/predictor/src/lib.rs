@@ -14,21 +14,27 @@
 //!   coherent with memory, letting constant loads skip the cache entirely;
 //! * [`LvpUnit`] — the composed unit (Section 3.4, Figure 3) that
 //!   annotates traces with per-load [`lvp_trace::PredOutcome`]s;
-//! * [`LvpConfig`] — the paper's Table 2 configurations
-//!   (Simple/Constant/Limit/Perfect);
+//! * [`LvpConfig`] / [`presets`] — the paper's Table 2 configurations
+//!   (Simple/Constant/Limit/Perfect) and the one typed builder for
+//!   derived sweep points;
+//! * [`Backend`] / [`PredictorKind`] — the predictor zoo (paper
+//!   Section 6 future work): per-PC two-delta stride, order-4
+//!   finite-context-method, store-to-load forwarding, and a
+//!   confidence-arbitrated hybrid, all behind enum dispatch in the
+//!   unit's hot path;
 //! * [`LocalityMeter`] — the Figures 1 and 2 measurement: value locality
 //!   at history depths 1 and 16, overall and by value class;
-//! * [`ValuePredictor`], [`StridePredictor`] — the future-work extension
-//!   (computed stride prediction) used by the ablation benches.
+//! * [`ValuePredictor`], [`StridePredictor`] — the lightweight
+//!   trace-replay predictors used by the ablation benches.
 //!
 //! # Examples
 //!
 //! ```
-//! use lvp_predictor::{LvpConfig, LvpUnit};
+//! use lvp_predictor::{presets, LvpUnit};
 //! use lvp_trace::PredOutcome;
 //!
 //! // A load that alternates between two addresses of a lookup table.
-//! let mut unit = LvpUnit::new(LvpConfig::simple());
+//! let mut unit = LvpUnit::new(presets::simple());
 //! for _ in 0..4 {
 //!     unit.on_load(0x10040, 0x20_0000, 8, 0xdead);
 //! }
@@ -37,22 +43,28 @@
 //! ```
 
 mod analysis;
+mod backends;
 mod config;
 mod context;
 mod cvu;
+mod index;
 mod lct;
 mod locality;
 mod lvpt;
+mod predictor;
+pub mod presets;
 mod stride;
 mod unit;
 
 pub use analysis::{LoadProfiler, StaticLoadStats};
-pub use config::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
+pub use backends::{ContextBackend, HybridBackend, StoreToLoadBackend, TwoDeltaStrideBackend};
+pub use config::{CvuConfig, LctConfig, LvpConfig, LvpConfigBuilder, LvptConfig};
 pub use context::{BhrIndexedPredictor, FcmPredictor};
 pub use cvu::{Cvu, CvuVictim};
 pub use lct::{Lct, LoadClass};
 pub use locality::{AddressRanges, LocalityMeter, ValueClass};
 pub use lvpt::Lvpt;
+pub use predictor::{Backend, PredictorKind, UnknownPredictorKind};
 pub use stride::{
     evaluate_predictor, evaluate_predictor_by_pc, LastValuePredictor, PredEval, StridePredictor,
     ValuePredictor,

@@ -1,6 +1,7 @@
 //! The Load Value Prediction Table (paper Section 3.1).
 
 use crate::config::LvptConfig;
+use crate::index::{table_mask, word_index};
 
 /// One direct-mapped LVPT entry: up to `history_depth` previously-seen
 /// values in LRU order (front = most recent).
@@ -40,17 +41,13 @@ impl Lvpt {
     /// Panics if `entries` is not a power of two or `history_depth` is 0.
     pub fn new(config: LvptConfig) -> Lvpt {
         assert!(
-            config.entries.is_power_of_two(),
-            "LVPT entry count must be a power of two"
-        );
-        assert!(
             config.history_depth > 0,
             "LVPT history depth must be at least 1"
         );
         Lvpt {
             config,
             entries: vec![LvptEntry::default(); config.entries],
-            mask: config.entries - 1,
+            mask: table_mask(config.entries),
         }
     }
 
@@ -59,10 +56,11 @@ impl Lvpt {
         &self.config
     }
 
-    /// The table index for a load at `pc` (word-indexed, untagged).
+    /// The table index for a load at `pc` (word-indexed, untagged; the
+    /// shared [`crate::index::word_index`] every zoo table uses).
     #[inline]
     pub fn index(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) & self.mask
+        word_index(pc, self.mask)
     }
 
     /// The most recently stored value for `pc`'s entry, if any — the value

@@ -1,0 +1,144 @@
+//! The paper's named configurations (Table 2).
+//!
+//! | Config   | LVPT            | LCT        | CVU |
+//! |----------|-----------------|------------|-----|
+//! | Simple   | 1024 × depth 1  | 256 × 2bit | 32  |
+//! | Constant | 1024 × depth 1  | 256 × 1bit | 128 |
+//! | Limit    | 4096 × 16/perf  | 1024 × 2bit| 128 |
+//! | Perfect  | ∞ / perfect     | —          | 0   |
+//!
+//! Every preset selects the paper's last-value backend
+//! ([`PredictorKind::LastValue`]); other members of the predictor zoo
+//! are reached through the builder:
+//!
+//! ```
+//! use lvp_predictor::{presets, PredictorKind};
+//! let simple = presets::simple();
+//! assert_eq!(simple.lvpt.entries, 1024);
+//! let stride = presets::simple().builder().kind(PredictorKind::Stride).build();
+//! assert_eq!(stride.kind, PredictorKind::Stride);
+//! ```
+
+use crate::config::{CvuConfig, LctConfig, LvpConfig, LvptConfig};
+use crate::predictor::PredictorKind;
+use std::borrow::Cow;
+
+/// The paper's *Simple* configuration: buildable within one or two
+/// processor generations.
+pub fn simple() -> LvpConfig {
+    LvpConfig {
+        name: Cow::Borrowed("Simple"),
+        kind: PredictorKind::LastValue,
+        lvpt: LvptConfig {
+            entries: 1024,
+            history_depth: 1,
+            perfect_selection: false,
+        },
+        lct: LctConfig {
+            entries: 256,
+            counter_bits: 2,
+        },
+        cvu: CvuConfig { entries: 32 },
+        perfect: false,
+    }
+}
+
+/// The paper's *Constant* configuration: a 1-bit LCT biased toward
+/// constant identification, with a larger CVU.
+pub fn constant() -> LvpConfig {
+    LvpConfig {
+        name: Cow::Borrowed("Constant"),
+        kind: PredictorKind::LastValue,
+        lvpt: LvptConfig {
+            entries: 1024,
+            history_depth: 1,
+            perfect_selection: false,
+        },
+        lct: LctConfig {
+            entries: 256,
+            counter_bits: 1,
+        },
+        cvu: CvuConfig { entries: 128 },
+        perfect: false,
+    }
+}
+
+/// The paper's *Limit* configuration: 4K entries with 16-deep history
+/// and a hypothetical perfect selection mechanism.
+pub fn limit() -> LvpConfig {
+    LvpConfig {
+        name: Cow::Borrowed("Limit"),
+        kind: PredictorKind::LastValue,
+        lvpt: LvptConfig {
+            entries: 4096,
+            history_depth: 16,
+            perfect_selection: true,
+        },
+        lct: LctConfig {
+            entries: 1024,
+            counter_bits: 2,
+        },
+        cvu: CvuConfig { entries: 128 },
+        perfect: false,
+    }
+}
+
+/// The paper's *Perfect* configuration: every load value predicted
+/// correctly, no constant classification.
+pub fn perfect() -> LvpConfig {
+    LvpConfig {
+        name: Cow::Borrowed("Perfect"),
+        kind: PredictorKind::LastValue,
+        lvpt: LvptConfig {
+            entries: 1,
+            history_depth: 1,
+            perfect_selection: false,
+        },
+        lct: LctConfig {
+            entries: 1,
+            counter_bits: 2,
+        },
+        cvu: CvuConfig { entries: 0 },
+        perfect: true,
+    }
+}
+
+/// The realistic configurations (buildable hardware).
+pub fn realistic() -> [LvpConfig; 2] {
+    [simple(), constant()]
+}
+
+/// All four Table 2 configurations in paper order.
+pub fn table2() -> [LvpConfig; 4] {
+    [simple(), constant(), limit(), perfect()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let [simple, constant, limit, perfect] = table2();
+        assert_eq!((simple.lvpt.entries, simple.lvpt.history_depth), (1024, 1));
+        assert_eq!((simple.lct.entries, simple.lct.counter_bits), (256, 2));
+        assert_eq!(simple.cvu.entries, 32);
+
+        assert_eq!(constant.lct.counter_bits, 1);
+        assert_eq!(constant.cvu.entries, 128);
+
+        assert_eq!((limit.lvpt.entries, limit.lvpt.history_depth), (4096, 16));
+        assert!(limit.lvpt.perfect_selection);
+        assert_eq!((limit.lct.entries, limit.lct.counter_bits), (1024, 2));
+
+        assert!(perfect.perfect);
+        assert_eq!(perfect.cvu.entries, 0);
+    }
+
+    #[test]
+    fn every_preset_uses_the_default_backend() {
+        for c in table2() {
+            assert_eq!(c.kind, PredictorKind::LastValue, "{}", c.name);
+        }
+    }
+}

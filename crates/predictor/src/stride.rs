@@ -3,6 +3,7 @@
 //! like value stride detection").
 
 use crate::config::LvptConfig;
+use crate::index::{table_mask, word_index};
 use crate::lvpt::Lvpt;
 use lvp_trace::Trace;
 
@@ -80,19 +81,15 @@ impl StridePredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> StridePredictor {
-        assert!(
-            entries.is_power_of_two(),
-            "entry count must be a power of two"
-        );
         StridePredictor {
             entries: vec![StrideEntry::default(); entries],
-            mask: entries - 1,
+            mask: table_mask(entries),
         }
     }
 
     #[inline]
     fn index(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) & self.mask
+        word_index(pc, self.mask)
     }
 }
 

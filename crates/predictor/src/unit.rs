@@ -3,7 +3,7 @@
 use crate::config::LvpConfig;
 use crate::cvu::Cvu;
 use crate::lct::{Lct, LoadClass};
-use crate::lvpt::Lvpt;
+use crate::predictor::Backend;
 use lvp_trace::{PredOutcome, Trace};
 use std::collections::BTreeMap;
 
@@ -161,9 +161,11 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// The LVP unit: an [`Lvpt`] to produce value predictions, an [`Lct`] to
-/// decide which loads to predict, and a [`Cvu`] to verify constant loads
-/// without accessing the memory hierarchy.
+/// The LVP unit: a value-prediction [`Backend`] (the paper's [`crate::Lvpt`]
+/// by default, or any other member of the predictor zoo selected by
+/// [`LvpConfig::kind`]), an [`Lct`] to decide which loads to predict, and
+/// a [`Cvu`] to verify constant loads without accessing the memory
+/// hierarchy.
 ///
 /// Drive it with [`LvpUnit::on_load`] / [`LvpUnit::on_store`] in program
 /// order, or annotate a whole trace at once with
@@ -174,10 +176,10 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use lvp_predictor::{LvpConfig, LvpUnit};
+/// use lvp_predictor::{presets, LvpUnit};
 /// use lvp_trace::PredOutcome;
 ///
-/// let mut unit = LvpUnit::new(LvpConfig::simple());
+/// let mut unit = LvpUnit::new(presets::simple());
 /// let pc = 0x10000;
 /// let addr = 0x10_0000;
 /// // A load that always sees 7 warms up from not-predicted to constant.
@@ -188,13 +190,13 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// assert_eq!(last, PredOutcome::Constant);
 /// // A store to the same address forces the next one back to the memory
 /// // hierarchy (CVU miss), though the prediction is still correct.
-/// unit.on_store(addr, 8);
+/// unit.on_store(addr, 8, 7);
 /// assert_eq!(unit.on_load(pc, addr, 8, 7), PredOutcome::Correct);
 /// ```
 #[derive(Debug, Clone)]
 pub struct LvpUnit {
     config: LvpConfig,
-    lvpt: Lvpt,
+    backend: Backend,
     lct: Lct,
     cvu: Cvu,
     stats: LvpStats,
@@ -205,7 +207,7 @@ impl LvpUnit {
     /// Creates an LVP unit in its cold state.
     pub fn new(config: LvpConfig) -> LvpUnit {
         LvpUnit {
-            lvpt: Lvpt::new(config.lvpt),
+            backend: Backend::new(&config),
             lct: Lct::new(config.lct),
             cvu: Cvu::new(config.cvu),
             stats: LvpStats::default(),
@@ -236,9 +238,9 @@ impl LvpUnit {
         &self.config
     }
 
-    /// The value table.
-    pub fn lvpt(&self) -> &Lvpt {
-        &self.lvpt
+    /// The value-prediction backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     /// The classification table.
@@ -273,8 +275,8 @@ impl LvpUnit {
             return PredOutcome::Correct;
         }
 
-        let idx = self.lvpt.index(pc);
-        let would_be_correct = self.lvpt.would_predict_correctly(pc, value);
+        let idx = self.backend.index(pc, addr);
+        let would_be_correct = self.backend.would_predict_correctly(pc, addr, value);
         let class = self.lct.classify(pc);
 
         // Table 3 bookkeeping: how well does the LCT track ground truth?
@@ -338,25 +340,28 @@ impl LvpUnit {
             }
         };
 
-        // Train: the LCT learns from this verification; the LVPT records
-        // the actual value. If the LVPT front value was displaced, any CVU
-        // entries certifying this index are stale.
+        // Train: the LCT learns from this verification; the backend
+        // records the actual value. If the backend's prediction for this
+        // slot was displaced, any CVU entries certifying the slot are
+        // stale.
         self.lct.update(pc, would_be_correct);
-        if self.lvpt.update(pc, value) {
+        if self.backend.train(pc, addr, value) {
             self.cvu.invalidate_index(idx);
         }
         outcome
     }
 
     /// Processes one dynamic store: invalidate all matching CVU entries
-    /// (the fully-associative store lookup of the paper's Figure 3).
-    pub fn on_store(&mut self, addr: u64, width: u8) {
-        self.on_store_at(0, addr, width);
+    /// (the fully-associative store lookup of the paper's Figure 3) and
+    /// feed the store to the backend (only the store-to-load backend
+    /// learns from it).
+    pub fn on_store(&mut self, addr: u64, width: u8, value: u64) {
+        self.on_store_at(0, addr, width, value);
     }
 
     /// Like [`LvpUnit::on_store`], with the store's pc for event
     /// attribution (used by [`LvpUnit::annotate`] and the cross-check).
-    pub fn on_store_at(&mut self, store_pc: u64, addr: u64, width: u8) {
+    pub fn on_store_at(&mut self, store_pc: u64, addr: u64, width: u8, value: u64) {
         self.stats.stores += 1;
         match &mut self.events {
             Some(log) => {
@@ -376,6 +381,12 @@ impl LvpUnit {
             None => {
                 self.cvu.invalidate_store(addr, width);
             }
+        }
+        // An aliasing store can change a slot's prediction without its
+        // byte range overlapping the certified address; drop any
+        // certifications for that slot too.
+        if let Some(idx) = self.backend.on_store(addr, width, value) {
+            self.cvu.invalidate_index(idx);
         }
     }
 
@@ -411,7 +422,7 @@ impl LvpUnit {
                 if entry.is_load() {
                     outcomes.push(self.on_load(entry.pc, mem.addr, mem.width, mem.value));
                 } else {
-                    self.on_store_at(entry.pc, mem.addr, mem.width);
+                    self.on_store_at(entry.pc, mem.addr, mem.width, mem.value);
                 }
             }
         }
@@ -421,6 +432,7 @@ impl LvpUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::presets;
     use lvp_trace::{MemAccess, OpKind, TraceEntry};
 
     const PC: u64 = 0x10000;
@@ -428,7 +440,7 @@ mod tests {
 
     #[test]
     fn warmup_sequence_simple_config() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         // Cold: no history, wrong "prediction", counter stays 0.
         assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::NotPredicted);
         // History now correct; counter walks 0 -> 1 -> 2.
@@ -445,12 +457,12 @@ mod tests {
 
     #[test]
     fn store_breaks_constant_certification() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         for _ in 0..6 {
             u.on_load(PC, ADDR, 8, 7);
         }
         assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
-        u.on_store(ADDR, 8);
+        u.on_store(ADDR, 8, 7);
         // CVU entry gone: falls back to memory verification.
         assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Correct);
         // Certification re-established.
@@ -459,11 +471,11 @@ mod tests {
 
     #[test]
     fn store_changing_value_causes_misprediction() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         for _ in 0..6 {
             u.on_load(PC, ADDR, 8, 7);
         }
-        u.on_store(ADDR, 8);
+        u.on_store(ADDR, 8, 99);
         // The stored value actually changed: the stale prediction is wrong,
         // and the CVU must NOT have certified it.
         assert_eq!(u.on_load(PC, ADDR, 8, 99), PredOutcome::Incorrect);
@@ -471,7 +483,7 @@ mod tests {
 
     #[test]
     fn alternating_values_stay_unpredicted() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         let mut outcomes = Vec::new();
         for i in 0..20 {
             outcomes.push(u.on_load(PC, ADDR, 8, i % 2));
@@ -489,7 +501,7 @@ mod tests {
 
     #[test]
     fn limit_config_catches_alternating_values() {
-        let mut u = LvpUnit::new(LvpConfig::limit());
+        let mut u = LvpUnit::new(presets::limit());
         let mut last = PredOutcome::NotPredicted;
         for i in 0..20 {
             last = u.on_load(PC, ADDR, 8, i % 2);
@@ -504,7 +516,7 @@ mod tests {
 
     #[test]
     fn perfect_config_is_oracle() {
-        let mut u = LvpUnit::new(LvpConfig::perfect());
+        let mut u = LvpUnit::new(presets::perfect());
         for i in 0..50 {
             assert_eq!(u.on_load(PC, ADDR, 8, i * 1234567), PredOutcome::Correct);
         }
@@ -514,12 +526,12 @@ mod tests {
 
     #[test]
     fn cvu_respects_partial_overlap_stores() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         for _ in 0..6 {
             u.on_load(PC, ADDR, 8, 7);
         }
         // A byte store into the middle of the certified doubleword.
-        u.on_store(ADDR + 3, 1);
+        u.on_store(ADDR + 3, 1, 0);
         assert_eq!(
             u.on_load(PC, ADDR, 8, 7),
             PredOutcome::Correct,
@@ -553,13 +565,13 @@ mod tests {
             });
             t.push(e);
         }
-        let mut u1 = LvpUnit::new(LvpConfig::simple());
+        let mut u1 = LvpUnit::new(presets::simple());
         let annotated = u1.annotate(&t);
-        let mut u2 = LvpUnit::new(LvpConfig::simple());
+        let mut u2 = LvpUnit::new(presets::simple());
         let manual: Vec<_> = (0..10u64)
             .map(|i| {
                 if i == 5 {
-                    u2.on_store(ADDR, 8);
+                    u2.on_store(ADDR, 8, value_at(i));
                 }
                 u2.on_load(PC, ADDR, 8, value_at(i))
             })
@@ -570,22 +582,22 @@ mod tests {
 
     #[test]
     fn stats_count_loads_and_stores() {
-        let mut u = LvpUnit::new(LvpConfig::simple());
+        let mut u = LvpUnit::new(presets::simple());
         u.on_load(PC, ADDR, 8, 1);
-        u.on_store(ADDR, 8);
-        u.on_store(ADDR + 8, 8);
+        u.on_store(ADDR, 8, 1);
+        u.on_store(ADDR + 8, 8, 2);
         assert_eq!(u.stats().loads, 1);
         assert_eq!(u.stats().stores, 2);
     }
 
     #[test]
     fn event_log_records_invalidations_and_verifications() {
-        let mut u = LvpUnit::new(LvpConfig::simple()).with_event_log(CvuEventLog::all());
+        let mut u = LvpUnit::new(presets::simple()).with_event_log(CvuEventLog::all());
         for _ in 0..6 {
             u.on_load(PC, ADDR, 8, 7);
         }
         assert_eq!(u.on_load(PC, ADDR, 8, 7), PredOutcome::Constant);
-        u.on_store_at(0x20000, ADDR + 4, 4);
+        u.on_store_at(0x20000, ADDR + 4, 4, 0);
         let log = u.events().unwrap();
         assert_eq!(log.invalidations.len(), 1);
         let inv = log.invalidations[0];
@@ -602,11 +614,11 @@ mod tests {
 
     #[test]
     fn event_log_records_constant_mispredicts() {
-        let mut u = LvpUnit::new(LvpConfig::simple()).with_event_log(CvuEventLog::all());
+        let mut u = LvpUnit::new(presets::simple()).with_event_log(CvuEventLog::all());
         for _ in 0..6 {
             u.on_load(PC, ADDR, 8, 7);
         }
-        u.on_store(ADDR, 8);
+        u.on_store(ADDR, 8, 99);
         assert_eq!(u.on_load(PC, ADDR, 8, 99), PredOutcome::Incorrect);
         let log = u.take_events().unwrap();
         assert_eq!(log.constant_mispredicts.len(), 1);
@@ -618,15 +630,15 @@ mod tests {
     #[test]
     fn watched_log_filters_unrelated_addresses() {
         let other = ADDR + 0x100;
-        let mut u = LvpUnit::new(LvpConfig::simple())
-            .with_event_log(CvuEventLog::watching(vec![(ADDR, 8)]));
+        let mut u =
+            LvpUnit::new(presets::simple()).with_event_log(CvuEventLog::watching(vec![(ADDR, 8)]));
         for _ in 0..7 {
             u.on_load(PC, ADDR, 8, 7);
             u.on_load(PC + 4, other, 8, 9);
         }
         // Both pcs reach Constant/CVU-verified; only the watched one logs.
-        u.on_store_at(0x20000, ADDR, 8);
-        u.on_store_at(0x20004, other, 8);
+        u.on_store_at(0x20000, ADDR, 8, 7);
+        u.on_store_at(0x20004, other, 8, 9);
         let log = u.events().unwrap();
         assert!(log.verifications.contains_key(&PC));
         assert!(!log.verifications.contains_key(&(PC + 4)));

@@ -1,0 +1,169 @@
+//! Per-backend golden tests on canned load traces, plus the
+//! hybrid-vs-components differential.
+//!
+//! Each canned trace is a family of loads the predictor zoo divides
+//! cleanly: run-time constants (last-value territory), affine strides
+//! (two-delta territory), a stride that changes phase mid-trace, and a
+//! pointer chase around a small ring (context territory). The golden
+//! assertions pin *which* backend owns each family; the differential
+//! asserts the hybrid's arbitration never loses to its best component
+//! once the per-pc confidences are saturated.
+
+use lvp_predictor::{presets, Backend, PredictorKind};
+
+/// One canned load: `(pc, addr, value)`.
+type Load = (u64, u64, u64);
+
+/// A single static load pc re-executing `n` times with a constant value.
+fn constant_trace(n: usize) -> Vec<Load> {
+    (0..n).map(|_| (0x1000, 0x8000, 42)).collect()
+}
+
+/// A single pc walking an affine sequence `100 + 8i`.
+fn strided_trace(n: usize) -> Vec<Load> {
+    (0..n)
+        .map(|i| (0x2000, 0x9000 + 8 * i as u64, 100 + 8 * i as u64))
+        .collect()
+}
+
+/// Stride +8 for the first half, stride -4 for the second: the
+/// two-delta filter must survive the phase change and relearn.
+fn phase_change_trace(n: usize) -> Vec<Load> {
+    let half = n / 2;
+    let mut out: Vec<Load> = (0..half)
+        .map(|i| (0x3000, 0xa000, 100 + 8 * i as u64))
+        .collect();
+    let last = out.last().map_or(100, |l| l.2);
+    out.extend((1..=n - half).map(|i| (0x3000, 0xa000, last - 4 * i as u64)));
+    out
+}
+
+/// A pointer chase around a 4-node ring: the value sequence is periodic
+/// with period 4, which only the order-4 context backend can learn. The
+/// nodes are scattered (no two hops share a delta), so no affine model
+/// fits.
+fn pointer_chase_trace(n: usize) -> Vec<Load> {
+    let ring = [0xdead_0000u64, 0xbeef_1040, 0x1eaf_2080, 0xf00d_30c0];
+    (0..n)
+        .map(|i| (0x4000, ring[i % 4], ring[(i + 1) % 4]))
+        .collect()
+}
+
+/// Replays `loads` through one backend (predict-then-train) and returns
+/// the correct-prediction count over `window` (the tail of the trace).
+fn correct_in_tail(kind: PredictorKind, loads: &[Load], window: usize) -> usize {
+    let config = presets::simple().builder().kind(kind).build();
+    let mut backend = Backend::new(&config);
+    let start = loads.len().saturating_sub(window);
+    let mut correct = 0;
+    for (i, &(pc, addr, value)) in loads.iter().enumerate() {
+        if backend.predict(pc, addr) == Some(value) && i >= start {
+            correct += 1;
+        }
+        backend.train(pc, addr, value);
+    }
+    correct
+}
+
+/// Correct-rate over the whole trace.
+fn hit_rate(kind: PredictorKind, loads: &[Load]) -> f64 {
+    correct_in_tail(kind, loads, loads.len()) as f64 / loads.len() as f64
+}
+
+#[test]
+fn constant_trace_is_owned_by_last_value() {
+    let t = constant_trace(200);
+    assert!(hit_rate(PredictorKind::LastValue, &t) > 0.99);
+    // A constant is a zero stride and a repeating context: everyone
+    // but the store-starved forwarder gets it after warm-up.
+    assert!(hit_rate(PredictorKind::Stride, &t) > 0.95);
+    assert!(hit_rate(PredictorKind::Context, &t) > 0.9);
+    assert!(hit_rate(PredictorKind::Hybrid, &t) > 0.95);
+    // No store ever fed the forwarder, so it must stay silent.
+    assert_eq!(correct_in_tail(PredictorKind::StoreToLoad, &t, 200), 0);
+}
+
+#[test]
+fn strided_trace_is_owned_by_stride() {
+    let t = strided_trace(200);
+    assert!(hit_rate(PredictorKind::Stride, &t) > 0.95);
+    // Last value never repeats, so the paper's baseline scores zero.
+    assert_eq!(correct_in_tail(PredictorKind::LastValue, &t, 200), 0);
+    // Every context is novel; the FCM cannot help either.
+    assert!(hit_rate(PredictorKind::Context, &t) < 0.05);
+    // The hybrid must route the pc to its stride component.
+    assert!(hit_rate(PredictorKind::Hybrid, &t) > 0.9);
+}
+
+#[test]
+fn phase_change_relearns_the_new_stride() {
+    let t = phase_change_trace(400);
+    // Perfect would be ~396/400; the two-delta filter loses only a
+    // handful of loads at the phase boundary.
+    assert!(hit_rate(PredictorKind::Stride, &t) > 0.95);
+    // The second phase alone must also be near-perfect (no lasting
+    // damage from the change).
+    assert!(correct_in_tail(PredictorKind::Stride, &t, 100) >= 98);
+    assert!(hit_rate(PredictorKind::Hybrid, &t) > 0.9);
+}
+
+#[test]
+fn pointer_chase_is_owned_by_context() {
+    let t = pointer_chase_trace(200);
+    assert!(hit_rate(PredictorKind::Context, &t) > 0.9);
+    // The ring addresses are not affine, so the stride backend fails;
+    // a period-4 sequence never repeats its last value either.
+    assert!(hit_rate(PredictorKind::Stride, &t) < 0.05);
+    assert_eq!(correct_in_tail(PredictorKind::LastValue, &t, 200), 0);
+    assert!(hit_rate(PredictorKind::Hybrid, &t) > 0.85);
+}
+
+#[test]
+fn store_fed_loads_are_owned_by_the_forwarder() {
+    // Alternate stores and loads to the same address with a fresh value
+    // each round: only the store-to-load backend can predict these.
+    let config = presets::simple()
+        .builder()
+        .kind(PredictorKind::StoreToLoad)
+        .build();
+    let mut backend = Backend::new(&config);
+    let mut correct = 0;
+    for i in 0..100u64 {
+        backend.on_store(0xb000, 8, 7000 + i);
+        if backend.predict(0x5000, 0xb000) == Some(7000 + i) {
+            correct += 1;
+        }
+        backend.train(0x5000, 0xb000, 7000 + i);
+    }
+    assert_eq!(correct, 100, "every store-fed load must be forwarded");
+}
+
+/// The differential: once the hybrid's per-pc confidences are
+/// saturated, its tail score must be at least its best component's tail
+/// score on every stationary canned trace.
+#[test]
+fn hybrid_matches_its_best_component_when_saturated() {
+    // 200 warm-up loads saturate a 4-bit confidence many times over;
+    // score only the last 100.
+    let traces = [
+        ("constant", constant_trace(300)),
+        ("strided", strided_trace(300)),
+        ("pointer-chase", pointer_chase_trace(300)),
+    ];
+    for (name, t) in &traces {
+        let best = [
+            PredictorKind::LastValue,
+            PredictorKind::Stride,
+            PredictorKind::Context,
+        ]
+        .map(|k| correct_in_tail(k, t, 100))
+        .into_iter()
+        .max()
+        .unwrap();
+        let hybrid = correct_in_tail(PredictorKind::Hybrid, t, 100);
+        assert!(
+            hybrid >= best,
+            "{name}: hybrid scored {hybrid} in the tail, best component {best}"
+        );
+    }
+}

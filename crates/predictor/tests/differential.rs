@@ -11,7 +11,7 @@
 //! LVPT or LCT slot with another load PC in the trace: divergences are
 //! counted and each one must be explainable by aliasing, never silent.
 
-use lvp_predictor::{LvpConfig, LvpUnit};
+use lvp_predictor::{presets, LvpConfig, LvpUnit};
 use lvp_trace::{MemAccess, OpKind, PredOutcome, RegRef, TraceEntry};
 use std::collections::HashMap;
 
@@ -193,10 +193,12 @@ fn load_pcs(entries: &[TraceEntry]) -> Vec<u64> {
 fn unit_matches_reference_when_tables_are_alias_free() {
     // 200 static loads; 4096-entry tables make (pc >> 2) & mask injective
     // over them, and a 4096-entry CVU never evicts.
-    let config = LvpConfig::simple()
-        .with_lvpt_entries(4096)
-        .with_lct_entries(4096)
-        .with_cvu_entries(1 << 16);
+    let config = presets::simple()
+        .builder()
+        .lvpt_entries(4096)
+        .lct_entries(4096)
+        .cvu_entries(1 << 16)
+        .build();
     for seed in [1u64, 42, 0xDEAD_BEEF] {
         let trace = random_trace(seed, 50_000, 200);
         let mut unit = LvpUnit::new(config.clone());
@@ -219,10 +221,12 @@ fn unit_matches_reference_when_tables_are_alias_free() {
 #[test]
 fn divergences_under_small_tables_are_aliasing_only() {
     // 600 static loads into 256-entry tables: aliasing is guaranteed.
-    let config = LvpConfig::simple()
-        .with_lvpt_entries(256)
-        .with_lct_entries(256)
-        .with_cvu_entries(1 << 16);
+    let config = presets::simple()
+        .builder()
+        .lvpt_entries(256)
+        .lct_entries(256)
+        .cvu_entries(1 << 16)
+        .build();
     let mut total_divergences = 0u64;
     for seed in [7u64, 1234, 0xFEED] {
         let trace = random_trace(seed, 50_000, 600);
@@ -236,12 +240,14 @@ fn divergences_under_small_tables_are_aliasing_only() {
         let pcs = load_pcs(&trace);
         let mut index_sharers: HashMap<usize, Vec<u64>> = HashMap::new();
         for &pc in &pcs {
-            let slot = index_sharers.entry(unit.lvpt().index(pc)).or_default();
+            let slot = index_sharers
+                .entry(unit.backend().index(pc, 0))
+                .or_default();
             if !slot.contains(&pc) {
                 slot.push(pc);
             }
         }
-        let aliased = |pc: u64| index_sharers[&unit.lvpt().index(pc)].len() > 1;
+        let aliased = |pc: u64| index_sharers[&unit.backend().index(pc, 0)].len() > 1;
 
         for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
             if g != e {
@@ -263,9 +269,11 @@ fn divergences_under_small_tables_are_aliasing_only() {
 
 #[test]
 fn differential_runs_are_deterministic() {
-    let config = LvpConfig::simple()
-        .with_lvpt_entries(256)
-        .with_lct_entries(256);
+    let config = presets::simple()
+        .builder()
+        .lvpt_entries(256)
+        .lct_entries(256)
+        .build();
     let trace_a = random_trace(99, 20_000, 600);
     let trace_b = random_trace(99, 20_000, 600);
     assert_eq!(trace_a, trace_b);

@@ -1,7 +1,7 @@
 //! Property tests for the predictor structures, checked against simple
 //! reference models.
 
-use lvp_predictor::{Cvu, CvuConfig, Lct, LctConfig, LvpConfig, LvpUnit, Lvpt, LvptConfig};
+use lvp_predictor::{presets, Cvu, CvuConfig, Lct, LctConfig, LvpUnit, Lvpt, LvptConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn unit_statistics_are_consistent(ops in arb_ops()) {
         let mut memory: HashMap<u64, u64> = HashMap::new();
-        for config in [LvpConfig::simple(), LvpConfig::constant(), LvpConfig::limit()] {
+        for config in [presets::simple(), presets::constant(), presets::limit()] {
             let mut unit = LvpUnit::new(config);
             for op in &ops {
                 match op {
@@ -46,7 +46,7 @@ proptest! {
                     }
                     Op::Store { addr, value } => {
                         memory.insert(*addr, *value);
-                        unit.on_store(*addr, 8);
+                        unit.on_store(*addr, 8, *value);
                     }
                 }
             }

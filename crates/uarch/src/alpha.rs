@@ -76,7 +76,9 @@ impl Default for Alpha21164Config {
 
 /// Runs the 21164-class model over a trace.
 ///
-/// `outcomes` carries one [`PredOutcome`] per dynamic load; pass `None`
+/// `outcomes` carries one [`PredOutcome`] per dynamic load (under any
+/// `lvp_predictor::PredictorKind` — the model reads only the verdicts,
+/// never the predictor's tables); pass `None`
 /// for the no-LVP baseline.
 ///
 /// # Panics

@@ -181,8 +181,10 @@ struct Slot {
 /// Runs the 620-class model over a trace.
 ///
 /// `outcomes` carries one [`PredOutcome`] per dynamic load (from
-/// [`lvp_predictor::LvpUnit::annotate`]); pass `None` for the no-LVP
-/// baseline.
+/// [`lvp_predictor::LvpUnit::annotate`], under any
+/// [`lvp_predictor::PredictorKind`]); pass `None` for the no-LVP
+/// baseline. The model reads only these verdicts — never the
+/// predictor's tables — so every backend is costed identically.
 ///
 /// # Panics
 ///

@@ -222,7 +222,7 @@ mod tests {
         // Limit study exists for.
         let k = Kernel::by_name("pointer_chase").unwrap();
         let trace = k.run(AsmProfile::Toc).unwrap();
-        let mut simple = lvp_predictor::LvpUnit::new(lvp_predictor::LvpConfig::simple());
+        let mut simple = lvp_predictor::LvpUnit::new(lvp_predictor::presets::simple());
         let simple_outcomes = simple.annotate(&trace);
         let simple_usable = simple_outcomes.iter().filter(|o| o.usable()).count();
         assert!(
@@ -230,7 +230,7 @@ mod tests {
             "depth-1 must fail on a 16-node cycle: {simple_usable}/{}",
             simple_outcomes.len()
         );
-        let mut unit = lvp_predictor::LvpUnit::new(lvp_predictor::LvpConfig::limit());
+        let mut unit = lvp_predictor::LvpUnit::new(lvp_predictor::presets::limit());
         let outcomes = unit.annotate(&trace);
         let usable = outcomes.iter().filter(|o| o.usable()).count();
         assert!(

@@ -8,7 +8,8 @@
 //! ```
 
 use lvp::isa::AsmProfile;
-use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::predictor::presets;
+use lvp::predictor::LvpUnit;
 use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
 use lvp::workloads::Workload;
 
@@ -26,10 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gp = workload.run(AsmProfile::Gp)?;
 
     let configs = [
-        LvpConfig::simple(),
-        LvpConfig::constant(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
+        presets::simple(),
+        presets::constant(),
+        presets::limit(),
+        presets::perfect(),
     ];
 
     for machine in [Ppc620Config::base(), Ppc620Config::plus()] {
@@ -53,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Alpha21164Config::base();
     let base = simulate_21164(&gp.trace, None, &machine);
     println!("Alpha {}: baseline {base}", machine.name);
-    for cfg in [
-        LvpConfig::simple(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ] {
+    for cfg in [presets::simple(), presets::limit(), presets::perfect()] {
         let mut unit = LvpUnit::new(cfg.clone());
         let outcomes = unit.annotate(&gp.trace);
         let r = simulate_21164(&gp.trace, Some(&outcomes), &machine);

@@ -7,7 +7,8 @@
 
 use lvp::isa::AsmProfile;
 use lvp::lang::compile;
-use lvp::predictor::{LocalityMeter, LvpConfig, LvpUnit};
+use lvp::predictor::presets;
+use lvp::predictor::{LocalityMeter, LvpUnit};
 use lvp::sim::Machine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -49,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Phase 2b: run the LVP unit (Simple configuration) over the trace.
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&trace);
     let stats = unit.stats();
     println!(

@@ -7,7 +7,8 @@
 //! ```
 
 use lvp::isa::AsmProfile;
-use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::predictor::presets;
+use lvp::predictor::LvpUnit;
 use lvp::trace::{read_trace, write_trace};
 use lvp::uarch::{simulate_620, Ppc620Config};
 use lvp::workloads::Workload;
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phases 2+3 from the file, independent of the simulator.
     let trace = read_trace(BufReader::new(File::open(&path)?))?;
     assert_eq!(trace.len(), run.trace.len());
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&trace);
     let base = simulate_620(&trace, None, &Ppc620Config::base());
     let lvp = simulate_620(&trace, Some(&outcomes), &Ppc620Config::base());

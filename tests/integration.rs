@@ -4,7 +4,8 @@
 
 use lvp::isa::AsmProfile;
 use lvp::lang::compile;
-use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::predictor::presets;
+use lvp::predictor::LvpUnit;
 use lvp::sim::Machine;
 use lvp::trace::{AnnotatedTrace, PredOutcome};
 use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
@@ -47,7 +48,7 @@ fn full_pipeline_both_profiles_and_all_machines() {
         assert!(!machine.output().is_empty());
 
         // Phase 2: LVP annotation for every Table 2 configuration.
-        for config in LvpConfig::table2() {
+        for config in presets::table2() {
             let mut unit = LvpUnit::new(config);
             let outcomes = unit.annotate(&trace);
 
@@ -67,6 +68,34 @@ fn full_pipeline_both_profiles_and_all_machines() {
     }
 }
 
+/// The timing models consume only the per-load verdict stream
+/// ([`PredOutcome`]), never the predictor's tables: an annotation
+/// produced under any backend kind is accepted unchanged, and the
+/// instruction count — a property of the trace, not the predictor —
+/// is identical across kinds.
+#[test]
+fn timing_models_accept_every_backend_verdict_stream() {
+    use lvp::predictor::PredictorKind;
+
+    let program = compile(MIXED_SOURCE, AsmProfile::Toc).expect("compile");
+    let mut machine = Machine::new(&program);
+    let trace = machine.run_traced(10_000_000).expect("run");
+    let mcfg = Ppc620Config::base();
+    let acfg = Alpha21164Config::base();
+
+    for kind in PredictorKind::ALL {
+        let config = presets::simple().builder().kind(kind).build();
+        let mut unit = LvpUnit::new(config);
+        let outcomes = unit.annotate(&trace);
+        assert_eq!(outcomes.len() as u64, trace.stats().loads, "{kind}");
+
+        let r620 = simulate_620(&trace, Some(&outcomes), &mcfg);
+        assert_eq!(r620.instructions, trace.stats().instructions, "{kind}");
+        let r164 = simulate_21164(&trace, Some(&outcomes), &acfg);
+        assert_eq!(r164.instructions, trace.stats().instructions, "{kind}");
+    }
+}
+
 #[test]
 fn perfect_config_dominates_baseline_and_simple() {
     let program = compile(MIXED_SOURCE, AsmProfile::Toc).expect("compile");
@@ -75,9 +104,9 @@ fn perfect_config_dominates_baseline_and_simple() {
     let mcfg = Ppc620Config::base();
     let base = simulate_620(&trace, None, &mcfg);
 
-    let mut simple_unit = LvpUnit::new(LvpConfig::simple());
+    let mut simple_unit = LvpUnit::new(presets::simple());
     let simple = simulate_620(&trace, Some(&simple_unit.annotate(&trace)), &mcfg);
-    let mut perfect_unit = LvpUnit::new(LvpConfig::perfect());
+    let mut perfect_unit = LvpUnit::new(presets::perfect());
     let perfect = simulate_620(&trace, Some(&perfect_unit.annotate(&trace)), &mcfg);
 
     assert!(
@@ -99,8 +128,8 @@ fn annotations_are_deterministic_across_reruns() {
     let w = Workload::by_name("xlisp").expect("registered");
     let run1 = w.run(AsmProfile::Gp).expect("run 1");
     let run2 = w.run(AsmProfile::Gp).expect("run 2");
-    let mut u1 = LvpUnit::new(LvpConfig::simple());
-    let mut u2 = LvpUnit::new(LvpConfig::simple());
+    let mut u1 = LvpUnit::new(presets::simple());
+    let mut u2 = LvpUnit::new(presets::simple());
     assert_eq!(u1.annotate(&run1.trace), u2.annotate(&run2.trace));
 }
 
@@ -125,7 +154,7 @@ fn cvu_constants_reduce_cache_traffic_end_to_end() {
     let program = compile(MIXED_SOURCE, AsmProfile::Toc).expect("compile");
     let mut machine = Machine::new(&program);
     let trace = machine.run_traced(10_000_000).expect("run");
-    let mut unit = LvpUnit::new(LvpConfig::constant());
+    let mut unit = LvpUnit::new(presets::constant());
     let outcomes = unit.annotate(&trace);
     let n_constant = outcomes
         .iter()

@@ -2,7 +2,8 @@
 //! analysis across the whole stack.
 
 use lvp::isa::AsmProfile;
-use lvp::predictor::{LvpConfig, LvpUnit};
+use lvp::predictor::presets;
+use lvp::predictor::LvpUnit;
 use lvp::uarch::{
     dataflow_limit, simulate_21164, simulate_620, Alpha21164Config, LatencyTable, Ppc620Config,
 };
@@ -38,7 +39,7 @@ fn pointer_chase_dataflow_limit_is_load_bound() {
         base.critical_path
     );
     // The Limit configuration captures the 16-node cycle and collapses it.
-    let mut unit = LvpUnit::new(LvpConfig::limit());
+    let mut unit = LvpUnit::new(presets::limit());
     let outcomes = unit.annotate(&trace);
     let limit = dataflow_limit(&trace, Some(&outcomes), &lat);
     // With the link loads predicted, the remaining critical path is the
@@ -74,7 +75,7 @@ fn machine_never_beats_its_dataflow_limit_without_lvp() {
 fn sampled_windows_agree_on_speedup_direction() {
     let w = Workload::by_name("gawk").expect("registered");
     let run = w.run(AsmProfile::Toc).expect("runs");
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&run.trace);
     let cfg = Ppc620Config::base();
     let (mut base_c, mut lvp_c) = (0u64, 0u64);

@@ -4,8 +4,9 @@
 //! binaries cover the full suite.
 
 use lvp::isa::AsmProfile;
+use lvp::predictor::presets;
 use lvp::predictor::AddressRanges;
-use lvp::predictor::{LocalityMeter, LvpConfig, LvpUnit, ValueClass};
+use lvp::predictor::{LocalityMeter, LvpUnit, ValueClass};
 use lvp::uarch::{simulate_21164, simulate_620, Alpha21164Config, Ppc620Config};
 use lvp::workloads::Workload;
 
@@ -77,11 +78,7 @@ fn speedups_rank_simple_below_limit_below_perfect() {
     let mcfg = Ppc620Config::base();
     let base = simulate_620(&run.trace, None, &mcfg);
     let mut speedups = Vec::new();
-    for cfg in [
-        LvpConfig::simple(),
-        LvpConfig::limit(),
-        LvpConfig::perfect(),
-    ] {
+    for cfg in [presets::simple(), presets::limit(), presets::perfect()] {
         let mut unit = LvpUnit::new(cfg);
         let outcomes = unit.annotate(&run.trace);
         let r = simulate_620(&run.trace, Some(&outcomes), &mcfg);
@@ -105,7 +102,7 @@ fn speedups_rank_simple_below_limit_below_perfect() {
 fn lvp_reduces_memory_bandwidth() {
     let w = Workload::by_name("grep").expect("registered");
     let run = w.run(AsmProfile::Toc).expect("run");
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&run.trace);
     let mcfg = Ppc620Config::base();
     let base = simulate_620(&run.trace, None, &mcfg);
@@ -132,7 +129,7 @@ fn plus_machine_and_lvp_compose() {
         base_plus.cycles,
         base_620.cycles
     );
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&run.trace);
     let lvp_plus = simulate_620(&run.trace, Some(&outcomes), &Ppc620Config::plus());
     assert!(
@@ -152,7 +149,7 @@ fn alpha_lvp_is_safe_and_helps_grep() {
     let run = w.run(AsmProfile::Gp).expect("run");
     let mcfg = Alpha21164Config::base();
     let base = simulate_21164(&run.trace, None, &mcfg);
-    let mut unit = LvpUnit::new(LvpConfig::simple());
+    let mut unit = LvpUnit::new(presets::simple());
     let outcomes = unit.annotate(&run.trace);
     let lvp = simulate_21164(&run.trace, Some(&outcomes), &mcfg);
     assert!(
